@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses.
+ */
+
+#ifndef EOLE_BENCH_BENCH_COMMON_HH
+#define EOLE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+
+#include "sim/configs.hh"
+#include "sim/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace eole {
+
+inline void
+announce(const char *fig, const char *what)
+{
+    std::printf("%s: %s\n", fig, what);
+    std::printf("warmup=%llu uops, measure=%llu uops, threads=%d "
+                "(override: EOLE_WARMUP / EOLE_INSTS / EOLE_THREADS)\n",
+                (unsigned long long)warmupUops(),
+                (unsigned long long)measureUops(), runnerThreads());
+}
+
+} // namespace eole
+
+#endif // EOLE_BENCH_BENCH_COMMON_HH

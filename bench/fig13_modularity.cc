@@ -1,0 +1,29 @@
+/**
+ * Figure 13: modularity of EOLE. Full EOLE vs OLE (Late Execution
+ * only) vs EOE (Early Execution only), each 4-issue with a 4-bank PRF
+ * and 4 LE/VT read ports, normalized to Baseline_VP_6_64.
+ */
+#include "bench_common.hh"
+
+using namespace eole;
+
+int
+main()
+{
+    announce("Fig 13", "EOLE vs OLE (LE only) vs EOE (EE only)");
+
+    const SimConfig ref = configs::baselineVp(6, 64);
+    const SimConfig full = configs::eoleConstrained(4, 64, 4, 4);
+    const SimConfig le_only = configs::ole(4, 64, 4, 4);
+    const SimConfig ee_only = configs::eoe(4, 64, 4, 4);
+    const auto &names = workloads::allNames();
+    const auto results = runGrid({ref, full, le_only, ee_only}, names);
+
+    printTable("Speedup over Baseline_VP_6_64 (Fig 13)", results,
+               {full.name, le_only.name, ee_only.name}, names, "ipc",
+               ref.name);
+    printTable("Offload fraction (context)", results,
+               {full.name, le_only.name, ee_only.name}, names,
+               "offload_frac");
+    return 0;
+}

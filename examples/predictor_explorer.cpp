@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Exploring value predictors standalone (no pipeline): feed synthetic
+ * value streams to each predictor family and watch coverage/accuracy,
+ * including the FPC confidence build-up the paper relies on.
+ *
+ *   ./build/examples/predictor_explorer
+ */
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bpred/history.hh"
+#include "vpred/value_predictor.hh"
+
+using namespace eole;
+
+namespace {
+
+struct Stream
+{
+    const char *name;
+    std::function<RegVal(int)> value;
+    /** Bit pushed to the global branch history each step (VTAGE food). */
+    std::function<bool(int)> branchBit;
+};
+
+void
+evaluate(VpKind kind, const Stream &stream, int steps)
+{
+    VpConfig cfg;
+    cfg.kind = kind;
+    auto vp = createValuePredictor(cfg, 1);
+    GlobalHistory hist(vp->foldSpecs());
+    vp->bindHistory(hist, 0);
+
+    const Addr pc = 0x400000;
+    std::uint64_t used = 0, correct = 0, measured = 0;
+    for (int i = 0; i < steps; ++i) {
+        VpLookup l = vp->predict(pc);
+        const RegVal actual = stream.value(i);
+        if (i >= steps / 2) {
+            ++measured;
+            if (l.confident) {
+                ++used;
+                correct += l.value == actual;
+            }
+        }
+        vp->commit(pc, actual, l);
+        hist.push(stream.branchBit(i));
+    }
+    std::printf("  %-16s coverage %6.1f%%   accuracy %7.3f%%\n",
+                vp->name(), 100.0 * used / measured,
+                used ? 100.0 * correct / used : 100.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Stream> streams = {
+        {"constant (x = 42)",
+         [](int) { return RegVal(42); },
+         [](int i) { return i % 3 == 0; }},
+        {"strided (x += 24)",
+         [](int i) { return 100 + RegVal(i) * 24; },
+         [](int i) { return i % 3 == 0; }},
+        {"branch-correlated (x alternates with history)",
+         [](int i) { return i % 2 ? RegVal(7) : RegVal(1000); },
+         [](int i) { return i % 2 == 0; }},
+        {"chaotic (hash of i)",
+         [](int i) {
+             std::uint64_t x = static_cast<std::uint64_t>(i) + 1;
+             x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+             return x ^ (x >> 27);
+         },
+         [](int i) { return i % 3 == 0; }},
+    };
+
+    const VpKind kinds[] = {VpKind::LastValue, VpKind::Stride,
+                            VpKind::TwoDeltaStride, VpKind::Fcm,
+                            VpKind::Vtage, VpKind::HybridVtage2DStride};
+
+    std::printf("Coverage = predictions with saturated FPC confidence\n"
+                "(the only ones the pipeline uses, Section 4.2 of the "
+                "paper).\nAccuracy is measured on those.\n");
+    for (const Stream &s : streams) {
+        std::printf("\nvalue stream: %s\n", s.name);
+        for (VpKind k : kinds)
+            evaluate(k, s, 20000);
+    }
+
+    std::printf("\nNote how the hybrid covers the union of the stride "
+                "and VTAGE columns,\nand how nothing covers chaos -- "
+                "FPC keeps wrong predictions out of the\npipeline, "
+                "which is what makes squash-based recovery affordable "
+                "(Section 3.1).\n");
+    return 0;
+}

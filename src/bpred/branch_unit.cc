@@ -1,0 +1,148 @@
+#include "bpred/branch_unit.hh"
+
+namespace eole {
+
+namespace {
+
+std::vector<std::pair<int, int>>
+combinedSpecs(const Tage &tage,
+              const std::vector<std::pair<int, int>> &extra,
+              std::size_t &extra_base_out)
+{
+    auto specs = tage.foldSpecs();
+    extra_base_out = specs.size();
+    specs.insert(specs.end(), extra.begin(), extra.end());
+    return specs;
+}
+
+} // namespace
+
+BranchUnit::BranchUnit(const BpConfig &config,
+                       const std::vector<std::pair<int, int>> &extra_folds,
+                       std::uint64_t seed)
+    : cfg(config), tage(config.tage, seed),
+      hist(combinedSpecs(tage, extra_folds, extraBase)),
+      btb(config.btbLog2Entries, config.btbWays), ras(config.rasEntries),
+      confTable(config.confLog2Entries > 0
+                    ? (1u << config.confLog2Entries) : 0, 0)
+{
+}
+
+std::uint8_t &
+BranchUnit::confSlot(Addr pc)
+{
+    return confTable[(pc >> 2) & (confTable.size() - 1)];
+}
+
+BranchUnit::SnapshotPtr
+BranchUnit::currentSnapshot()
+{
+    if (!cached) {
+        auto s = std::make_shared<Snapshot>();
+        s->hist = hist.snapshot();
+        s->ras = ras.snapshot();
+        cached = std::move(s);
+    }
+    return cached;
+}
+
+void
+BranchUnit::speculativeApply(const TraceUop &uop, bool taken, Addr target)
+{
+    if (uop.isCondBr())
+        hist.push(taken);
+    if (uop.isCall())
+        ras.push(uop.pc + uopBytes);
+    else if (uop.isRet())
+        (void)ras.pop();
+    (void)target;
+    cached.reset();
+}
+
+BranchPrediction
+BranchUnit::predictBranch(const TraceUop &uop, SnapshotPtr &pre_out)
+{
+    pre_out = currentSnapshot();
+
+    BranchPrediction bp;
+    if (uop.isCondBr()) {
+        bp.predTaken = tage.predict(uop.pc, hist, 0, bp.tage);
+        bp.highConf = bp.tage.highConf;
+        if (!confTable.empty() && bp.highConf) {
+            const std::uint8_t full = (1u << cfg.confBits) - 1;
+            bp.highConf = confSlot(uop.pc) == full;
+        }
+        if (bp.predTaken) {
+            bp.predTarget = btb.lookup(uop.pc);
+            bp.btbMiss = bp.predTarget == 0;
+        } else {
+            bp.predTarget = uop.pc + uopBytes;
+        }
+    } else if (uop.isRet()) {
+        bp.predTaken = true;
+        // Peek then re-push so speculativeApply sees a consistent stack.
+        bp.predTarget = ras.pop();
+        ras.push(bp.predTarget);
+    } else if (uop.opc == Opcode::Jr) {
+        bp.predTaken = true;
+        bp.predTarget = btb.lookup(uop.pc);
+    } else {
+        // Direct jmp/call: target known at decode.
+        bp.predTaken = true;
+        bp.predTarget = btb.lookup(uop.pc);
+        bp.btbMiss = bp.predTarget == 0;
+        if (bp.btbMiss)
+            bp.predTarget = uop.nextPc;  // decode supplies it (bubble)
+    }
+
+    // Oracle comparison (the penalty is applied at resolution time).
+    const bool dir_wrong = bp.predTaken != uop.taken;
+    const bool tgt_wrong = bp.predTaken && uop.taken && !bp.btbMiss
+        && bp.predTarget != uop.nextPc;
+    bp.mispredict = dir_wrong || tgt_wrong;
+
+    // Speculative state advances with the *predicted* direction.
+    speculativeApply(uop, bp.predTaken, bp.predTarget);
+    return bp;
+}
+
+void
+BranchUnit::repairAfterBranch(const TraceUop &uop, const SnapshotPtr &pre)
+{
+    hist.restore(pre->hist);
+    ras.restore(pre->ras);
+    cached.reset();
+    speculativeApply(uop, uop.taken, uop.nextPc);
+}
+
+void
+BranchUnit::restoreTo(const SnapshotPtr &snap)
+{
+    hist.restore(snap->hist);
+    ras.restore(snap->ras);
+    cached.reset();
+}
+
+void
+BranchUnit::commitBranch(const TraceUop &uop, const BranchPrediction &bp)
+{
+    if (uop.isCondBr()) {
+        tage.update(uop.pc, uop.taken, bp.tage);
+        if (!confTable.empty()) {
+            std::uint8_t &c = confSlot(uop.pc);
+            const std::uint8_t full = (1u << cfg.confBits) - 1;
+            if (bp.predTaken == uop.taken) {
+                if (c < full)
+                    ++c;
+            } else {
+                c = 0;
+            }
+        }
+    }
+    // Keep targets of taken control transfers in the BTB (returns are
+    // served by the RAS).
+    if (uop.taken && !uop.isRet())
+        btb.update(uop.pc, uop.nextPc);
+}
+
+} // namespace eole

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Global branch-history management with geometric folded registers and
+ * O(1) checkpoint/restore.
+ *
+ * Both TAGE (direction prediction) and VTAGE (value prediction) index
+ * their tagged components with hashes of geometrically increasing
+ * history lengths. The standard implementation keeps, per component,
+ * "folded" registers that are updated incrementally as bits enter and
+ * leave the history. The raw history lives in a large circular bit
+ * buffer that is only ever appended to, so a checkpoint is just the
+ * write position plus the folded registers — restoring is O(folds).
+ */
+
+#ifndef EOLE_BPRED_HISTORY_HH
+#define EOLE_BPRED_HISTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace eole {
+
+/**
+ * One incrementally-folded view of the global history: the most recent
+ * @c histLen bits XOR-folded down to @c width bits.
+ */
+struct FoldedHistory
+{
+    std::uint32_t comp = 0;
+    int histLen = 0;
+    int width = 1;
+    int outPoint = 0;
+
+    void
+    configure(int hist_len, int fold_width)
+    {
+        panic_if(fold_width <= 0 || fold_width > 30,
+                 "bad fold width %d", fold_width);
+        histLen = hist_len;
+        width = fold_width;
+        outPoint = hist_len % fold_width;
+        comp = 0;
+    }
+
+    /** Shift in @p in_bit; @p out_bit is the bit leaving the history. */
+    void
+    update(bool in_bit, bool out_bit)
+    {
+        comp = (comp << 1) | static_cast<std::uint32_t>(in_bit);
+        comp ^= static_cast<std::uint32_t>(out_bit) << outPoint;
+        comp ^= comp >> width;
+        comp &= (1u << width) - 1;
+    }
+};
+
+/**
+ * Append-only global history with folded views.
+ *
+ * Component folds are registered once at construction; every push()
+ * updates all of them. Snapshots capture the fold states and the
+ * logical position; the underlying circular buffer is never rewound,
+ * so snapshots stay valid as long as fewer than bufferBits new bits
+ * were pushed since (far beyond any pipeline depth).
+ */
+class GlobalHistory
+{
+  public:
+    struct Snapshot
+    {
+        std::uint64_t pos = 0;
+        std::vector<std::uint32_t> folds;
+    };
+
+    /**
+     * @param fold_specs (histLen, width) pairs; one fold per pair
+     * @param buffer_bits circular raw-history capacity (power of two)
+     */
+    GlobalHistory(const std::vector<std::pair<int, int>> &fold_specs,
+                  std::size_t buffer_bits = 4096)
+        : bits(buffer_bits, 0)
+    {
+        panic_if((buffer_bits & (buffer_bits - 1)) != 0,
+                 "buffer_bits must be a power of two");
+        folds.resize(fold_specs.size());
+        for (std::size_t i = 0; i < fold_specs.size(); ++i) {
+            folds[i].configure(fold_specs[i].first, fold_specs[i].second);
+            panic_if(static_cast<std::size_t>(fold_specs[i].first)
+                         >= buffer_bits,
+                     "history length exceeds buffer");
+        }
+    }
+
+    /** Append one direction bit. */
+    void
+    push(bool bit)
+    {
+        for (auto &f : folds) {
+            const bool out = bitAt(f.histLen);
+            f.update(bit, out);
+        }
+        bits[pos & (bits.size() - 1)] = bit;
+        ++pos;
+    }
+
+    /** Bit at @p distance (1 = most recent); 0 before history fills. */
+    bool
+    bitAt(std::uint64_t distance) const
+    {
+        if (distance > pos)
+            return false;
+        return bits[(pos - distance) & (bits.size() - 1)] != 0;
+    }
+
+    /** Folded value of registered component @p i. */
+    std::uint32_t folded(std::size_t i) const { return folds[i].comp; }
+
+    std::uint64_t position() const { return pos; }
+
+    Snapshot
+    snapshot() const
+    {
+        Snapshot s;
+        s.pos = pos;
+        s.folds.reserve(folds.size());
+        for (const auto &f : folds)
+            s.folds.push_back(f.comp);
+        return s;
+    }
+
+    void
+    restore(const Snapshot &s)
+    {
+        panic_if(s.folds.size() != folds.size(), "snapshot shape mismatch");
+        panic_if(pos - s.pos >= bits.size(),
+                 "snapshot too old: %llu bits pushed since",
+                 static_cast<unsigned long long>(pos - s.pos));
+        pos = s.pos;
+        for (std::size_t i = 0; i < folds.size(); ++i)
+            folds[i].comp = s.folds[i];
+    }
+
+  private:
+    std::vector<std::uint8_t> bits;
+    std::vector<FoldedHistory> folds;
+    std::uint64_t pos = 0;
+};
+
+} // namespace eole
+
+#endif // EOLE_BPRED_HISTORY_HH

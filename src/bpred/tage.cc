@@ -1,0 +1,207 @@
+#include "bpred/tage.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace eole {
+
+Tage::Tage(const TageConfig &config, std::uint64_t seed)
+    : cfg(config), useAltOnNa(4, 0), rng(seed)
+{
+    panic_if(cfg.numTagged < 1 || cfg.numTagged > TageLookup::maxComps,
+             "unsupported number of tagged components %d", cfg.numTagged);
+
+    // Geometric history lengths from minHist to maxHist.
+    histLens.resize(cfg.numTagged);
+    const double ratio = cfg.numTagged > 1
+        ? std::pow(double(cfg.maxHist) / cfg.minHist,
+                   1.0 / (cfg.numTagged - 1))
+        : 1.0;
+    double len = cfg.minHist;
+    int prev = 0;
+    for (int i = 0; i < cfg.numTagged; ++i) {
+        int l = static_cast<int>(len + 0.5);
+        if (l <= prev)
+            l = prev + 1;
+        histLens[i] = l;
+        prev = l;
+        len *= ratio;
+    }
+
+    tagged.assign(cfg.numTagged,
+                  std::vector<TaggedEntry>(1u << cfg.taggedLog2Entries));
+    for (auto &comp : tagged) {
+        for (auto &e : comp)
+            e.ctr = SignedSatCounter(cfg.ctrBits, 0);
+    }
+    base.assign(1u << cfg.baseLog2Entries, SignedSatCounter(2, 0));
+}
+
+std::vector<std::pair<int, int>>
+Tage::foldSpecs() const
+{
+    // Per component: one index fold and two tag folds (widths tagBits
+    // and tagBits-1, the classic PPM-like tag hash).
+    std::vector<std::pair<int, int>> specs;
+    for (int i = 0; i < cfg.numTagged; ++i) {
+        specs.emplace_back(histLens[i], cfg.taggedLog2Entries);
+        specs.emplace_back(histLens[i], cfg.tagBits);
+        specs.emplace_back(histLens[i], cfg.tagBits - 1);
+    }
+    return specs;
+}
+
+std::uint32_t
+Tage::baseIndex(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc >> 2)
+        & ((1u << cfg.baseLog2Entries) - 1);
+}
+
+std::uint32_t
+Tage::taggedIndex(Addr pc, const GlobalHistory &hist,
+                  std::size_t fold_base, int comp) const
+{
+    const std::uint32_t p = static_cast<std::uint32_t>(pc >> 2);
+    const std::uint32_t h = hist.folded(fold_base + 3 * comp);
+    return (p ^ (p >> (cfg.taggedLog2Entries - comp % 4)) ^ h)
+        & ((1u << cfg.taggedLog2Entries) - 1);
+}
+
+std::uint16_t
+Tage::taggedTag(Addr pc, const GlobalHistory &hist, std::size_t fold_base,
+                int comp) const
+{
+    const std::uint32_t p = static_cast<std::uint32_t>(pc >> 2);
+    const std::uint32_t h1 = hist.folded(fold_base + 3 * comp + 1);
+    const std::uint32_t h2 = hist.folded(fold_base + 3 * comp + 2);
+    return static_cast<std::uint16_t>((p ^ h1 ^ (h2 << 1))
+                                      & ((1u << cfg.tagBits) - 1));
+}
+
+bool
+Tage::predict(Addr pc, const GlobalHistory &hist, std::size_t fold_base,
+              TageLookup &out)
+{
+    out = TageLookup{};
+    out.baseIdx = baseIndex(pc);
+
+    for (int i = 0; i < cfg.numTagged; ++i) {
+        out.idx[i] = taggedIndex(pc, hist, fold_base, i);
+        out.tag[i] = taggedTag(pc, hist, fold_base, i);
+    }
+
+    // Longest-history hit is the provider; next hit is the alternate.
+    for (int i = cfg.numTagged - 1; i >= 0; --i) {
+        if (tagged[i][out.idx[i]].tag == out.tag[i]) {
+            if (out.provider < 0) {
+                out.provider = i;
+            } else {
+                out.altProvider = i;
+                break;
+            }
+        }
+    }
+
+    const bool base_pred = base[out.baseIdx].predictTaken();
+    out.altPred = out.altProvider >= 0
+        ? tagged[out.altProvider][out.idx[out.altProvider]].ctr
+              .predictTaken()
+        : base_pred;
+
+    bool high_conf;
+    if (out.provider >= 0) {
+        const TaggedEntry &e = tagged[out.provider][out.idx[out.provider]];
+        out.providerPred = e.ctr.predictTaken();
+        // Newly-allocated (weak, not yet useful) entries may be
+        // bypassed in favour of the alternate prediction.
+        out.usedAlt = useAltOnNa.predictTaken() && e.ctr.isWeak()
+            && e.u == 0;
+        out.predTaken = out.usedAlt ? out.altPred : out.providerPred;
+        // Storage-free confidence: saturated provider counter, not
+        // overridden by the alternate prediction path.
+        high_conf = !out.usedAlt && e.ctr.isSaturated();
+    } else {
+        out.predTaken = base_pred;
+        high_conf = base[out.baseIdx].isSaturated();
+    }
+    out.highConf = high_conf;
+    return out.predTaken;
+}
+
+void
+Tage::update(Addr pc, bool taken, const TageLookup &lookup)
+{
+    (void)pc;
+    ++updates;
+
+    // Periodic graceful reset of useful bits (alternating halves).
+    if (updates % cfg.uResetPeriod == 0) {
+        const std::uint8_t mask = (updates / cfg.uResetPeriod) % 2 ? 1 : 2;
+        for (auto &comp : tagged) {
+            for (auto &e : comp)
+                e.u &= mask;
+        }
+    }
+
+    const bool mispredicted = lookup.predTaken != taken;
+
+    if (lookup.provider >= 0) {
+        TaggedEntry &e = tagged[lookup.provider][lookup.idx[lookup.provider]];
+        // use_alt_on_na bias update: did bypassing (or not) pay off?
+        if (e.ctr.isWeak() && e.u == 0
+            && lookup.providerPred != lookup.altPred) {
+            useAltOnNa.update(lookup.altPred == taken);
+        }
+        e.ctr.update(taken);
+        if (lookup.providerPred != lookup.altPred) {
+            if (lookup.providerPred == taken) {
+                if (e.u < ((1u << cfg.uBits) - 1))
+                    ++e.u;
+            } else {
+                if (e.u > 0)
+                    --e.u;
+            }
+        }
+    } else {
+        base[lookup.baseIdx].update(taken);
+    }
+
+    // Allocate a new entry in a longer-history component on a
+    // misprediction (provider counter update alone was insufficient).
+    if (mispredicted && lookup.provider < cfg.numTagged - 1) {
+        const int start = lookup.provider + 1;
+        // Find allocation candidates (u == 0).
+        int candidates = 0;
+        for (int i = start; i < cfg.numTagged; ++i) {
+            if (tagged[i][lookup.idx[i]].u == 0)
+                ++candidates;
+        }
+        if (candidates == 0) {
+            // Nothing allocatable: age all would-be victims instead.
+            for (int i = start; i < cfg.numTagged; ++i) {
+                TaggedEntry &e = tagged[i][lookup.idx[i]];
+                if (e.u > 0)
+                    --e.u;
+            }
+            return;
+        }
+        // Pick, with geometric bias toward shorter histories: skip a
+        // candidate with probability 1/2 (standard TAGE allocation).
+        int chosen = -1;
+        for (int i = start; i < cfg.numTagged; ++i) {
+            if (tagged[i][lookup.idx[i]].u != 0)
+                continue;
+            chosen = i;
+            if (rng.below(2) == 0)
+                break;
+        }
+        TaggedEntry &e = tagged[chosen][lookup.idx[chosen]];
+        e.tag = lookup.tag[chosen];
+        e.ctr.reset(taken ? 0 : -1);
+        e.u = 0;
+    }
+}
+
+} // namespace eole

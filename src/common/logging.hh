@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic(), fatal(), warn(), inform().
+ *
+ * panic()  - a simulator bug: something that should never happen
+ *            regardless of user input. Aborts (core-dumpable).
+ * fatal()  - a user error (bad configuration, impossible parameters).
+ *            Exits with status 1.
+ * warn()   - suspicious but survivable condition.
+ * inform() - plain status message.
+ */
+
+#ifndef EOLE_COMMON_LOGGING_HH
+#define EOLE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace eole {
+
+/** Printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace eole
+
+#define panic(...) \
+    ::eole::panicImpl(__FILE__, __LINE__, ::eole::csprintf(__VA_ARGS__))
+
+#define fatal(...) \
+    ::eole::fatalImpl(__FILE__, __LINE__, ::eole::csprintf(__VA_ARGS__))
+
+#define warn(...) ::eole::warnImpl(::eole::csprintf(__VA_ARGS__))
+
+#define inform(...) ::eole::informImpl(::eole::csprintf(__VA_ARGS__))
+
+/** Assert-like check that is kept in release builds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            ::eole::panicImpl(__FILE__, __LINE__,                           \
+                              ::eole::csprintf(__VA_ARGS__));               \
+        }                                                                   \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            ::eole::fatalImpl(__FILE__, __LINE__,                           \
+                              ::eole::csprintf(__VA_ARGS__));               \
+        }                                                                   \
+    } while (0)
+
+#endif // EOLE_COMMON_LOGGING_HH

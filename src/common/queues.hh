@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Fixed-capacity container primitives used to model pipeline structures:
+ * a circular FIFO buffer (ROB, LSQ, prediction queue) and a latency +
+ * bandwidth constrained pipe (inter-stage communication).
+ */
+
+#ifndef EOLE_COMMON_QUEUES_HH
+#define EOLE_COMMON_QUEUES_HH
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace eole {
+
+/**
+ * Bounded circular FIFO. Supports indexed access from the head, which
+ * pipeline structures need for age-ordered scans (e.g. LSQ searches).
+ */
+template <typename T>
+class CircularQueue
+{
+  public:
+    explicit CircularQueue(size_t capacity)
+        : buf(capacity), cap(capacity)
+    {
+        panic_if(capacity == 0, "CircularQueue capacity must be > 0");
+    }
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == cap; }
+    size_t size() const { return count; }
+    size_t capacity() const { return cap; }
+    size_t freeSlots() const { return cap - count; }
+
+    /** Append at the tail. The queue must not be full. */
+    void
+    pushBack(T value)
+    {
+        panic_if(full(), "pushBack on full CircularQueue");
+        buf[(head + count) % cap] = std::move(value);
+        ++count;
+    }
+
+    /** Remove from the head. The queue must not be empty. */
+    T
+    popFront()
+    {
+        panic_if(empty(), "popFront on empty CircularQueue");
+        T value = std::move(buf[head]);
+        head = (head + 1) % cap;
+        --count;
+        return value;
+    }
+
+    /** Remove from the tail (used when squashing young entries). */
+    T
+    popBack()
+    {
+        panic_if(empty(), "popBack on empty CircularQueue");
+        --count;
+        return std::move(buf[(head + count) % cap]);
+    }
+
+    /** Element at distance @p idx from the head (0 = oldest). */
+    T &
+    at(size_t idx)
+    {
+        panic_if(idx >= count, "CircularQueue index %zu out of range %zu",
+                 idx, count);
+        return buf[(head + idx) % cap];
+    }
+
+    const T &
+    at(size_t idx) const
+    {
+        panic_if(idx >= count, "CircularQueue index %zu out of range %zu",
+                 idx, count);
+        return buf[(head + idx) % cap];
+    }
+
+    T &front() { return at(0); }
+    const T &front() const { return at(0); }
+    T &back() { return at(count - 1); }
+    const T &back() const { return at(count - 1); }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<T> buf;
+    size_t cap;
+    size_t head = 0;
+    size_t count = 0;
+};
+
+/**
+ * A latency- and bandwidth-constrained pipe between two pipeline stages.
+ *
+ * The producer pushes up to `bandwidth` items per cycle; items become
+ * visible to the consumer `latency` cycles later. This models in-order
+ * front-end stage separation (e.g. the 15-cycle front end) without
+ * simulating each intermediate stage individually.
+ */
+template <typename T>
+class DelayedPipe
+{
+  public:
+    /**
+     * @param latency_ cycles between push and earliest pop (>= 1)
+     * @param bandwidth_ max pushes per cycle (0 = unlimited)
+     * @param capacity_ max in-flight items (0 = unlimited)
+     */
+    DelayedPipe(Cycle latency_, size_t bandwidth_, size_t capacity_ = 0)
+        : latency(latency_), bandwidth(bandwidth_), capacity(capacity_)
+    {
+        panic_if(latency == 0, "DelayedPipe latency must be >= 1");
+    }
+
+    /** Can the producer push another item during cycle @p now? */
+    bool
+    canPush(Cycle now) const
+    {
+        if (capacity != 0 && items.size() >= capacity)
+            return false;
+        if (bandwidth == 0)
+            return true;
+        return pushedThisCycle(now) < bandwidth;
+    }
+
+    void
+    push(Cycle now, T value)
+    {
+        panic_if(!canPush(now), "push on full/saturated DelayedPipe");
+        if (now != lastPushCycle) {
+            lastPushCycle = now;
+            pushedCount = 0;
+        }
+        ++pushedCount;
+        items.emplace_back(now + latency, std::move(value));
+    }
+
+    /** Is an item ready for the consumer at cycle @p now? */
+    bool
+    canPop(Cycle now) const
+    {
+        return !items.empty() && items.front().first <= now;
+    }
+
+    T
+    pop(Cycle now)
+    {
+        panic_if(!canPop(now), "pop on not-ready DelayedPipe");
+        T value = std::move(items.front().second);
+        items.pop_front();
+        return value;
+    }
+
+    /** Peek the oldest in-flight item regardless of readiness. */
+    const T &front() const { return items.front().second; }
+
+    bool empty() const { return items.empty(); }
+    size_t size() const { return items.size(); }
+
+    /** Drop every in-flight item (pipeline squash). */
+    void clear() { items.clear(); }
+
+    /**
+     * Drop in-flight items for which @p pred returns true (partial squash
+     * of items younger than a given sequence number).
+     */
+    template <typename Pred>
+    void
+    removeIf(Pred pred)
+    {
+        std::erase_if(items, [&](const auto &p) { return pred(p.second); });
+    }
+
+  private:
+    size_t
+    pushedThisCycle(Cycle now) const
+    {
+        return now == lastPushCycle ? pushedCount : 0;
+    }
+
+    Cycle latency;
+    size_t bandwidth;
+    size_t capacity;
+    std::deque<std::pair<Cycle, T>> items;
+    Cycle lastPushCycle = invalidCycle;
+    size_t pushedCount = 0;
+};
+
+} // namespace eole
+
+#endif // EOLE_COMMON_QUEUES_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulator (FPC probabilistic counter
+ * transitions, synthetic workload data) draws from an explicitly seeded
+ * Rng instance so that simulations are bit-reproducible across runs and
+ * across configuration comparisons.
+ */
+
+#ifndef EOLE_COMMON_RANDOM_HH
+#define EOLE_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace eole {
+
+/**
+ * xoshiro256** generator. Small, fast and high quality; good enough for
+ * simulation purposes and fully deterministic for a given seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t z = seed;
+        for (auto &word : state) {
+            z += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t s = z;
+            s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            s = (s ^ (s >> 27)) * 0x94d049bb133111ebULL;
+            word = s ^ (s >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation (biased by at
+        // most 2^-64, irrelevant for simulation purposes).
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace eole
+
+#endif // EOLE_COMMON_RANDOM_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Saturating counter templates used throughout the predictors.
+ */
+
+#ifndef EOLE_COMMON_SAT_COUNTER_HH
+#define EOLE_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace eole {
+
+/**
+ * Unsigned saturating counter with a compile-time-free bit width.
+ *
+ * Used for branch/value confidence estimation. The counter saturates at
+ * [0, maxVal] and never wraps.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits counter width in bits (1..31)
+     * @param initial initial count
+     */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : maxVal((1u << bits) - 1), count(initial)
+    {
+        panic_if(bits == 0 || bits > 31, "bad counter width %u", bits);
+        panic_if(initial > maxVal, "initial value %u exceeds max %u",
+                 initial, maxVal);
+    }
+
+    /** Increment, saturating at the maximum. @return true if it moved. */
+    bool
+    increment()
+    {
+        if (count < maxVal) {
+            ++count;
+            return true;
+        }
+        return false;
+    }
+
+    /** Decrement, saturating at zero. @return true if it moved. */
+    bool
+    decrement()
+    {
+        if (count > 0) {
+            --count;
+            return true;
+        }
+        return false;
+    }
+
+    void reset(unsigned value = 0) { count = value > maxVal ? maxVal : value; }
+
+    bool isSaturated() const { return count == maxVal; }
+    bool isZero() const { return count == 0; }
+    unsigned value() const { return count; }
+    unsigned max() const { return maxVal; }
+
+  private:
+    unsigned maxVal = 1;
+    unsigned count = 0;
+};
+
+/**
+ * Signed saturating counter in [-2^(bits-1), 2^(bits-1)-1], as used by
+ * TAGE prediction counters. "Taken" is predicted when the value is >= 0.
+ */
+class SignedSatCounter
+{
+  public:
+    SignedSatCounter() = default;
+
+    explicit SignedSatCounter(unsigned bits, int initial = 0)
+        : minVal(-(1 << (bits - 1))), maxVal((1 << (bits - 1)) - 1),
+          count(initial)
+    {
+        panic_if(bits < 1 || bits > 31, "bad counter width %u", bits);
+        panic_if(initial < minVal || initial > maxVal,
+                 "initial value %d out of range", initial);
+    }
+
+    /** Move the counter toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        if (taken) {
+            if (count < maxVal)
+                ++count;
+        } else {
+            if (count > minVal)
+                --count;
+        }
+    }
+
+    bool predictTaken() const { return count >= 0; }
+
+    /**
+     * Weak counter check: -1 or 0 (the two central states). Newly
+     * allocated TAGE entries start weak.
+     */
+    bool isWeak() const { return count == 0 || count == -1; }
+
+    /** Saturated in either direction: the highest-confidence states. */
+    bool isSaturated() const { return count == minVal || count == maxVal; }
+
+    void reset(int value) { count = value; }
+    int value() const { return count; }
+    int min() const { return minVal; }
+    int max() const { return maxVal; }
+
+  private:
+    int minVal = -2;
+    int maxVal = 1;
+    int count = 0;
+};
+
+} // namespace eole
+
+#endif // EOLE_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Lightweight statistics recording.
+ *
+ * Hot simulator code updates plain uint64_t members of per-module stats
+ * structs; each struct exposes its members through record(), which
+ * produces a named StatRecord used for dumping, CSV export and test
+ * assertions. Derived metrics (rates, IPC) are computed at record time.
+ */
+
+#ifndef EOLE_COMMON_STATS_HH
+#define EOLE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eole {
+
+/** Ordered list of (name, value) pairs produced by a stats struct. */
+class StatRecord
+{
+  public:
+    void
+    add(const std::string &name, double value)
+    {
+        entries.emplace_back(name, value);
+    }
+
+    /** Merge another record under a prefix, e.g. "l1d.". */
+    void
+    addAll(const std::string &prefix, const StatRecord &other)
+    {
+        for (const auto &[name, value] : other.entries)
+            entries.emplace_back(prefix + name, value);
+    }
+
+    /** Look up a stat by exact name; returns 0 if absent. */
+    double
+    get(const std::string &name) const
+    {
+        for (const auto &[n, v] : entries) {
+            if (n == name)
+                return v;
+        }
+        return 0.0;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        for (const auto &[n, v] : entries) {
+            if (n == name)
+                return true;
+        }
+        return false;
+    }
+
+    const std::vector<std::pair<std::string, double>> &
+    all() const
+    {
+        return entries;
+    }
+
+    /** Human-readable aligned dump. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, value] : entries) {
+            os << name;
+            for (size_t i = name.size(); i < 44; ++i)
+                os << ' ';
+            os << value << '\n';
+        }
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> entries;
+};
+
+/** Safe ratio helper: returns 0 when the denominator is 0. */
+inline double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace eole
+
+#endif // EOLE_COMMON_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the EOLE simulator.
+ */
+
+#ifndef EOLE_COMMON_TYPES_HH
+#define EOLE_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace eole {
+
+/** Byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Absolute cycle count since simulation start. */
+using Cycle = std::uint64_t;
+
+/** Dynamic instruction sequence number (monotonically increasing). */
+using SeqNum = std::uint64_t;
+
+/** Architectural or physical register index. */
+using RegIndex = std::uint16_t;
+
+/** 64-bit register value; FP values are stored bit-punned. */
+using RegVal = std::uint64_t;
+
+/** Sentinel for "no register". */
+constexpr RegIndex invalidReg = std::numeric_limits<RegIndex>::max();
+
+/** Sentinel for "no cycle scheduled". */
+constexpr Cycle invalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel sequence number (greater than any real one). */
+constexpr SeqNum invalidSeqNum = std::numeric_limits<SeqNum>::max();
+
+/** Register file class. The paper renames INT and FP separately. */
+enum class RegClass : std::uint8_t { Int = 0, Fp = 1 };
+
+constexpr int numRegClasses = 2;
+
+} // namespace eole
+
+#endif // EOLE_COMMON_TYPES_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Early Execution block (§3.2 of the paper).
+ *
+ * A rank of simple ALUs beside Rename executes single-cycle ALU µ-ops
+ * whose operands are available in the front end. Per the paper,
+ * operands are NEVER read from the PRF; they come only from
+ *   - immediates (from Decode),
+ *   - the value predictor (predictions of producers in the same or
+ *     previous rename group travel with the group through the EE
+ *     units), and
+ *   - the local bypass network (results early-executed in the same
+ *     group -- the in-stage cascade of Fig 3 -- or in the previous
+ *     group; the bypass does not span further, footnote 3).
+ *
+ * Early-executed µ-ops skip the OoO scheduler entirely; their results
+ * (and all used predictions) are written to the PRF at Dispatch.
+ *
+ * The optional second ALU stage (Fig 2's "2 ALU stages" experiment)
+ * gives non-executed µ-ops a second chance one stage later, seeing the
+ * first stage's results of the same group.
+ */
+
+#ifndef EOLE_CORE_EARLY_EXEC_HH
+#define EOLE_CORE_EARLY_EXEC_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace eole {
+
+/**
+ * Tracks front-end operand availability across rename groups. Keys are
+ * (register class, physical register); values are the bypassed or
+ * predicted operand values.
+ */
+class EarlyExecBlock
+{
+  public:
+    explicit EarlyExecBlock(int stages = 1) : numStages(stages) {}
+
+    int stages() const { return numStages; }
+
+    /** Start a new rename group: the previous group's outputs remain
+     *  visible on the local bypass; older ones disappear. */
+    void
+    beginGroup()
+    {
+        prev = std::move(curr);
+        curr.clear();
+    }
+
+    /** Drop all bypass state (pipeline squash). */
+    void
+    reset()
+    {
+        prev.clear();
+        curr.clear();
+    }
+
+    /**
+     * Is the operand (cls, phys) available to Early Execution?
+     * @param value_out filled with the operand value when available
+     */
+    bool
+    available(RegClass cls, RegIndex phys, RegVal &value_out) const
+    {
+        const std::uint32_t k = keyOf(cls, phys);
+        if (auto it = curr.find(k); it != curr.end()) {
+            value_out = it->second;
+            return true;
+        }
+        if (auto it = prev.find(k); it != prev.end()) {
+            value_out = it->second;
+            return true;
+        }
+        return false;
+    }
+
+    /** Publish a value (EE result or used prediction) for consumers in
+     *  this and the next rename group. */
+    void
+    publish(RegClass cls, RegIndex phys, RegVal value)
+    {
+        curr[keyOf(cls, phys)] = value;
+    }
+
+  private:
+    static std::uint32_t
+    keyOf(RegClass cls, RegIndex phys)
+    {
+        return (static_cast<std::uint32_t>(cls) << 16) | phys;
+    }
+
+    int numStages;
+    std::unordered_map<std::uint32_t, RegVal> prev;
+    std::unordered_map<std::uint32_t, RegVal> curr;
+};
+
+} // namespace eole
+
+#endif // EOLE_CORE_EARLY_EXEC_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * PRF bank write/read port accounting for EOLE (§6.3 of the paper).
+ *
+ * Two port classes are constrained (a value of 0 means unconstrained):
+ *  - EE/prediction write ports per bank, consumed at Dispatch when
+ *    Early-Execution results and used predictions are written;
+ *  - LE/VT read ports per bank, consumed in the pre-commit stage by
+ *    Late Execution operand reads, validation reads of predicted
+ *    results, and predictor-training reads of VP-eligible results
+ *    (Fig 11 sweeps 2/3/4 ports per bank).
+ *
+ * The OoO engine's own ports are not constrained: the paper sizes them
+ * by issue width, which the configurations vary directly.
+ */
+
+#ifndef EOLE_CORE_PORT_MODEL_HH
+#define EOLE_CORE_PORT_MODEL_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace eole {
+
+class PrfPortModel
+{
+  public:
+    /**
+     * @param num_banks PRF banks (per register class; banks are
+     *        mirrored across INT/FP files as in the paper's layout)
+     * @param ee_writes_per_bank 0 = unconstrained
+     * @param levt_reads_per_bank 0 = unconstrained
+     */
+    PrfPortModel(int num_banks, int ee_writes_per_bank,
+                 int levt_reads_per_bank)
+        : banks(num_banks), eeWriteLimit(ee_writes_per_bank),
+          levtReadLimit(levt_reads_per_bank), eeWrites(num_banks, 0),
+          levtReads(num_banks, 0)
+    {
+    }
+
+    void
+    newCycle()
+    {
+        std::fill(eeWrites.begin(), eeWrites.end(), 0);
+        std::fill(levtReads.begin(), levtReads.end(), 0);
+    }
+
+    /** Try to consume one EE/prediction write port on @p bank. */
+    bool
+    tryEeWrite(int bank)
+    {
+        panic_if(bank < 0 || bank >= banks, "bad bank %d", bank);
+        if (eeWriteLimit != 0 && eeWrites[bank] >= eeWriteLimit)
+            return false;
+        ++eeWrites[bank];
+        return true;
+    }
+
+    /**
+     * Try to consume LE/VT read ports for a set of bank demands
+     * atomically (all or nothing).
+     *
+     * @param bank_needs one entry per required read (bank index)
+     * @param count number of valid entries
+     */
+    bool
+    tryLevtReads(const int *bank_needs, int count)
+    {
+        if (levtReadLimit == 0)
+            return true;
+        // Two-phase: check then consume.
+        for (int b = 0; b < banks; ++b)
+            scratch_needs(b) = 0;
+        for (int i = 0; i < count; ++i)
+            ++scratch_needs(bank_needs[i]);
+        for (int b = 0; b < banks; ++b) {
+            if (levtReads[b] + scratch_needs(b) > levtReadLimit)
+                return false;
+        }
+        for (int b = 0; b < banks; ++b)
+            levtReads[b] += scratch_needs(b);
+        return true;
+    }
+
+    int numBanks() const { return banks; }
+
+  private:
+    int &scratch_needs(int b) { return scratch[static_cast<size_t>(b)]; }
+
+    int banks;
+    int eeWriteLimit;
+    int levtReadLimit;
+    std::vector<int> eeWrites;
+    std::vector<int> levtReads;
+    std::vector<int> scratch = std::vector<int>(64, 0);
+};
+
+} // namespace eole
+
+#endif // EOLE_CORE_PORT_MODEL_HH

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * A tiny in-process assembler used to author workload kernels in C++.
+ *
+ * Typical use:
+ * @code
+ *     Assembler a;
+ *     IntReg i = 5, n = 6, base = 7, t = 8;
+ *     Label loop = a.newLabel();
+ *     a.movi(i, 0);
+ *     a.bind(loop);
+ *     a.ld(t, base, 0);
+ *     a.addi(i, i, 1);
+ *     a.bne(i, n, loop);
+ *     a.halt();
+ *     Program p = a.finish();
+ * @endcode
+ */
+
+#ifndef EOLE_ISA_ASSEMBLER_HH
+#define EOLE_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/static_inst.hh"
+
+namespace eole {
+
+/** Typed integer-register handle (0..31; register 0 reads as zero). */
+struct IntReg
+{
+    RegIndex idx;
+    constexpr IntReg(int i = 0) : idx(static_cast<RegIndex>(i)) {}
+};
+
+/** Typed FP-register handle (0..31). */
+struct FpReg
+{
+    RegIndex idx;
+    constexpr FpReg(int i = 0) : idx(static_cast<RegIndex>(i)) {}
+};
+
+/** Forward-referencable code label. */
+struct Label
+{
+    std::int32_t id = -1;
+};
+
+/**
+ * Builder for Program objects. All emit methods append one µ-op;
+ * branch targets may be labels bound before or after the branch.
+ */
+class Assembler
+{
+  public:
+    Label
+    newLabel()
+    {
+        Label l{static_cast<std::int32_t>(labelPos.size())};
+        labelPos.push_back(-1);
+        return l;
+    }
+
+    /** Bind @p l to the next emitted instruction. */
+    void
+    bind(Label l)
+    {
+        panic_if(labelPos.at(l.id) != -1, "label %d bound twice", l.id);
+        labelPos.at(l.id) = static_cast<std::int32_t>(code.size());
+    }
+
+    /** Current instruction index (for size accounting in tests). */
+    std::size_t here() const { return code.size(); }
+
+    // --- Integer ALU, register-register ---
+    void add(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Add, d, a, b); }
+    void sub(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Sub, d, a, b); }
+    void and_(IntReg d, IntReg a, IntReg b) { rrr(Opcode::And, d, a, b); }
+    void or_(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Or, d, a, b); }
+    void xor_(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Xor, d, a, b); }
+    void shl(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Shl, d, a, b); }
+    void shr(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Shr, d, a, b); }
+    void sar(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Sar, d, a, b); }
+    void slt(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Slt, d, a, b); }
+    void sltu(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Sltu, d, a, b); }
+    void mov(IntReg d, IntReg a) { rr(Opcode::Mov, d, a); }
+
+    // --- Integer ALU, register-immediate ---
+    void addi(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Addi, d, a, i); }
+    void andi(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Andi, d, a, i); }
+    void ori(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Ori, d, a, i); }
+    void xori(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Xori, d, a, i); }
+    void shli(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Shli, d, a, i); }
+    void shri(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Shri, d, a, i); }
+    void sari(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Sari, d, a, i); }
+    void slti(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Slti, d, a, i); }
+
+    void
+    movi(IntReg d, std::int64_t i)
+    {
+        StaticInst s;
+        s.opc = Opcode::Movi;
+        s.dst = d.idx;
+        s.imm = i;
+        code.push_back(s);
+    }
+
+    /** Materialize the byte-PC of @p l into @p d (for indirect jumps). */
+    void
+    lea(IntReg d, Label l)
+    {
+        StaticInst s;
+        s.opc = Opcode::Movi;
+        s.dst = d.idx;
+        code.push_back(s);
+        immFixups.emplace_back(code.size() - 1, l.id);
+    }
+
+    // --- Multi-cycle integer ---
+    void mul(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Mul, d, a, b); }
+    void div(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Div, d, a, b); }
+    void rem(IntReg d, IntReg a, IntReg b) { rrr(Opcode::Rem, d, a, b); }
+
+    // --- Floating point ---
+    void fadd(FpReg d, FpReg a, FpReg b) { fff(Opcode::Fadd, d, a, b); }
+    void fsub(FpReg d, FpReg a, FpReg b) { fff(Opcode::Fsub, d, a, b); }
+    void fmul(FpReg d, FpReg a, FpReg b) { fff(Opcode::Fmul, d, a, b); }
+    void fdiv(FpReg d, FpReg a, FpReg b) { fff(Opcode::Fdiv, d, a, b); }
+    void fmin(FpReg d, FpReg a, FpReg b) { fff(Opcode::Fmin, d, a, b); }
+    void fmax(FpReg d, FpReg a, FpReg b) { fff(Opcode::Fmax, d, a, b); }
+
+    void
+    fmov(FpReg d, FpReg a)
+    {
+        StaticInst s;
+        s.opc = Opcode::Fmov;
+        s.dst = d.idx;
+        s.src1 = a.idx;
+        code.push_back(s);
+    }
+
+    /** Convert int register to FP register. */
+    void
+    fcvtif(FpReg d, IntReg a)
+    {
+        StaticInst s;
+        s.opc = Opcode::Fcvtif;
+        s.dst = d.idx;
+        s.src1 = a.idx;
+        code.push_back(s);
+    }
+
+    /** Convert FP register to int register. */
+    void
+    fcvtfi(IntReg d, FpReg a)
+    {
+        StaticInst s;
+        s.opc = Opcode::Fcvtfi;
+        s.dst = d.idx;
+        s.src1 = a.idx;
+        code.push_back(s);
+    }
+
+    // --- Memory ---
+    /** Integer load of @p size bytes (zero-extended) from base+off. */
+    void
+    ld(IntReg d, IntReg base, std::int64_t off, std::uint8_t size = 8)
+    {
+        StaticInst s;
+        s.opc = Opcode::Ld;
+        s.dst = d.idx;
+        s.src1 = base.idx;
+        s.imm = off;
+        s.memSize = size;
+        code.push_back(s);
+    }
+
+    /** FP load (8 bytes). */
+    void
+    lfd(FpReg d, IntReg base, std::int64_t off)
+    {
+        StaticInst s;
+        s.opc = Opcode::Lfd;
+        s.dst = d.idx;
+        s.src1 = base.idx;
+        s.imm = off;
+        s.memSize = 8;
+        code.push_back(s);
+    }
+
+    /** Integer store of @p size bytes to base+off. */
+    void
+    st(IntReg data, IntReg base, std::int64_t off, std::uint8_t size = 8)
+    {
+        StaticInst s;
+        s.opc = Opcode::St;
+        s.src1 = base.idx;
+        s.src2 = data.idx;
+        s.imm = off;
+        s.memSize = size;
+        code.push_back(s);
+    }
+
+    /** FP store (8 bytes). */
+    void
+    sfd(FpReg data, IntReg base, std::int64_t off)
+    {
+        StaticInst s;
+        s.opc = Opcode::Sfd;
+        s.src1 = base.idx;
+        s.src2 = data.idx;
+        s.imm = off;
+        s.memSize = 8;
+        code.push_back(s);
+    }
+
+    // --- Control flow ---
+    void beq(IntReg a, IntReg b, Label t) { br(Opcode::Beq, a, b, t); }
+    void bne(IntReg a, IntReg b, Label t) { br(Opcode::Bne, a, b, t); }
+    void blt(IntReg a, IntReg b, Label t) { br(Opcode::Blt, a, b, t); }
+    void bge(IntReg a, IntReg b, Label t) { br(Opcode::Bge, a, b, t); }
+    void bltu(IntReg a, IntReg b, Label t) { br(Opcode::Bltu, a, b, t); }
+    void bgeu(IntReg a, IntReg b, Label t) { br(Opcode::Bgeu, a, b, t); }
+
+    void
+    jmp(Label t)
+    {
+        StaticInst s;
+        s.opc = Opcode::Jmp;
+        code.push_back(s);
+        fixups.emplace_back(code.size() - 1, t.id);
+    }
+
+    /** Indirect jump through a register holding a byte PC. */
+    void
+    jr(IntReg a)
+    {
+        StaticInst s;
+        s.opc = Opcode::Jr;
+        s.src1 = a.idx;
+        code.push_back(s);
+    }
+
+    /** Call: pushes the return byte-PC into the link register (x31). */
+    void
+    call(Label t)
+    {
+        StaticInst s;
+        s.opc = Opcode::Call;
+        s.dst = linkReg;
+        code.push_back(s);
+        fixups.emplace_back(code.size() - 1, t.id);
+    }
+
+    /** Return through the link register (x31). */
+    void
+    ret()
+    {
+        StaticInst s;
+        s.opc = Opcode::Ret;
+        s.src1 = linkReg;
+        code.push_back(s);
+    }
+
+    void
+    nop()
+    {
+        code.push_back(StaticInst{});
+    }
+
+    void
+    halt()
+    {
+        StaticInst s;
+        s.opc = Opcode::Halt;
+        code.push_back(s);
+    }
+
+    /** Resolve labels and return the finished program. */
+    Program
+    finish()
+    {
+        for (const auto &[pos, label] : fixups) {
+            const std::int32_t tgt = labelPos.at(label);
+            panic_if(tgt < 0, "label %d never bound", label);
+            code[pos].target = tgt;
+        }
+        for (const auto &[pos, label] : immFixups) {
+            const std::int32_t tgt = labelPos.at(label);
+            panic_if(tgt < 0, "label %d never bound", label);
+            code[pos].imm = static_cast<std::int64_t>(
+                Program::pcOf(static_cast<std::size_t>(tgt)));
+        }
+        Program p;
+        p.code = std::move(code);
+        return p;
+    }
+
+  private:
+    void
+    rrr(Opcode o, IntReg d, IntReg a, IntReg b)
+    {
+        StaticInst s;
+        s.opc = o;
+        s.dst = d.idx;
+        s.src1 = a.idx;
+        s.src2 = b.idx;
+        code.push_back(s);
+    }
+
+    void
+    rr(Opcode o, IntReg d, IntReg a)
+    {
+        StaticInst s;
+        s.opc = o;
+        s.dst = d.idx;
+        s.src1 = a.idx;
+        code.push_back(s);
+    }
+
+    void
+    rri(Opcode o, IntReg d, IntReg a, std::int64_t i)
+    {
+        StaticInst s;
+        s.opc = o;
+        s.dst = d.idx;
+        s.src1 = a.idx;
+        s.imm = i;
+        code.push_back(s);
+    }
+
+    void
+    fff(Opcode o, FpReg d, FpReg a, FpReg b)
+    {
+        StaticInst s;
+        s.opc = o;
+        s.dst = d.idx;
+        s.src1 = a.idx;
+        s.src2 = b.idx;
+        code.push_back(s);
+    }
+
+    void
+    br(Opcode o, IntReg a, IntReg b, Label t)
+    {
+        StaticInst s;
+        s.opc = o;
+        s.src1 = a.idx;
+        s.src2 = b.idx;
+        code.push_back(s);
+        fixups.emplace_back(code.size() - 1, t.id);
+    }
+
+    std::vector<StaticInst> code;
+    std::vector<std::int32_t> labelPos;
+    std::vector<std::pair<std::size_t, std::int32_t>> fixups;
+    std::vector<std::pair<std::size_t, std::int32_t>> immFixups;
+};
+
+} // namespace eole
+
+#endif // EOLE_ISA_ASSEMBLER_HH

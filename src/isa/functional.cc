@@ -1,0 +1,158 @@
+#include "isa/functional.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace eole {
+
+namespace {
+
+std::int64_t asSigned(RegVal v) { return static_cast<std::int64_t>(v); }
+
+} // namespace
+
+RegVal
+execAlu(Opcode opc, RegVal a, RegVal b, std::int64_t imm)
+{
+    switch (opc) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl: return a << (b & 63);
+      case Opcode::Shr: return a >> (b & 63);
+      case Opcode::Sar:
+        return static_cast<RegVal>(asSigned(a) >> (b & 63));
+      case Opcode::Slt: return asSigned(a) < asSigned(b) ? 1 : 0;
+      case Opcode::Sltu: return a < b ? 1 : 0;
+      case Opcode::Mov: return a;
+
+      case Opcode::Addi: return a + static_cast<RegVal>(imm);
+      case Opcode::Andi: return a & static_cast<RegVal>(imm);
+      case Opcode::Ori: return a | static_cast<RegVal>(imm);
+      case Opcode::Xori: return a ^ static_cast<RegVal>(imm);
+      case Opcode::Shli: return a << (imm & 63);
+      case Opcode::Shri: return a >> (imm & 63);
+      case Opcode::Sari:
+        return static_cast<RegVal>(asSigned(a) >> (imm & 63));
+      case Opcode::Slti: return asSigned(a) < imm ? 1 : 0;
+      case Opcode::Movi: return static_cast<RegVal>(imm);
+
+      case Opcode::Mul: return a * b;
+      case Opcode::Div:
+        // Division by zero is defined (no trap modeling): result 0.
+        if (b == 0)
+            return 0;
+        // Avoid the INT64_MIN / -1 overflow trap.
+        if (a == 0x8000000000000000ULL && b == static_cast<RegVal>(-1))
+            return a;
+        return static_cast<RegVal>(asSigned(a) / asSigned(b));
+      case Opcode::Rem:
+        if (b == 0)
+            return a;
+        if (a == 0x8000000000000000ULL && b == static_cast<RegVal>(-1))
+            return 0;
+        return static_cast<RegVal>(asSigned(a) % asSigned(b));
+
+      case Opcode::Fadd: return fromDouble(toDouble(a) + toDouble(b));
+      case Opcode::Fsub: return fromDouble(toDouble(a) - toDouble(b));
+      case Opcode::Fmul: return fromDouble(toDouble(a) * toDouble(b));
+      case Opcode::Fdiv: return fromDouble(toDouble(a) / toDouble(b));
+      case Opcode::Fmin:
+        return fromDouble(std::fmin(toDouble(a), toDouble(b)));
+      case Opcode::Fmax:
+        return fromDouble(std::fmax(toDouble(a), toDouble(b)));
+      case Opcode::Fmov: return a;
+      case Opcode::Fcvtif:
+        return fromDouble(static_cast<double>(asSigned(a)));
+      case Opcode::Fcvtfi: {
+        const double d = toDouble(a);
+        if (std::isnan(d))
+            return 0;
+        if (d >= 9.2233720368547758e18)
+            return 0x7fffffffffffffffULL;
+        if (d <= -9.2233720368547758e18)
+            return 0x8000000000000000ULL;
+        return static_cast<RegVal>(static_cast<std::int64_t>(d));
+      }
+
+      default:
+        panic("execAlu called on non-ALU opcode %s", opcodeName(opc));
+    }
+}
+
+bool
+evalCondBranch(Opcode opc, RegVal a, RegVal b)
+{
+    switch (opc) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt: return asSigned(a) < asSigned(b);
+      case Opcode::Bge: return asSigned(a) >= asSigned(b);
+      case Opcode::Bltu: return a < b;
+      case Opcode::Bgeu: return a >= b;
+      default:
+        panic("evalCondBranch called on %s", opcodeName(opc));
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Sar: return "sar";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Mov: return "mov";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Shli: return "shli";
+      case Opcode::Shri: return "shri";
+      case Opcode::Sari: return "sari";
+      case Opcode::Slti: return "slti";
+      case Opcode::Movi: return "movi";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fsub: return "fsub";
+      case Opcode::Fmin: return "fmin";
+      case Opcode::Fmax: return "fmax";
+      case Opcode::Fmov: return "fmov";
+      case Opcode::Fcvtif: return "fcvtif";
+      case Opcode::Fcvtfi: return "fcvtfi";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fdiv: return "fdiv";
+      case Opcode::Ld: return "ld";
+      case Opcode::Lfd: return "lfd";
+      case Opcode::St: return "st";
+      case Opcode::Sfd: return "sfd";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jr: return "jr";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      default: return "???";
+    }
+}
+
+} // namespace eole

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Pure functional semantics of the µ-op ISA.
+ *
+ * Both the functional KernelVM and the timing simulator's execution
+ * units call these helpers, so there is a single source of truth for
+ * instruction semantics (the lockstep oracle check in the timing core
+ * relies on this).
+ */
+
+#ifndef EOLE_ISA_FUNCTIONAL_HH
+#define EOLE_ISA_FUNCTIONAL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "isa/opcodes.hh"
+#include "isa/static_inst.hh"
+
+namespace eole {
+
+inline double toDouble(RegVal v) { return std::bit_cast<double>(v); }
+inline RegVal fromDouble(double d) { return std::bit_cast<RegVal>(d); }
+
+/**
+ * Compute the result of a non-memory, non-branch µ-op.
+ *
+ * @param opc the opcode
+ * @param a value of src1 (0 if absent)
+ * @param b value of src2 (0 if absent)
+ * @param imm immediate operand
+ * @return the 64-bit result (FP results bit-punned)
+ */
+RegVal execAlu(Opcode opc, RegVal a, RegVal b, std::int64_t imm);
+
+/**
+ * Evaluate a conditional branch.
+ *
+ * @return true if the branch is taken.
+ */
+bool evalCondBranch(Opcode opc, RegVal a, RegVal b);
+
+/** Effective address of a load/store: base + immediate offset. */
+inline Addr
+effectiveAddr(RegVal base, std::int64_t imm)
+{
+    return base + static_cast<Addr>(imm);
+}
+
+} // namespace eole
+
+#endif // EOLE_ISA_FUNCTIONAL_HH

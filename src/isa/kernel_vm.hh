@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The KernelVM: functional execution of workload kernels.
+ *
+ * The VM owns the simulated architectural state (integer/FP registers
+ * and a flat byte-addressed memory) and executes a Program one µ-op at
+ * a time, emitting TraceUop records that the timing simulator consumes.
+ */
+
+#ifndef EOLE_ISA_KERNEL_VM_HH
+#define EOLE_ISA_KERNEL_VM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/static_inst.hh"
+#include "isa/trace.hh"
+
+namespace eole {
+
+/**
+ * Functional simulator for one kernel. Memory is lazily zero-initialized
+ * and bounded by memBytes; all accesses must stay within bounds (kernels
+ * are trusted code authored in this repository, so out-of-bounds is a
+ * panic, not an architectural event).
+ */
+class KernelVM
+{
+  public:
+    /**
+     * @param program the kernel to execute (not owned; must outlive VM)
+     * @param mem_bytes size of simulated data memory
+     */
+    KernelVM(const Program &program, std::size_t mem_bytes);
+
+    /**
+     * Execute one µ-op.
+     *
+     * @param out filled with the dynamic record of the executed µ-op
+     * @retval false if the machine has halted (out is not filled)
+     */
+    bool step(TraceUop &out);
+
+    bool halted() const { return isHalted; }
+    std::uint64_t executedUops() const { return uopCount; }
+
+    // --- Architectural state accessors (workload setup & tests) ---
+    RegVal readIntReg(RegIndex r) const { return r == 0 ? 0 : intRegs[r]; }
+    RegVal readFpReg(RegIndex r) const { return fpRegs[r]; }
+
+    void
+    setIntReg(RegIndex r, RegVal v)
+    {
+        if (r != 0)
+            intRegs[r] = v;
+    }
+
+    void setFpReg(RegIndex r, RegVal v) { fpRegs[r] = v; }
+
+    /** Little-endian read of @p size bytes at @p addr. */
+    RegVal readMem(Addr addr, unsigned size) const;
+    /** Little-endian write of @p size bytes at @p addr. */
+    void writeMem(Addr addr, unsigned size, RegVal value);
+
+    std::size_t memSize() const { return mem.size(); }
+
+    /** Current program counter, as a static instruction index. */
+    std::size_t pcIndex() const { return pc; }
+
+  private:
+    const Program &prog;
+    std::vector<std::uint8_t> mem;
+    RegVal intRegs[numArchIntRegs] = {};
+    RegVal fpRegs[numArchFpRegs] = {};
+    std::size_t pc = 0;
+    std::uint64_t uopCount = 0;
+    bool isHalted = false;
+};
+
+} // namespace eole
+
+#endif // EOLE_ISA_KERNEL_VM_HH

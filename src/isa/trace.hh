@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamic micro-op trace record: the interface between the functional
+ * KernelVM (which produces the architecturally-correct stream) and the
+ * timing simulator (which consumes it).
+ */
+
+#ifndef EOLE_ISA_TRACE_HH
+#define EOLE_ISA_TRACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+#include "isa/static_inst.hh"
+
+namespace eole {
+
+/**
+ * One dynamic µ-op as executed by the functional machine. The srcVals /
+ * result fields are the *oracle* values: the timing core recomputes
+ * everything through its renamed dataflow and checks itself against the
+ * oracle at commit.
+ */
+struct TraceUop
+{
+    Addr pc = 0;                //!< byte PC
+    std::uint32_t sidx = 0;     //!< static instruction index
+    Opcode opc = Opcode::Nop;
+    RegIndex dst = invalidReg;
+    RegIndex src1 = invalidReg;
+    RegIndex src2 = invalidReg;
+    std::int64_t imm = 0;
+    std::uint8_t memSize = 8;
+
+    RegVal srcVals[2] = {0, 0}; //!< oracle source values
+    RegVal result = 0;          //!< oracle result (load value for loads,
+                                //!< store data for stores)
+    Addr effAddr = 0;           //!< oracle effective address (ld/st)
+
+    bool taken = false;         //!< branch outcome
+    Addr nextPc = 0;            //!< architectural next byte-PC
+
+    RegClass dstClass = RegClass::Int;
+    RegClass srcClass[2] = {RegClass::Int, RegClass::Int};
+
+    OpClass opClass() const { return opClassOf(opc); }
+    bool isLoad() const { return isLoadOp(opc); }
+    bool isStore() const { return isStoreOp(opc); }
+    bool isBranch() const { return isBranchOp(opc); }
+    bool isCondBr() const { return isCondBranch(opc); }
+    bool isCall() const { return isCallOp(opc); }
+    bool isRet() const { return isRetOp(opc); }
+    bool isIndirect() const { return isIndirectOp(opc); }
+    bool hasDst() const { return dst != invalidReg; }
+
+    /**
+     * Value-prediction eligibility (§4.2 of the paper): the µ-op
+     * produces a result of 64 bits or less that can be read by a
+     * subsequent µ-op. In this ISA that is every register-writing µ-op.
+     */
+    bool vpEligible() const { return hasDst(); }
+
+    /** Number of register source operands actually used. */
+    int
+    numSrcs() const
+    {
+        return (src1 != invalidReg ? 1 : 0) + (src2 != invalidReg ? 1 : 0);
+    }
+};
+
+} // namespace eole
+
+#endif // EOLE_ISA_TRACE_HH

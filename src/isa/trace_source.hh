@@ -1,0 +1,129 @@
+/**
+ * @file
+ * TraceSource: on-demand generation of the dynamic µ-op stream with
+ * rewind support.
+ *
+ * The timing simulator is trace-driven: it fetches the architecturally
+ * correct path from this source. On a squash (branch/value misprediction
+ * or memory-order violation) the front end rewinds to the first squashed
+ * µ-op and re-fetches the same correct-path stream. Committed µ-ops are
+ * retired from the replay window.
+ */
+
+#ifndef EOLE_ISA_TRACE_SOURCE_HH
+#define EOLE_ISA_TRACE_SOURCE_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/logging.hh"
+#include "isa/kernel_vm.hh"
+#include "isa/trace.hh"
+
+namespace eole {
+
+/**
+ * Sequence-numbered µ-op stream backed by a KernelVM. Sequence numbers
+ * start at 1 and are dense. The window of µ-ops between the oldest
+ * non-retired and the newest generated is kept for replay.
+ */
+class TraceSource
+{
+  public:
+    /**
+     * @param program kernel program (copied; self-contained source)
+     * @param mem_bytes VM data-memory size
+     * @param init one-time architectural state initializer
+     */
+    TraceSource(Program program, std::size_t mem_bytes,
+                const std::function<void(KernelVM &)> &init)
+        : prog(std::make_unique<Program>(std::move(program))),
+          vm(std::make_unique<KernelVM>(*prog, mem_bytes))
+    {
+        if (init)
+            init(*vm);
+    }
+
+    /** Is a µ-op available at the cursor? */
+    bool
+    hasNext()
+    {
+        fill();
+        return cursor < window.size();
+    }
+
+    /** Sequence number the next fetch() will return. */
+    SeqNum nextSeq() const { return baseSeq + cursor; }
+
+    /** Peek the µ-op at the cursor without consuming it. */
+    const TraceUop &
+    peek()
+    {
+        fill();
+        panic_if(cursor >= window.size(), "peek past end of trace");
+        return window[cursor];
+    }
+
+    /** Consume and return the µ-op at the cursor. */
+    const TraceUop &
+    fetch()
+    {
+        fill();
+        panic_if(cursor >= window.size(), "fetch past end of trace");
+        return window[cursor++];
+    }
+
+    /**
+     * Rewind so that the next fetch returns sequence number @p seq.
+     * @p seq must still be inside the replay window.
+     */
+    void
+    rewindTo(SeqNum seq)
+    {
+        panic_if(seq < baseSeq || seq > baseSeq + window.size(),
+                 "rewind to %llu outside window [%llu, %llu]",
+                 (unsigned long long)seq, (unsigned long long)baseSeq,
+                 (unsigned long long)(baseSeq + window.size()));
+        cursor = static_cast<std::size_t>(seq - baseSeq);
+    }
+
+    /** Retire (drop) all window entries with sequence number <= @p seq. */
+    void
+    retireUpTo(SeqNum seq)
+    {
+        while (!window.empty() && baseSeq <= seq) {
+            panic_if(cursor == 0, "retiring unfetched µ-op %llu",
+                     (unsigned long long)baseSeq);
+            window.pop_front();
+            ++baseSeq;
+            --cursor;
+        }
+    }
+
+    /** Total µ-ops generated so far (high-water mark). */
+    std::uint64_t generated() const { return vm->executedUops(); }
+
+    KernelVM &machine() { return *vm; }
+
+  private:
+    void
+    fill()
+    {
+        if (cursor < window.size() || vm->halted())
+            return;
+        TraceUop u;
+        if (vm->step(u))
+            window.push_back(u);
+    }
+
+    std::unique_ptr<Program> prog;
+    std::unique_ptr<KernelVM> vm;
+    std::deque<TraceUop> window;
+    SeqNum baseSeq = 1;    //!< sequence number of window[0]
+    std::size_t cursor = 0;
+};
+
+} // namespace eole
+
+#endif // EOLE_ISA_TRACE_SOURCE_HH

@@ -1,0 +1,178 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace eole {
+
+Cache::Cache(const CacheConfig &config, NextLevelFn next_level)
+    : cfg(config), next(std::move(next_level))
+{
+    fatal_if(cfg.sizeBytes % (cfg.lineBytes * cfg.ways) != 0,
+             "%s: size %u not divisible by ways*line", cfg.name.c_str(),
+             cfg.sizeBytes);
+    numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.ways);
+    fatal_if((numSets & (numSets - 1)) != 0, "%s: sets not a power of 2",
+             cfg.name.c_str());
+    lines.assign(static_cast<std::size_t>(numSets) * cfg.ways, Line{});
+}
+
+std::uint32_t
+Cache::setOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>(addr / cfg.lineBytes) & (numSets - 1);
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / cfg.lineBytes) / numSets;
+}
+
+Addr
+Cache::lineAddrOf(Addr addr) const
+{
+    return addr & ~static_cast<Addr>(cfg.lineBytes - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const std::uint32_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    for (int w = 0; w < cfg.ways; ++w) {
+        Line &l = lines[static_cast<std::size_t>(set) * cfg.ways + w];
+        if (l.valid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+void
+Cache::reapInflight(Cycle now)
+{
+    std::erase_if(inflight, [now](Cycle c) { return c <= now; });
+}
+
+Cycle
+Cache::fill(Addr addr, bool is_write, Cycle now)
+{
+    const std::uint32_t set = setOf(addr);
+    // Victim selection: prefer invalid, else LRU among filled lines
+    // (in-flight fills are not evictable).
+    Line *victim = nullptr;
+    for (int w = 0; w < cfg.ways; ++w) {
+        Line &l = lines[static_cast<std::size_t>(set) * cfg.ways + w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.readyAt > now)
+            continue;
+        if (victim == nullptr || l.lru < victim->lru)
+            victim = &l;
+    }
+    if (victim == nullptr) {
+        // Whole set is mid-fill: serialize behind the earliest fill.
+        Cycle earliest = invalidCycle;
+        for (int w = 0; w < cfg.ways; ++w) {
+            Line &l = lines[static_cast<std::size_t>(set) * cfg.ways + w];
+            earliest = std::min(earliest, l.readyAt);
+        }
+        ++statMshrStalls;
+        return earliest + cfg.latency;
+    }
+
+    if (victim->valid && victim->dirty) {
+        // Write back the victim (consumes next-level/DRAM bandwidth).
+        ++statWritebacks;
+        (void)next(victim->tag * numSets * cfg.lineBytes
+                       + static_cast<Addr>(setOf(addr)) * cfg.lineBytes,
+                   true, now);
+    }
+
+    const Cycle ready = next(lineAddrOf(addr), false, now + cfg.latency);
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->dirty = is_write;
+    victim->lru = ++lruClock;
+    victim->readyAt = ready;
+    if (ready > now)
+        inflight.push_back(ready);
+    return ready;
+}
+
+Cycle
+Cache::access(Addr addr, bool is_write, Cycle now)
+{
+    if (observer)
+        observer(addr, is_write, now);
+
+    Line *l = findLine(addr);
+    if (l != nullptr) {
+        l->lru = ++lruClock;
+        l->dirty = l->dirty || is_write;
+        if (l->readyAt > now) {
+            // Miss merged into an outstanding fill (MSHR hit).
+            ++statMshrMerges;
+            return l->readyAt + cfg.latency;
+        }
+        ++statHits;
+        return now + cfg.latency;
+    }
+
+    ++statMisses;
+    reapInflight(now);
+    if (static_cast<int>(inflight.size()) >= cfg.mshrs) {
+        // No MSHR free: stall until the earliest fill returns, then pay
+        // the full miss path.
+        const Cycle earliest =
+            *std::min_element(inflight.begin(), inflight.end());
+        ++statMshrStalls;
+        return fill(addr, is_write, earliest);
+    }
+    return fill(addr, is_write, now);
+}
+
+bool
+Cache::probe(Addr addr, Cycle now) const
+{
+    const Line *l = findLine(addr);
+    return l != nullptr && l->readyAt <= now;
+}
+
+Cycle
+Cache::prefetch(Addr addr, Cycle now)
+{
+    if (findLine(addr) != nullptr)
+        return now;
+    reapInflight(now);
+    if (static_cast<int>(inflight.size()) >= cfg.mshrs)
+        return now;
+    ++statPrefetches;
+    return fill(addr, false, now);
+}
+
+StatRecord
+Cache::record() const
+{
+    StatRecord r;
+    r.add("hits", static_cast<double>(statHits));
+    r.add("misses", static_cast<double>(statMisses));
+    r.add("miss_rate", ratio(double(statMisses),
+                             double(statMisses + statHits)));
+    r.add("mshr_merges", static_cast<double>(statMshrMerges));
+    r.add("mshr_stalls", static_cast<double>(statMshrStalls));
+    r.add("writebacks", static_cast<double>(statWritebacks));
+    r.add("prefetches", static_cast<double>(statPrefetches));
+    return r;
+}
+
+} // namespace eole

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Set-associative cache model with MSHRs and LRU replacement.
+ *
+ * The model is a timing oracle: access() returns the cycle at which the
+ * requested line is available at this level, allocating MSHRs and
+ * recursing into the next level on a miss. Contents are not stored
+ * (the simulator's dataflow carries values); only tags, LRU state,
+ * dirtiness and outstanding-miss bookkeeping are modeled.
+ */
+
+#ifndef EOLE_MEM_CACHE_HH
+#define EOLE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace eole {
+
+/** One cache level's geometry (Table 1 defaults belong to the caller). */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    int ways = 4;
+    std::uint32_t lineBytes = 64;
+    Cycle latency = 2;       //!< hit latency
+    int mshrs = 64;          //!< max outstanding misses
+};
+
+class Cache
+{
+  public:
+    /** Next-level access function: (lineAddr, isWrite, now) -> ready. */
+    using NextLevelFn = std::function<Cycle(Addr, bool, Cycle)>;
+
+    Cache(const CacheConfig &config, NextLevelFn next_level);
+
+    /**
+     * Access @p addr (any byte inside a line) at cycle @p now.
+     *
+     * @param is_write stores dirty the line (write-allocate/write-back)
+     * @return cycle at which the data is available at this level
+     */
+    Cycle access(Addr addr, bool is_write, Cycle now);
+
+    /** Is the line present and filled by cycle @p now? (no state change) */
+    bool probe(Addr addr, Cycle now) const;
+
+    /**
+     * Install a line without a demand requester (prefetch). Returns the
+     * fill-completion cycle; does nothing if the line is present or
+     * MSHRs are exhausted.
+     */
+    Cycle prefetch(Addr addr, Cycle now);
+
+    /** Demand-access observer (address, isWrite, now) for prefetchers. */
+    void
+    setAccessObserver(std::function<void(Addr, bool, Cycle)> obs)
+    {
+        observer = std::move(obs);
+    }
+
+    StatRecord record() const;
+
+    std::uint64_t hits() const { return statHits; }
+    std::uint64_t misses() const { return statMisses; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+        Cycle readyAt = 0;   //!< fill completion (MSHR semantics)
+    };
+
+    std::uint32_t setOf(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+    Addr lineAddrOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    /** Drop completed fills from the in-flight list. */
+    void reapInflight(Cycle now);
+    Cycle fill(Addr addr, bool is_write, Cycle now);
+
+    CacheConfig cfg;
+    NextLevelFn next;
+    std::function<void(Addr, bool, Cycle)> observer;
+    std::uint32_t numSets;
+    std::vector<Line> lines;
+    std::vector<Cycle> inflight;  //!< fill-completion times (<= mshrs)
+    std::uint64_t lruClock = 0;
+
+    std::uint64_t statHits = 0;
+    std::uint64_t statMisses = 0;
+    std::uint64_t statMshrMerges = 0;
+    std::uint64_t statMshrStalls = 0;
+    std::uint64_t statWritebacks = 0;
+    std::uint64_t statPrefetches = 0;
+};
+
+} // namespace eole
+
+#endif // EOLE_MEM_CACHE_HH

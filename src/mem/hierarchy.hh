@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The assembled memory hierarchy of Table 1: split L1I/L1D over a
+ * unified L2 with a stride prefetcher, backed by DDR3-like DRAM.
+ */
+
+#ifndef EOLE_MEM_HIERARCHY_HH
+#define EOLE_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/prefetcher.hh"
+
+namespace eole {
+
+struct MemConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 4, 64, 2, 64};
+    CacheConfig l1d{"l1d", 32 * 1024, 4, 64, 2, 64};
+    CacheConfig l2{"l2", 2 * 1024 * 1024, 16, 64, 12, 64};
+    DramConfig dram;
+    PrefetcherConfig prefetch;
+    bool prefetchEnabled = true;
+};
+
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemConfig &config = MemConfig{})
+        : dram(std::make_unique<Dram>(config.dram)),
+          l2(std::make_unique<Cache>(
+              config.l2,
+              [this](Addr a, bool w, Cycle t) {
+                  return dram->access(a, w, t);
+              })),
+          l1i(std::make_unique<Cache>(
+              config.l1i,
+              [this](Addr a, bool w, Cycle t) {
+                  return l2->access(a, w, t);
+              })),
+          l1d(std::make_unique<Cache>(
+              config.l1d,
+              [this](Addr a, bool w, Cycle t) {
+                  return l2->access(a, w, t);
+              })),
+          prefetcher(config.prefetch)
+    {
+        if (config.prefetchEnabled)
+            prefetcher.attach(l2.get());
+    }
+
+    // The level-linking lambdas capture `this`; relocation would leave
+    // them dangling.
+    MemHierarchy(const MemHierarchy &) = delete;
+    MemHierarchy &operator=(const MemHierarchy &) = delete;
+    MemHierarchy(MemHierarchy &&) = delete;
+    MemHierarchy &operator=(MemHierarchy &&) = delete;
+
+    /** Instruction fetch: one line access. */
+    Cycle
+    fetchAccess(Addr pc, Cycle now)
+    {
+        return l1i->access(pc, false, now);
+    }
+
+    /**
+     * Data load by the instruction at @p pc. The prefetcher observes
+     * the access (it is trained on L1D demand traffic and fills L2).
+     */
+    Cycle
+    loadAccess(Addr pc, Addr addr, Cycle now)
+    {
+        prefetcher.observe(pc, addr, now);
+        return l1d->access(addr, false, now);
+    }
+
+    /** Data store (performed at/after commit; see DESIGN.md). */
+    Cycle
+    storeAccess(Addr pc, Addr addr, Cycle now)
+    {
+        prefetcher.observe(pc, addr, now);
+        return l1d->access(addr, true, now);
+    }
+
+    Cache &l1iCache() { return *l1i; }
+    Cache &l1dCache() { return *l1d; }
+    Cache &l2Cache() { return *l2; }
+    Dram &dramCtrl() { return *dram; }
+
+    StatRecord
+    record() const
+    {
+        StatRecord r;
+        r.addAll("l1i.", l1i->record());
+        r.addAll("l1d.", l1d->record());
+        r.addAll("l2.", l2->record());
+        r.add("dram.reads", static_cast<double>(dram->readCount()));
+        r.add("dram.writes", static_cast<double>(dram->writeCount()));
+        r.add("prefetches_issued",
+              static_cast<double>(prefetcher.issuedCount()));
+        return r;
+    }
+
+  private:
+    std::unique_ptr<Dram> dram;
+    std::unique_ptr<Cache> l2;
+    std::unique_ptr<Cache> l1i;
+    std::unique_ptr<Cache> l1d;
+    StridePrefetcher prefetcher;
+};
+
+} // namespace eole
+
+#endif // EOLE_MEM_HIERARCHY_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The cycle-level out-of-order core with EOLE support.
+ *
+ * Pipeline shape (Table 1 + §3 of the paper):
+ *
+ *   Fetch (8-wide, 2 taken branches, TAGE/BTB/RAS, value predictor)
+ *     -> 15-cycle in-order front end (modeled as a latency/bandwidth
+ *        constrained pipe)
+ *   Rename (8-wide, banked PRF allocation; EARLY EXECUTION happens
+ *     here, in parallel, per §3.2)
+ *   Dispatch (ROB/IQ/LSQ allocation; EE results and used predictions
+ *     are written to the PRF here, consuming EE write ports)
+ *   Issue (6-wide OoO, oldest-first, FU pools, Store Sets)
+ *   Execute/Writeback (latency oracle; loads access the hierarchy)
+ *   LE/VT pre-commit stage (LATE EXECUTION of predicted single-cycle
+ *     ALU µ-ops and very-high-confidence branches; prediction
+ *     validation and predictor training; §3.3) -- adds one cycle when
+ *     VP is enabled
+ *   Commit (8-wide, in order)
+ *
+ * Recovery is always full pipeline squash + front-end re-fetch: branch
+ * mispredictions at execute (or at LE/VT for high-confidence
+ * branches), value mispredictions at validation, and memory-order
+ * violations at store execute.
+ *
+ * The simulator is trace-driven (no wrong-path µ-ops; see DESIGN.md
+ * §5) and self-checking: at commit, every µ-op's recomputed result is
+ * compared against the functional KernelVM oracle.
+ */
+
+#ifndef EOLE_PIPELINE_CORE_HH
+#define EOLE_PIPELINE_CORE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/queues.hh"
+#include "common/stats.hh"
+#include "core/early_exec.hh"
+#include "core/port_model.hh"
+#include "mem/hierarchy.hh"
+#include "pipeline/dyn_inst.hh"
+#include "pipeline/fu_pool.hh"
+#include "pipeline/regfile.hh"
+#include "pipeline/store_sets.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace eole {
+
+/** Aggregate per-run statistics. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committedUops = 0;
+
+    // Branches.
+    std::uint64_t condBranches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t highConfBranches = 0;
+    std::uint64_t highConfMispredicts = 0;
+    std::uint64_t btbMissBubbles = 0;
+
+    // Value prediction.
+    std::uint64_t vpEligible = 0;
+    std::uint64_t vpPredictionsUsed = 0;
+    std::uint64_t vpCorrectUsed = 0;
+    std::uint64_t vpMispredictSquashes = 0;
+
+    // EOLE.
+    std::uint64_t earlyExecuted = 0;
+    std::uint64_t lateExecutedAlu = 0;
+    std::uint64_t lateExecutedBranches = 0;
+
+    // Memory.
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t storeToLoadForwards = 0;
+    std::uint64_t memOrderViolations = 0;
+
+    // Stalls.
+    std::uint64_t renameBankStalls = 0;
+    std::uint64_t dispatchPortStalls = 0;
+    std::uint64_t commitPortStalls = 0;
+    std::uint64_t robFullStalls = 0;
+    std::uint64_t iqFullStalls = 0;
+
+    // Occupancy.
+    std::uint64_t iqOccupancySum = 0;
+    std::uint64_t dispatchedToIQ = 0;
+
+    double ipc() const { return ratio(double(committedUops), double(cycles)); }
+
+    StatRecord record() const;
+};
+
+/** One core simulation instance: one configuration x one workload. */
+class Core
+{
+  public:
+    Core(const SimConfig &config, const Workload &workload);
+    ~Core();
+
+    /**
+     * Run until @p target_commits more µ-ops commit (or the trace
+     * drains / @p max_cycles elapse).
+     * @return µ-ops committed during this call
+     */
+    std::uint64_t run(std::uint64_t target_commits,
+                      std::uint64_t max_cycles = ~0ULL);
+
+    /** Zero the statistics (end of warmup). Predictor/cache state and
+     *  in-flight pipeline state are preserved. */
+    void resetStats();
+
+    const CoreStats &stats() const { return s; }
+
+    /** Full statistics dump including memory-hierarchy counters. */
+    StatRecord record() const;
+
+    Cycle cycle() const { return now; }
+
+  private:
+    // --- Pipeline stages (called in reverse order each tick) ---
+    void tick();
+    void completionStage();
+    void commitStage();
+    void issueStage();
+    void dispatchStage();
+    void renameStage();
+    void fetchStage();
+
+    // --- Helpers ---
+    PhysRegFile &prfOf(RegClass cls) { return *prf[int(cls)]; }
+    RenameMap &mapOf(RegClass cls) { return *rmap[int(cls)]; }
+
+    RegVal readOperand(const DynInst &di, int idx) const;
+    bool operandsReady(const DynInst &di) const;
+    bool executeInst(const DynInstPtr &di);
+    void finishExec(const DynInstPtr &di, RegVal value, Cycle ready);
+    bool storeExecuted(SeqNum store_seq) const;
+    void checkStoreViolation(const DynInstPtr &store);
+    bool tryEarlyExecute(const DynInstPtr &di);
+    int bankOfReg(RegClass cls, RegIndex phys) const;
+    bool readyToRetire(const DynInst &di) const;
+    int levtReadNeeds(const DynInst &di, int *banks_out) const;
+
+    /** Late-execute a µ-op in the LE/VT stage. */
+    void lateExecute(const DynInstPtr &di);
+
+    /**
+     * Full squash of everything younger than @p keep_seq.
+     *
+     * @param keep_seq youngest surviving sequence number
+     * @param restore front-end snapshot to restore (state after
+     *        keep_seq)
+     * @param resume_fetch_at first cycle fetch may run again
+     */
+    void squashAfter(SeqNum keep_seq, const BranchUnit::SnapshotPtr &restore,
+                     Cycle resume_fetch_at);
+    void markSquashed(const DynInstPtr &di);
+    void undoRename(const DynInstPtr &di);
+
+    /** A mispredicted branch resolved: repair + un-stall fetch. */
+    void resolveMispredictedBranch(const DynInstPtr &di);
+
+    // --- Configuration & substrate ---
+    SimConfig cfg;
+    TraceSource ts;
+    std::unique_ptr<ValuePredictor> vp;
+    std::unique_ptr<BranchUnit> bu;
+    std::unique_ptr<MemHierarchy> mem;
+    std::unique_ptr<PhysRegFile> prf[numRegClasses];
+    std::unique_ptr<RenameMap> rmap[numRegClasses];
+    StoreSets ssets;
+    FuPool fus;
+    EarlyExecBlock ee;
+    PrfPortModel ports;
+
+    // --- Pipeline state ---
+    Cycle now = 0;
+    DelayedPipe<DynInstPtr> frontPipe;
+    std::deque<DynInstPtr> renameOut;
+    CircularQueue<DynInstPtr> rob;
+    CircularQueue<DynInstPtr> lq;
+    CircularQueue<DynInstPtr> sq;
+    std::vector<DynInstPtr> iq;
+    std::map<Cycle, std::vector<DynInstPtr>> completions;
+    std::vector<DynInstPtr> renameGroup;  //!< scratch: this cycle's group
+
+    Cycle fetchStallUntil = 0;
+    DynInstPtr fetchBlockedOnBranch;
+    int bankCursor = 0;
+
+    CoreStats s;
+};
+
+} // namespace eole
+
+#endif // EOLE_PIPELINE_CORE_HH

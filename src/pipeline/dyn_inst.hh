@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction state.
+ */
+
+#ifndef EOLE_PIPELINE_DYN_INST_HH
+#define EOLE_PIPELINE_DYN_INST_HH
+
+#include <memory>
+
+#include "bpred/branch_unit.hh"
+#include "isa/trace.hh"
+#include "vpred/value_predictor.hh"
+
+namespace eole {
+
+/**
+ * One in-flight µ-op. Created at fetch, destroyed after commit or
+ * squash. Fields are grouped by the stage that fills them in.
+ */
+struct DynInst
+{
+    // --- Fetch ---
+    TraceUop uop;
+    SeqNum seq = 0;
+    Cycle fetchCycle = 0;
+    /** Front-end speculative state after this µ-op (for squash repair). */
+    BranchUnit::SnapshotPtr postSnap;
+
+    // Branch prediction (branches only).
+    BranchPrediction bp;
+    BranchUnit::SnapshotPtr preSnap;
+
+    // Value prediction (VP-eligible µ-ops only).
+    VpLookup vp;
+    bool vpLookupValid = false;
+    bool predictionUsed = false;  //!< confident: written to PRF, used
+    RegVal predictedValue = 0;
+
+    // --- Rename ---
+    RegIndex physDst = invalidReg;
+    RegIndex oldPhysDst = invalidReg;
+    RegIndex physSrc[2] = {invalidReg, invalidReg};
+    bool renamed = false;
+
+    // EOLE routing decisions (made at rename/dispatch).
+    bool earlyExecuted = false;   //!< executed in the EE block
+    bool lateExecAlu = false;     //!< predicted 1-cycle ALU: LE/VT stage
+    bool lateExecBranch = false;  //!< very-high-confidence branch: LE/VT
+
+    // --- Execution ---
+    bool dispatched = false;
+    bool inIQ = false;
+    bool issued = false;
+    bool completed = false;       //!< result available / ready to retire
+    Cycle completeCycle = invalidCycle;
+    RegVal computedValue = 0;
+    bool hasComputedValue = false;
+
+    // Memory state.
+    Addr effAddr = 0;
+    bool effAddrValid = false;
+    RegVal storeData = 0;
+    /** Store this load must wait for (Store Sets), 0 = none. */
+    SeqNum dependsOnStore = 0;
+
+    // --- Lifecycle ---
+    bool squashed = false;
+
+    bool isLoad() const { return uop.isLoad(); }
+    bool isStore() const { return uop.isStore(); }
+    bool isBranch() const { return uop.isBranch(); }
+
+    /** Does this µ-op bypass the OoO engine entirely? */
+    bool
+    bypassesOoO() const
+    {
+        return earlyExecuted || lateExecAlu || lateExecBranch;
+    }
+
+    /** Can the LE/VT stage execute this µ-op at its head-of-ROB turn? */
+    bool lateExecutable() const { return lateExecAlu || lateExecBranch; }
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace eole
+
+#endif // EOLE_PIPELINE_DYN_INST_HH

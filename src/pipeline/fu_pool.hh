@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Functional-unit pool model (Table 1: 6 ALU, 4 MulDiv, 6 FP,
+ * 4 FpMulDiv, 4 load/store ports; divide units are not pipelined).
+ */
+
+#ifndef EOLE_PIPELINE_FU_POOL_HH
+#define EOLE_PIPELINE_FU_POOL_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace eole {
+
+/**
+ * Per-cycle issue-port and busy-unit accounting. Pipelined classes are
+ * limited by issues-per-cycle; unpipelined classes (divides) also
+ * occupy their unit until completion.
+ */
+class FuPool
+{
+  public:
+    FuPool(int alu, int mul_div, int fp, int fp_mul_div, int mem_ports)
+        : aluCount(alu), mulDivCount(mul_div), fpCount(fp),
+          fpMulDivCount(fp_mul_div), memPorts(mem_ports),
+          mulDivBusy(mul_div, 0), fpMulDivBusy(fp_mul_div, 0)
+    {
+    }
+
+    /** Start a new cycle: reset per-cycle port counters. */
+    void
+    newCycle()
+    {
+        aluUsed = 0;
+        mulDivUsed = 0;
+        fpUsed = 0;
+        fpMulDivUsed = 0;
+        memUsed = 0;
+    }
+
+    /** Can a µ-op of @p cls issue at cycle @p now? */
+    bool
+    canIssue(OpClass cls, Cycle now) const
+    {
+        switch (cls) {
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+            return aluUsed < aluCount;
+          case OpClass::IntMul:
+            return mulDivUsed < mulDivCount && freeUnit(mulDivBusy, now);
+          case OpClass::IntDiv:
+            return mulDivUsed < mulDivCount && freeUnit(mulDivBusy, now);
+          case OpClass::FpAlu:
+            return fpUsed < fpCount;
+          case OpClass::FpMul:
+            return fpMulDivUsed < fpMulDivCount
+                && freeUnit(fpMulDivBusy, now);
+          case OpClass::FpDiv:
+            return fpMulDivUsed < fpMulDivCount
+                && freeUnit(fpMulDivBusy, now);
+          case OpClass::MemRead:
+          case OpClass::MemWrite:
+            return memUsed < memPorts;
+          default:
+            return true;
+        }
+    }
+
+    /** Account an issue; @p done is the completion cycle. */
+    void
+    issue(OpClass cls, Cycle now, Cycle done)
+    {
+        switch (cls) {
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+            ++aluUsed;
+            break;
+          case OpClass::IntMul:
+            ++mulDivUsed;
+            break;
+          case OpClass::IntDiv:
+            ++mulDivUsed;
+            occupy(mulDivBusy, now, done);
+            break;
+          case OpClass::FpAlu:
+            ++fpUsed;
+            break;
+          case OpClass::FpMul:
+            ++fpMulDivUsed;
+            break;
+          case OpClass::FpDiv:
+            ++fpMulDivUsed;
+            occupy(fpMulDivBusy, now, done);
+            break;
+          case OpClass::MemRead:
+          case OpClass::MemWrite:
+            ++memUsed;
+            break;
+          default:
+            break;
+        }
+    }
+
+  private:
+    static bool
+    freeUnit(const std::vector<Cycle> &busy, Cycle now)
+    {
+        return std::any_of(busy.begin(), busy.end(),
+                           [now](Cycle c) { return c <= now; });
+    }
+
+    static void
+    occupy(std::vector<Cycle> &busy, Cycle now, Cycle done)
+    {
+        for (Cycle &c : busy) {
+            if (c <= now) {
+                c = done;
+                return;
+            }
+        }
+    }
+
+    int aluCount, mulDivCount, fpCount, fpMulDivCount, memPorts;
+    int aluUsed = 0, mulDivUsed = 0, fpUsed = 0, fpMulDivUsed = 0,
+        memUsed = 0;
+    std::vector<Cycle> mulDivBusy;
+    std::vector<Cycle> fpMulDivBusy;
+};
+
+} // namespace eole
+
+#endif // EOLE_PIPELINE_FU_POOL_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Store Sets memory-dependence predictor (Chrysos & Emer, ISCA 1998),
+ * 1K-entry SSIT / 1K-entry LFST as in Table 1.
+ *
+ * Loads and stores are assigned store-set IDs through the PC-indexed
+ * SSIT; the LFST tracks the last in-flight store of each set. A load
+ * (or store) whose set has an in-flight store must wait for that store
+ * to execute. Sets are created/merged when a memory-order violation is
+ * detected.
+ */
+
+#ifndef EOLE_PIPELINE_STORE_SETS_HH
+#define EOLE_PIPELINE_STORE_SETS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace eole {
+
+class StoreSets
+{
+  public:
+    StoreSets(int ssit_log2_entries, int lfst_entries)
+        : ssit(1u << ssit_log2_entries), lfst(lfst_entries)
+    {
+    }
+
+    /**
+     * Rename-time query for a load/store at @p pc.
+     * @return sequence number of the in-flight store this µ-op must
+     *         wait for (0 = unconstrained)
+     */
+    SeqNum
+    lookupDependence(Addr pc) const
+    {
+        const std::uint32_t ssid = ssit[indexOf(pc)].ssid;
+        if (ssid == invalidSsid)
+            return 0;
+        return lfst[ssid % lfst.size()].storeSeq;
+    }
+
+    /** Rename-time registration of an in-flight store. */
+    void
+    insertStore(Addr pc, SeqNum seq)
+    {
+        const std::uint32_t ssid = ssit[indexOf(pc)].ssid;
+        if (ssid == invalidSsid)
+            return;
+        auto &e = lfst[ssid % lfst.size()];
+        e.storeSeq = seq;
+    }
+
+    /** A store executed (or was squashed): clear its LFST slot. */
+    void
+    storeResolved(Addr pc, SeqNum seq)
+    {
+        const std::uint32_t ssid = ssit[indexOf(pc)].ssid;
+        if (ssid == invalidSsid)
+            return;
+        auto &e = lfst[ssid % lfst.size()];
+        if (e.storeSeq == seq)
+            e.storeSeq = 0;
+    }
+
+    /**
+     * Train on a detected memory-order violation between the load at
+     * @p load_pc and the store at @p store_pc (standard merge rule:
+     * both get the smaller of their existing SSIDs, or a new one).
+     */
+    void
+    violation(Addr load_pc, Addr store_pc)
+    {
+        auto &le = ssit[indexOf(load_pc)];
+        auto &se = ssit[indexOf(store_pc)];
+        if (le.ssid == invalidSsid && se.ssid == invalidSsid) {
+            const std::uint32_t ssid = nextSsid++;
+            le.ssid = ssid;
+            se.ssid = ssid;
+        } else if (le.ssid == invalidSsid) {
+            le.ssid = se.ssid;
+        } else if (se.ssid == invalidSsid) {
+            se.ssid = le.ssid;
+        } else {
+            const std::uint32_t ssid = std::min(le.ssid, se.ssid);
+            le.ssid = ssid;
+            se.ssid = ssid;
+        }
+        ++violations;
+    }
+
+    std::uint64_t violationCount() const { return violations; }
+
+  private:
+    static constexpr std::uint32_t invalidSsid = ~0u;
+
+    struct SsitEntry
+    {
+        std::uint32_t ssid = invalidSsid;
+    };
+
+    struct LfstEntry
+    {
+        SeqNum storeSeq = 0;
+    };
+
+    std::uint32_t
+    indexOf(Addr pc) const
+    {
+        return static_cast<std::uint32_t>(pc >> 2) & (ssit.size() - 1);
+    }
+
+    std::vector<SsitEntry> ssit;
+    std::vector<LfstEntry> lfst;
+    std::uint32_t nextSsid = 0;
+    std::uint64_t violations = 0;
+};
+
+} // namespace eole
+
+#endif // EOLE_PIPELINE_STORE_SETS_HH

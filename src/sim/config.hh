@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Complete simulator configuration. Defaults reproduce the paper's
+ * Baseline_6_64 (Table 1); named configurations for every experiment
+ * are in sim/configs.hh.
+ */
+
+#ifndef EOLE_SIM_CONFIG_HH
+#define EOLE_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "bpred/branch_unit.hh"
+#include "mem/hierarchy.hh"
+#include "vpred/value_predictor.hh"
+
+namespace eole {
+
+struct SimConfig
+{
+    std::string name = "Baseline_6_64";
+
+    // --- Pipeline widths (µ-ops/cycle; Table 1) ---
+    int fetchWidth = 8;
+    int renameWidth = 8;
+    int dispatchWidth = 8;
+    int issueWidth = 6;
+    int commitWidth = 8;
+    int maxTakenBranchesPerFetch = 2;
+
+    // --- Depths ---
+    /** In-order front-end latency, fetch to dispatch (19-cycle
+     *  fetch-to-commit pipe with the 4-cycle minimum back end). */
+    int frontEndCycles = 15;
+    /** Bubble for a taken branch whose target misses the BTB (the
+     *  target becomes available at decode). */
+    int btbMissBubble = 5;
+
+    // --- Structures (Table 1) ---
+    int robEntries = 192;
+    int iqEntries = 64;
+    int lqEntries = 48;
+    int sqEntries = 48;
+    int physIntRegs = 256;
+    int physFpRegs = 256;
+
+    // --- Functional units (Table 1) ---
+    int numAlu = 6;       //!< 1-cycle int ALU (also resolves branches)
+    int numMulDiv = 4;    //!< 3c mul (pipelined) / 25c div (blocking)
+    int numFp = 6;        //!< 3c FP ALU
+    int numFpMulDiv = 4;  //!< 5c fmul (pipelined) / 10c fdiv (blocking)
+    int numMemPorts = 4;  //!< load/store AGU ports
+
+    // --- Memory dependence prediction (Store Sets, 1K SSID/LFST) ---
+    int ssitLog2Entries = 10;
+    int lfstEntries = 1024;
+
+    // --- Predictors ---
+    BpConfig bp;
+    VpConfig vp{};        //!< vp.kind == None disables value prediction
+
+    // --- Memory hierarchy ---
+    MemConfig mem;
+
+    // --- EOLE (§3) ---
+    bool earlyExec = false;       //!< EE block beside Rename
+    int eeStages = 1;             //!< 1 (paper's choice) or 2 (Fig 2)
+    bool lateExec = false;        //!< LE in the pre-commit LE/VT stage
+    bool lateExecBranches = true; //!< very-high-confidence branches too
+
+    // --- PRF banking and port constraints (§6.3; 0 = unconstrained) ---
+    int prfBanks = 1;
+    int eeWritePortsPerBank = 0;   //!< EE/prediction writes at dispatch
+    int levtReadPortsPerBank = 0;  //!< LE/validation/training reads
+
+    std::uint64_t seed = 1;
+
+    bool vpEnabled() const { return vp.kind != VpKind::None; }
+
+    /** Extra pre-commit stages: the LE/VT stage when VP is on (§4.1). */
+    int preCommitCycles() const { return vpEnabled() ? 1 : 0; }
+
+    bool eoleActive() const { return earlyExec || lateExec; }
+};
+
+} // namespace eole
+
+#endif // EOLE_SIM_CONFIG_HH

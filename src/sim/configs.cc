@@ -1,0 +1,100 @@
+#include "sim/configs.hh"
+
+#include "common/logging.hh"
+
+namespace eole {
+namespace configs {
+
+namespace {
+
+std::string
+nameOf(const char *kind, int issue_width, int iq_entries)
+{
+    return csprintf("%s_%d_%d", kind, issue_width, iq_entries);
+}
+
+void
+setWidth(SimConfig &c, int issue_width, int iq_entries)
+{
+    c.issueWidth = issue_width;
+    c.iqEntries = iq_entries;
+    // The ALU rank tracks issue width (a narrower OoO engine has fewer
+    // ALUs and a smaller bypass, §6.1); other FU pools are unchanged.
+    c.numAlu = issue_width;
+}
+
+} // namespace
+
+SimConfig
+baseline(int issue_width, int iq_entries)
+{
+    SimConfig c;
+    setWidth(c, issue_width, iq_entries);
+    c.name = nameOf("Baseline", issue_width, iq_entries);
+    return c;
+}
+
+SimConfig
+baselineVp(int issue_width, int iq_entries)
+{
+    SimConfig c = baseline(issue_width, iq_entries);
+    c.name = nameOf("Baseline_VP", issue_width, iq_entries);
+    c.vp.kind = VpKind::HybridVtage2DStride;
+    return c;
+}
+
+SimConfig
+eole(int issue_width, int iq_entries)
+{
+    SimConfig c = baselineVp(issue_width, iq_entries);
+    c.name = nameOf("EOLE", issue_width, iq_entries);
+    c.earlyExec = true;
+    c.lateExec = true;
+    return c;
+}
+
+SimConfig
+eoleBanked(int issue_width, int iq_entries, int banks)
+{
+    SimConfig c = eole(issue_width, iq_entries);
+    c.name += csprintf("_%dbanks", banks);
+    c.prfBanks = banks;
+    return c;
+}
+
+SimConfig
+eoleConstrained(int issue_width, int iq_entries, int banks,
+                int levt_read_ports, int ee_write_ports)
+{
+    SimConfig c = eoleBanked(issue_width, iq_entries, banks);
+    c.name = nameOf("EOLE", issue_width, iq_entries)
+        + csprintf("_%dports_%dbanks", levt_read_ports, banks);
+    c.levtReadPortsPerBank = levt_read_ports;
+    c.eeWritePortsPerBank = ee_write_ports;
+    return c;
+}
+
+SimConfig
+ole(int issue_width, int iq_entries, int banks, int levt_read_ports)
+{
+    SimConfig c = eoleConstrained(issue_width, iq_entries, banks,
+                                  levt_read_ports);
+    c.name = nameOf("OLE", issue_width, iq_entries)
+        + csprintf("_%dports_%dbanks", levt_read_ports, banks);
+    c.earlyExec = false;
+    return c;
+}
+
+SimConfig
+eoe(int issue_width, int iq_entries, int banks, int levt_read_ports)
+{
+    SimConfig c = eoleConstrained(issue_width, iq_entries, banks,
+                                  levt_read_ports);
+    c.name = nameOf("EOE", issue_width, iq_entries)
+        + csprintf("_%dports_%dbanks", levt_read_ports, banks);
+    c.lateExec = false;
+    return c;
+}
+
+} // namespace configs
+} // namespace eole

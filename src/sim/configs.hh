@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Named processor configurations matching the paper's evaluation
+ * (§5, §6). Naming follows the paper: <kind>_<issueWidth>_<iqSize>.
+ */
+
+#ifndef EOLE_SIM_CONFIGS_HH
+#define EOLE_SIM_CONFIGS_HH
+
+#include "sim/config.hh"
+
+namespace eole {
+namespace configs {
+
+/** Table 1 baseline: 6-issue, 64-entry IQ, no value prediction. */
+SimConfig baseline(int issue_width = 6, int iq_entries = 64);
+
+/** Baseline + VTAGE-2DStride value prediction (Table 2), validation
+ *  at commit (adds the LE/VT pre-commit cycle). */
+SimConfig baselineVp(int issue_width = 6, int iq_entries = 64);
+
+/** Full EOLE: Early + Late Execution on top of baselineVp. Ports and
+ *  banking are unconstrained (the §5 idealization). */
+SimConfig eole(int issue_width = 6, int iq_entries = 64);
+
+/** EOLE with a banked PRF (Fig 10): banking constrains only rename
+ *  allocation; ports remain unconstrained. */
+SimConfig eoleBanked(int issue_width, int iq_entries, int banks);
+
+/**
+ * EOLE with the full §6.3 constraint set (Figs 11/12/13): banked PRF,
+ * EE/prediction write ports, and LE/VT read ports per bank.
+ */
+SimConfig eoleConstrained(int issue_width, int iq_entries, int banks,
+                          int levt_read_ports, int ee_write_ports = 2);
+
+/** OLE: Late Execution only, constrained as eoleConstrained (Fig 13). */
+SimConfig ole(int issue_width, int iq_entries, int banks,
+              int levt_read_ports);
+
+/** EOE: Early Execution only, constrained as eoleConstrained (Fig 13). */
+SimConfig eoe(int issue_width, int iq_entries, int banks,
+              int levt_read_ports);
+
+} // namespace configs
+} // namespace eole
+
+#endif // EOLE_SIM_CONFIGS_HH

@@ -1,0 +1,167 @@
+#include "sim/experiment.hh"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+#include "pipeline/core.hh"
+#include "workloads/workload.hh"
+
+namespace eole {
+
+namespace {
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    return std::strtoull(v, nullptr, 0);
+}
+
+} // namespace
+
+std::uint64_t
+warmupUops()
+{
+    return envU64("EOLE_WARMUP", 1000000);
+}
+
+std::uint64_t
+measureUops()
+{
+    return envU64("EOLE_INSTS", 5000000);
+}
+
+int
+runnerThreads()
+{
+    const auto hw = std::thread::hardware_concurrency();
+    return static_cast<int>(envU64("EOLE_THREADS", hw ? hw : 4));
+}
+
+std::vector<RunResult>
+runGrid(const std::vector<SimConfig> &cfgs,
+        const std::vector<std::string> &workload_names)
+{
+    struct Job
+    {
+        const SimConfig *cfg;
+        const std::string *workload;
+        std::size_t slot;
+    };
+
+    std::vector<Job> jobs;
+    std::vector<RunResult> results(cfgs.size() * workload_names.size());
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        for (std::size_t w = 0; w < workload_names.size(); ++w) {
+            const std::size_t slot = c * workload_names.size() + w;
+            results[slot].config = cfgs[c].name;
+            results[slot].workload = workload_names[w];
+            jobs.push_back(Job{&cfgs[c], &workload_names[w], slot});
+        }
+    }
+
+    const std::uint64_t warm = warmupUops();
+    const std::uint64_t inst = measureUops();
+    // Generous safety valve against pathological configurations.
+    const std::uint64_t max_cycles = (warm + inst) * 60 + 1000000;
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t j = next.fetch_add(1);
+            if (j >= jobs.size())
+                return;
+            const Job &job = jobs[j];
+            const Workload w = workloads::build(*job.workload);
+            Core core(*job.cfg, w);
+            core.run(warm, max_cycles);
+            core.resetStats();
+            core.run(inst, max_cycles);
+            results[job.slot].stats = core.record();
+        }
+    };
+
+    const int nthreads =
+        std::min<std::size_t>(runnerThreads(), jobs.size());
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (int t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+const RunResult &
+findResult(const std::vector<RunResult> &results, const std::string &config,
+           const std::string &workload)
+{
+    for (const auto &r : results) {
+        if (r.config == config && r.workload == workload)
+            return r;
+    }
+    fatal("no result for (%s, %s)", config.c_str(), workload.c_str());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+void
+printTable(const std::string &title, const std::vector<RunResult> &results,
+           const std::vector<std::string> &cfg_names,
+           const std::vector<std::string> &workload_names,
+           const std::string &stat, const std::string &normalize_to)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("%-14s", "benchmark");
+    for (const auto &c : cfg_names)
+        std::printf(" %22s", c.c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> columns(cfg_names.size());
+    for (const auto &w : workload_names) {
+        std::printf("%-14s", w.c_str());
+        double base = 1.0;
+        if (!normalize_to.empty())
+            base = findResult(results, normalize_to, w).stats.get(stat);
+        for (std::size_t c = 0; c < cfg_names.size(); ++c) {
+            const double v =
+                findResult(results, cfg_names[c], w).stats.get(stat);
+            const double shown = normalize_to.empty() ? v : v / base;
+            columns[c].push_back(shown);
+            std::printf(" %22.3f", shown);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-14s", normalize_to.empty() ? "mean" : "geomean");
+    for (std::size_t c = 0; c < cfg_names.size(); ++c) {
+        double m;
+        if (normalize_to.empty()) {
+            double sum = 0.0;
+            for (double v : columns[c])
+                sum += v;
+            m = columns[c].empty() ? 0.0 : sum / columns[c].size();
+        } else {
+            m = geomean(columns[c]);
+        }
+        std::printf(" %22.3f", m);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+} // namespace eole

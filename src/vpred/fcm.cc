@@ -1,0 +1,75 @@
+#include "vpred/fcm.hh"
+
+namespace eole {
+
+FcmPredictor::FcmPredictor(const VpConfig &config, std::uint64_t seed)
+    : histTable(1u << config.fcmHistLog2Entries),
+      valueTable(1u << config.fcmValueLog2Entries),
+      histMask((1u << config.fcmHistLog2Entries) - 1),
+      valueMask((1u << config.fcmValueLog2Entries) - 1),
+      fpc(config.fpcVector.empty() ? Fpc::paperVector() : config.fpcVector),
+      rng(seed)
+{
+}
+
+std::uint32_t
+FcmPredictor::histIndex(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc >> 2) & histMask;
+}
+
+std::uint32_t
+FcmPredictor::foldValue(RegVal v) const
+{
+    // Mangle the 64-bit value down to the context-hash contribution.
+    std::uint64_t x = v * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::uint32_t>(x >> 40);
+}
+
+VpLookup
+FcmPredictor::predict(Addr pc)
+{
+    VpLookup l;
+    const HistEntry &h = histTable[histIndex(pc)];
+    l.idx[0] = histIndex(pc);
+    if (h.valid && h.tag == pc) {
+        const std::uint32_t vidx = h.ctx & valueMask;
+        l.idx[1] = vidx;
+        const ValueEntry &v = valueTable[vidx];
+        l.predictionMade = true;
+        l.value = v.value;
+        l.confident = fpc.saturated(v.conf);
+    }
+    return l;
+}
+
+void
+FcmPredictor::commit(Addr pc, RegVal actual, const VpLookup &lookup)
+{
+    HistEntry &h = histTable[lookup.idx[0]];
+    if (!h.valid || h.tag != pc) {
+        h = HistEntry{};
+        h.tag = pc;
+        h.valid = true;
+        h.ctx = foldValue(actual);
+        return;
+    }
+    if (lookup.predictionMade) {
+        // Second level was read through the context captured at lookup.
+        ValueEntry &v = valueTable[lookup.idx[1]];
+        const bool correct = lookup.value == actual;
+        fpc.update(v.conf, correct, rng);
+        if (!correct && v.conf == 0)
+            v.value = actual;
+    } else {
+        // First sighting of this context: install the value.
+        ValueEntry &v = valueTable[h.ctx & valueMask];
+        if (v.conf == 0)
+            v.value = actual;
+    }
+    // Advance the per-PC context with the committed value (order-N
+    // shift-and-fold).
+    h.ctx = ((h.ctx << 7) | (h.ctx >> 25)) ^ foldValue(actual);
+}
+
+} // namespace eole

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Forward Probabilistic Counters (Perais & Seznec, HPCA 2014).
+ *
+ * FPC makes narrow confidence counters behave like much wider ones by
+ * making forward (increment) transitions probabilistic. The EOLE paper
+ * uses 3-bit counters whose seven forward transitions fire with
+ * probabilities v = {1, 1/32, 1/32, 1/32, 1/32, 1/64, 1/64}; a
+ * prediction is used only when its counter is saturated, which pushes
+ * effective misprediction rates low enough that commit-time squash
+ * recovery is affordable (§3.1).
+ */
+
+#ifndef EOLE_VPRED_FPC_HH
+#define EOLE_VPRED_FPC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace eole {
+
+/** Shared transition-probability vector for a set of FPC counters. */
+class Fpc
+{
+  public:
+    /** The paper's vector for VTAGE-2DStride (§4.2). */
+    static std::vector<double>
+    paperVector()
+    {
+        return {1.0, 1.0 / 32, 1.0 / 32, 1.0 / 32, 1.0 / 32,
+                1.0 / 64, 1.0 / 64};
+    }
+
+    explicit Fpc(std::vector<double> probs = paperVector())
+        : v(std::move(probs))
+    {
+        fatal_if(v.empty(), "FPC needs at least one transition");
+        for (double p : v)
+            fatal_if(p <= 0.0 || p > 1.0, "bad FPC probability %f", p);
+    }
+
+    /** Counter ceiling: counters live in [0, max()]. */
+    std::uint8_t max() const { return static_cast<std::uint8_t>(v.size()); }
+
+    /** Is a counter value saturated (prediction usable)? */
+    bool saturated(std::uint8_t ctr) const { return ctr >= max(); }
+
+    /**
+     * Update @p ctr after a prediction outcome: probabilistic forward
+     * step when correct, reset to zero when wrong.
+     */
+    void
+    update(std::uint8_t &ctr, bool correct, Rng &rng) const
+    {
+        if (!correct) {
+            ctr = 0;
+        } else if (ctr < max() && rng.chance(v[ctr])) {
+            ++ctr;
+        }
+    }
+
+    const std::vector<double> &probabilities() const { return v; }
+
+  private:
+    std::vector<double> v;
+};
+
+} // namespace eole
+
+#endif // EOLE_VPRED_FPC_HH

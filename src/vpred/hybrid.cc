@@ -1,0 +1,73 @@
+#include "vpred/hybrid.hh"
+
+namespace eole {
+
+HybridVtage2DStride::HybridVtage2DStride(const VpConfig &config,
+                                         std::uint64_t seed)
+    : vt(std::make_unique<Vtage>(config, seed ^ 0x1111)),
+      sp(std::make_unique<StridePredictor>(config, true, seed ^ 0x2222))
+{
+}
+
+std::vector<std::pair<int, int>>
+HybridVtage2DStride::foldSpecs() const
+{
+    return vt->foldSpecs();
+}
+
+void
+HybridVtage2DStride::bindHistory(const GlobalHistory &hist,
+                                 std::size_t fold_base)
+{
+    vt->bindHistory(hist, fold_base);
+}
+
+VpLookup
+HybridVtage2DStride::predict(Addr pc)
+{
+    VpLookup vtl = vt->predict(pc);
+    VpLookup spl = sp->predict(pc);
+
+    VpLookup l;
+    // Arbitration: confident tagged VTAGE hit > confident 2D-Stride >
+    // any tagged VTAGE hit > any 2D-Stride hit > VTAGE base.
+    const bool vt_tagged = vtl.provider >= 0;
+    int choice;
+    if (vt_tagged && vtl.confident) {
+        choice = 0;
+    } else if (spl.predictionMade && spl.confident) {
+        choice = 1;
+    } else if (vt_tagged) {
+        choice = 0;
+    } else if (spl.predictionMade) {
+        choice = 1;
+    } else {
+        choice = 0;  // VTAGE base
+    }
+
+    const VpLookup &c = choice == 0 ? vtl : spl;
+    l.predictionMade = c.predictionMade;
+    l.value = c.value;
+    l.confident = c.confident;
+    l.provider = choice;
+    l.sub[0] = std::make_unique<VpLookup>(std::move(vtl));
+    l.sub[1] = std::make_unique<VpLookup>(std::move(spl));
+    return l;
+}
+
+void
+HybridVtage2DStride::commit(Addr pc, RegVal actual, const VpLookup &lookup)
+{
+    // Both components always train (the paper's hybrid keeps both warm).
+    vt->commit(pc, actual, *lookup.sub[0]);
+    sp->commit(pc, actual, *lookup.sub[1]);
+}
+
+void
+HybridVtage2DStride::squash(Addr pc, const VpLookup &lookup)
+{
+    vt->squash(pc, *lookup.sub[0]);
+    sp->squash(pc, *lookup.sub[1]);
+}
+
+} // namespace eole

@@ -1,0 +1,128 @@
+#include "vpred/stride.hh"
+
+namespace eole {
+
+// --------------------------- LastValuePredictor ---------------------------
+
+LastValuePredictor::LastValuePredictor(const VpConfig &config,
+                                       std::uint64_t seed)
+    : table(1u << config.strideLog2Entries),
+      mask((1u << config.strideLog2Entries) - 1),
+      fpc(config.fpcVector.empty() ? Fpc::paperVector() : config.fpcVector),
+      rng(seed)
+{
+}
+
+std::uint32_t
+LastValuePredictor::indexOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc >> 2) & mask;
+}
+
+VpLookup
+LastValuePredictor::predict(Addr pc)
+{
+    VpLookup l;
+    const Entry &e = table[indexOf(pc)];
+    l.idx[0] = indexOf(pc);
+    if (e.valid && e.tag == pc) {
+        l.predictionMade = true;
+        l.value = e.value;
+        l.confident = fpc.saturated(e.conf);
+    }
+    return l;
+}
+
+void
+LastValuePredictor::commit(Addr pc, RegVal actual, const VpLookup &lookup)
+{
+    Entry &e = table[lookup.idx[0]];
+    if (!e.valid || e.tag != pc) {
+        e = Entry{};
+        e.tag = pc;
+        e.valid = true;
+        e.value = actual;
+        return;
+    }
+    const bool correct = lookup.predictionMade && lookup.value == actual;
+    fpc.update(e.conf, correct, rng);
+    // Replace the value only at zero confidence (hysteresis).
+    if (e.value != actual && e.conf == 0)
+        e.value = actual;
+}
+
+// ----------------------------- StridePredictor ----------------------------
+
+StridePredictor::StridePredictor(const VpConfig &config, bool two_delta,
+                                 std::uint64_t seed)
+    : table(1u << config.strideLog2Entries),
+      mask((1u << config.strideLog2Entries) - 1), twoDelta(two_delta),
+      fpc(config.fpcVector.empty() ? Fpc::paperVector() : config.fpcVector),
+      rng(seed)
+{
+}
+
+std::uint32_t
+StridePredictor::indexOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc >> 2) & mask;
+}
+
+VpLookup
+StridePredictor::predict(Addr pc)
+{
+    VpLookup l;
+    Entry &e = table[indexOf(pc)];
+    l.idx[0] = indexOf(pc);
+    if (e.valid && e.tag == pc) {
+        // Project past the in-flight instances of this static µ-op.
+        const std::int64_t stride = twoDelta ? e.stride2 : e.stride1;
+        l.predictionMade = true;
+        l.value = e.lastValue
+            + static_cast<RegVal>(stride) * (e.inflight + 1);
+        l.confident = fpc.saturated(e.conf);
+        if (e.inflight < 0xffff) {
+            ++e.inflight;
+            l.inflightNoted = true;
+        }
+    }
+    return l;
+}
+
+void
+StridePredictor::commit(Addr pc, RegVal actual, const VpLookup &lookup)
+{
+    Entry &e = table[lookup.idx[0]];
+    if (!e.valid || e.tag != pc) {
+        e = Entry{};
+        e.tag = pc;
+        e.valid = true;
+        e.lastValue = actual;
+        return;
+    }
+    if (lookup.inflightNoted && e.inflight > 0)
+        --e.inflight;
+    const std::int64_t new_stride =
+        static_cast<std::int64_t>(actual - e.lastValue);
+    if (twoDelta) {
+        // Promote the stride only when seen twice in a row.
+        if (new_stride == e.stride1)
+            e.stride2 = new_stride;
+        e.stride1 = new_stride;
+    } else {
+        e.stride1 = new_stride;
+    }
+    e.lastValue = actual;
+    if (lookup.predictionMade)
+        fpc.update(e.conf, lookup.value == actual, rng);
+}
+
+void
+StridePredictor::squash(Addr pc, const VpLookup &lookup)
+{
+    Entry &e = table[lookup.idx[0]];
+    if (lookup.inflightNoted && e.valid && e.tag == pc && e.inflight > 0)
+        --e.inflight;
+}
+
+} // namespace eole

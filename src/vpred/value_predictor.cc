@@ -1,0 +1,49 @@
+#include "vpred/value_predictor.hh"
+
+#include "common/logging.hh"
+#include "vpred/fcm.hh"
+#include "vpred/hybrid.hh"
+#include "vpred/stride.hh"
+#include "vpred/vtage.hh"
+
+namespace eole {
+
+const char *
+vpKindName(VpKind kind)
+{
+    switch (kind) {
+      case VpKind::None: return "none";
+      case VpKind::LastValue: return "LVP";
+      case VpKind::Stride: return "Stride";
+      case VpKind::TwoDeltaStride: return "2D-Stride";
+      case VpKind::Vtage: return "VTAGE";
+      case VpKind::Fcm: return "FCM";
+      case VpKind::HybridVtage2DStride: return "VTAGE-2DStride";
+      default: return "???";
+    }
+}
+
+std::unique_ptr<ValuePredictor>
+createValuePredictor(const VpConfig &config, std::uint64_t seed)
+{
+    switch (config.kind) {
+      case VpKind::None:
+        return nullptr;
+      case VpKind::LastValue:
+        return std::make_unique<LastValuePredictor>(config, seed);
+      case VpKind::Stride:
+        return std::make_unique<StridePredictor>(config, false, seed);
+      case VpKind::TwoDeltaStride:
+        return std::make_unique<StridePredictor>(config, true, seed);
+      case VpKind::Vtage:
+        return std::make_unique<Vtage>(config, seed);
+      case VpKind::Fcm:
+        return std::make_unique<FcmPredictor>(config, seed);
+      case VpKind::HybridVtage2DStride:
+        return std::make_unique<HybridVtage2DStride>(config, seed);
+      default:
+        panic("unknown value predictor kind");
+    }
+}
+
+} // namespace eole

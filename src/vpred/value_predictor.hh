@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Value-predictor interface and factory.
+ *
+ * Lifecycle per dynamic VP-eligible µ-op:
+ *   1. predict(pc) at fetch -- returns the prediction record; the
+ *      predictor may note a speculative in-flight instance (stride
+ *      predictors project the last value forward by the in-flight
+ *      count, as in the paper's reference [25]).
+ *   2. Exactly one of:
+ *        commit(pc, actual, lookup) -- retirement-order training, or
+ *        squash(pc, lookup)         -- the instance was squashed.
+ *
+ * The prediction is architecturally *used* by the pipeline only when
+ * lookup.confident is set (saturated FPC counter).
+ */
+
+#ifndef EOLE_VPRED_VALUE_PREDICTOR_HH
+#define EOLE_VPRED_VALUE_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "bpred/history.hh"
+
+namespace eole {
+
+/** Per-lookup record carried by the µ-op until commit/squash. */
+struct VpLookup
+{
+    static constexpr int maxComps = 8;
+
+    RegVal value = 0;          //!< predicted value
+    bool predictionMade = false;
+    bool confident = false;    //!< FPC saturated: pipeline uses it
+
+    // Provenance for retirement-order training.
+    int provider = -1;         //!< predictor-specific component id
+    int altProvider = -1;
+    RegVal altValue = 0;
+    std::uint32_t idx[maxComps] = {};
+    std::uint16_t tag[maxComps] = {};
+    bool inflightNoted = false;
+
+    // Hybrid: the sub-predictor lookups.
+    std::unique_ptr<VpLookup> sub[2];
+};
+
+/** Supported predictor kinds. */
+enum class VpKind
+{
+    None,
+    LastValue,
+    Stride,
+    TwoDeltaStride,
+    Vtage,
+    Fcm,
+    HybridVtage2DStride,  //!< the paper's configuration (Table 2)
+};
+
+const char *vpKindName(VpKind kind);
+
+/** Abstract value predictor. */
+class ValuePredictor
+{
+  public:
+    virtual ~ValuePredictor() = default;
+
+    /** History folds required (VTAGE); registered with GlobalHistory. */
+    virtual std::vector<std::pair<int, int>> foldSpecs() const
+    {
+        return {};
+    }
+
+    /** Late-bind the shared speculative history. */
+    virtual void bindHistory(const GlobalHistory &hist,
+                             std::size_t fold_base)
+    {
+        (void)hist;
+        (void)fold_base;
+    }
+
+    /** Fetch-time prediction for the VP-eligible µ-op at @p pc. */
+    virtual VpLookup predict(Addr pc) = 0;
+
+    /** Retirement-order training with the architectural result. */
+    virtual void commit(Addr pc, RegVal actual, const VpLookup &lookup) = 0;
+
+    /** The fetched instance was squashed before retiring. */
+    virtual void squash(Addr pc, const VpLookup &lookup)
+    {
+        (void)pc;
+        (void)lookup;
+    }
+
+    virtual const char *name() const = 0;
+};
+
+/** Geometry knobs (Table 2 defaults). The kind defaults to None so
+ *  that a default SimConfig is the paper's VP-less baseline; named
+ *  configurations opt in to the hybrid. */
+struct VpConfig
+{
+    VpKind kind = VpKind::None;
+    std::vector<double> fpcVector; //!< empty = paper vector
+
+    // Stride family.
+    int strideLog2Entries = 13;    //!< 8192 entries, full tags
+
+    // VTAGE.
+    int vtageBaseLog2Entries = 13; //!< 8192-entry tagless base
+    int vtageNumTagged = 6;
+    int vtageTaggedLog2Entries = 10;
+    int vtageTagBits = 12;         //!< + rank (component position)
+    int vtageMinHist = 2;
+    int vtageMaxHist = 64;
+
+    // FCM.
+    int fcmHistLog2Entries = 12;
+    int fcmValueLog2Entries = 16;
+    int fcmOrder = 3;
+};
+
+/** Build a predictor; returns nullptr for VpKind::None. */
+std::unique_ptr<ValuePredictor> createValuePredictor(
+    const VpConfig &config, std::uint64_t seed = 0x5eed);
+
+} // namespace eole
+
+#endif // EOLE_VPRED_VALUE_PREDICTOR_HH

@@ -1,0 +1,189 @@
+#include "vpred/vtage.hh"
+
+#include "common/logging.hh"
+
+namespace eole {
+
+Vtage::Vtage(const VpConfig &config, std::uint64_t seed)
+    : cfg(config),
+      fpc(config.fpcVector.empty() ? Fpc::paperVector() : config.fpcVector),
+      rng(seed)
+{
+    panic_if(cfg.vtageNumTagged < 1
+                 || cfg.vtageNumTagged > VpLookup::maxComps - 1,
+             "unsupported VTAGE component count %d", cfg.vtageNumTagged);
+
+    // Geometric histories doubling from minHist to maxHist.
+    histLens.resize(cfg.vtageNumTagged);
+    int len = cfg.vtageMinHist;
+    for (int i = 0; i < cfg.vtageNumTagged; ++i) {
+        histLens[i] = len;
+        len = len < cfg.vtageMaxHist ? len * 2 : len + 1;
+    }
+
+    base.assign(1u << cfg.vtageBaseLog2Entries, BaseEntry{});
+    tagged.assign(cfg.vtageNumTagged,
+                  std::vector<TaggedEntry>(
+                      1u << cfg.vtageTaggedLog2Entries));
+}
+
+int
+Vtage::tagBitsOf(int comp) const
+{
+    // Tags are 12 + rank bits, rank 1 for the shortest history.
+    const int bits = cfg.vtageTagBits + comp + 1;
+    return bits > 15 ? 15 : bits;
+}
+
+std::vector<std::pair<int, int>>
+Vtage::foldSpecs() const
+{
+    std::vector<std::pair<int, int>> specs;
+    for (int i = 0; i < cfg.vtageNumTagged; ++i) {
+        specs.emplace_back(histLens[i], cfg.vtageTaggedLog2Entries);
+        specs.emplace_back(histLens[i], tagBitsOf(i));
+        specs.emplace_back(histLens[i], tagBitsOf(i) - 1);
+    }
+    return specs;
+}
+
+void
+Vtage::bindHistory(const GlobalHistory &h, std::size_t fold_base)
+{
+    hist = &h;
+    foldBase = fold_base;
+}
+
+std::uint32_t
+Vtage::baseIndex(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc >> 2)
+        & ((1u << cfg.vtageBaseLog2Entries) - 1);
+}
+
+std::uint32_t
+Vtage::taggedIndex(Addr pc, int comp) const
+{
+    const std::uint32_t p = static_cast<std::uint32_t>(pc >> 2);
+    const std::uint32_t h = hist->folded(foldBase + 3 * comp);
+    return (p ^ (p >> (1 + comp)) ^ h)
+        & ((1u << cfg.vtageTaggedLog2Entries) - 1);
+}
+
+std::uint16_t
+Vtage::taggedTag(Addr pc, int comp) const
+{
+    const std::uint32_t p = static_cast<std::uint32_t>(pc >> 2);
+    const std::uint32_t h1 = hist->folded(foldBase + 3 * comp + 1);
+    const std::uint32_t h2 = hist->folded(foldBase + 3 * comp + 2);
+    return static_cast<std::uint16_t>(
+        (p ^ (p >> 5) ^ h1 ^ (h2 << 1))
+        & ((1u << tagBitsOf(comp)) - 1));
+}
+
+VpLookup
+Vtage::predict(Addr pc)
+{
+    panic_if(hist == nullptr, "VTAGE history not bound");
+
+    VpLookup l;
+    l.idx[0] = baseIndex(pc);
+    for (int i = 0; i < cfg.vtageNumTagged; ++i) {
+        l.idx[i + 1] = taggedIndex(pc, i);
+        l.tag[i + 1] = taggedTag(pc, i);
+    }
+
+    // Longest matching tagged component provides; next hit (or the
+    // base) is the alternate.
+    for (int i = cfg.vtageNumTagged - 1; i >= 0; --i) {
+        const TaggedEntry &e = tagged[i][l.idx[i + 1]];
+        if (e.valid && e.tag == l.tag[i + 1]) {
+            if (l.provider < 0) {
+                l.provider = i;
+            } else {
+                l.altProvider = i;
+                break;
+            }
+        }
+    }
+
+    if (l.provider >= 0) {
+        const TaggedEntry &e = tagged[l.provider][l.idx[l.provider + 1]];
+        l.predictionMade = true;
+        l.value = e.value;
+        l.confident = fpc.saturated(e.conf);
+        l.altValue = l.altProvider >= 0
+            ? tagged[l.altProvider][l.idx[l.altProvider + 1]].value
+            : base[l.idx[0]].value;
+    } else {
+        const BaseEntry &b = base[l.idx[0]];
+        l.predictionMade = true;
+        l.value = b.value;
+        l.confident = fpc.saturated(b.conf);
+        l.altValue = b.value;
+    }
+    return l;
+}
+
+void
+Vtage::commit(Addr pc, RegVal actual, const VpLookup &lookup)
+{
+    (void)pc;
+    const bool correct = lookup.value == actual;
+
+    if (lookup.provider >= 0) {
+        TaggedEntry &e = tagged[lookup.provider][lookup.idx[lookup.provider
+                                                            + 1]];
+        fpc.update(e.conf, correct, rng);
+        if (correct) {
+            if (lookup.altValue != actual)
+                e.u = 1;
+        } else {
+            // Replace the value only once confidence has drained.
+            if (e.conf == 0)
+                e.value = actual;
+            e.u = 0;
+        }
+    } else {
+        BaseEntry &b = base[lookup.idx[0]];
+        fpc.update(b.conf, correct, rng);
+        if (!correct && b.conf == 0)
+            b.value = actual;
+    }
+
+    // ITTAGE-style allocation in a longer-history component on a
+    // misprediction.
+    if (!correct && lookup.provider < cfg.vtageNumTagged - 1) {
+        const int start = lookup.provider + 1;
+        bool any_free = false;
+        for (int i = start; i < cfg.vtageNumTagged; ++i) {
+            if (tagged[i][lookup.idx[i + 1]].u == 0) {
+                any_free = true;
+                break;
+            }
+        }
+        if (!any_free) {
+            for (int i = start; i < cfg.vtageNumTagged; ++i)
+                tagged[i][lookup.idx[i + 1]].u = 0;
+            return;
+        }
+        // Pick among free slots with geometric bias toward shorter
+        // histories (probability 1/2 to stop at each candidate).
+        int chosen = -1;
+        for (int i = start; i < cfg.vtageNumTagged; ++i) {
+            if (tagged[i][lookup.idx[i + 1]].u != 0)
+                continue;
+            chosen = i;
+            if (rng.below(2) == 0)
+                break;
+        }
+        TaggedEntry &e = tagged[chosen][lookup.idx[chosen + 1]];
+        e.valid = true;
+        e.tag = lookup.tag[chosen + 1];
+        e.value = actual;
+        e.conf = 0;
+        e.u = 0;
+    }
+}
+
+} // namespace eole

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Workload registry: 19 synthetic SPEC-like kernels.
+ *
+ * Each kernel is a real program (authored with the Assembler, executed
+ * functionally by the KernelVM) engineered to reproduce the traits the
+ * paper's mechanisms key on for the corresponding SPEC benchmark:
+ * value-predictability mix, branch behaviour, memory footprint/pattern,
+ * and ILP. See DESIGN.md §5 for the substitution rationale.
+ */
+
+#ifndef EOLE_WORKLOADS_WORKLOAD_HH
+#define EOLE_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/kernel_vm.hh"
+#include "isa/static_inst.hh"
+#include "isa/trace_source.hh"
+
+namespace eole {
+
+/** A buildable workload. */
+struct Workload
+{
+    std::string name;       //!< e.g. "164.gzip"
+    bool isFp = false;      //!< SPEC FP (vs INT) suite member
+    std::size_t memBytes = 0;
+    Program program;
+    std::function<void(KernelVM &)> init;
+
+    /** Construct a fresh trace source for one simulation run. */
+    TraceSource
+    makeTrace() const
+    {
+        return TraceSource(program, memBytes, init);
+    }
+};
+
+namespace workloads {
+
+/** Names of all 19 benchmarks, in the paper's Table 3 order. */
+const std::vector<std::string> &allNames();
+
+/** Build a workload by name (fatal on unknown name). */
+Workload build(const std::string &name);
+
+/** Build every workload. */
+std::vector<Workload> buildAll();
+
+// Individual builders (one per SPEC benchmark analog).
+Workload makeGzip();     //!< 164.gzip: LZ hashing, data-dependent branches
+Workload makeWupwise();  //!< 168.wupwise: predictable-index FP streams
+Workload makeApplu();    //!< 173.applu: 5-point stencil, high ILP FP
+Workload makeVpr();      //!< 175.vpr: placement cost, abs-diff kernels
+Workload makeArt();      //!< 179.art: neural match, highly repetitive values
+Workload makeCrafty();   //!< 186.crafty: bitboard immediate-ALU chains
+Workload makeParser();   //!< 197.parser: linked-list chasing, branchy
+Workload makeVortex();   //!< 255.vortex: call/ret heavy record updates
+Workload makeBzip2();    //!< 401.bzip2: counting sort, ld-mod-st aliasing
+Workload makeGcc();      //!< 403.gcc: indirect jumps, irregular mix
+Workload makeGamess();   //!< 416.gamess: dense FP with index arithmetic
+Workload makeMcf();      //!< 429.mcf: huge-footprint pointer chase
+Workload makeMilc();     //!< 433.milc: streaming FP, low predictability
+Workload makeNamd();     //!< 444.namd: force loops, massive offload
+Workload makeGobmk();    //!< 445.gobmk: hard branches, board scans
+Workload makeHmmer();    //!< 456.hmmer: Viterbi DP, high ILP, random data
+Workload makeSjeng();    //!< 458.sjeng: search mix, hash probes
+Workload makeH264ref();  //!< 464.h264ref: SAD loops on slowly varying data
+Workload makeLbm();      //!< 470.lbm: lattice streaming, memory bound
+
+/** Simple synthetic micro-workloads used by tests and microbenches. */
+namespace micro {
+
+/** Serial dependency chain of addi (IPC -> 1). */
+Workload depChain();
+/** Fully independent int ALU stream (IPC -> issue width). */
+Workload independent();
+/** Tight loop with an almost-always-taken back edge. */
+Workload loopTaken(int body_len = 6);
+/** Branch whose direction alternates every iteration. */
+Workload togglingBranch();
+/** Strided load stream with strided values (VP-friendly). */
+Workload stridedLoads();
+/** Same-address load/store ping-pong (forwarding stress). */
+Workload storeLoadForward();
+/** Random-direction branch (bp stress), seeded deterministically. */
+Workload randomBranch(std::uint64_t seed = 7);
+
+} // namespace micro
+
+} // namespace workloads
+} // namespace eole
+
+#endif // EOLE_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Workload registry: name lookup over the 19 SPEC-like kernels.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace eole {
+namespace workloads {
+
+namespace {
+
+struct Entry
+{
+    const char *name;
+    Workload (*build)();
+};
+
+// Table 3 order (CPU2000 first, then CPU2006).
+const Entry registry[] = {
+    {"164.gzip", makeGzip},
+    {"168.wupwise", makeWupwise},
+    {"173.applu", makeApplu},
+    {"175.vpr", makeVpr},
+    {"179.art", makeArt},
+    {"186.crafty", makeCrafty},
+    {"197.parser", makeParser},
+    {"255.vortex", makeVortex},
+    {"401.bzip2", makeBzip2},
+    {"403.gcc", makeGcc},
+    {"416.gamess", makeGamess},
+    {"429.mcf", makeMcf},
+    {"433.milc", makeMilc},
+    {"444.namd", makeNamd},
+    {"445.gobmk", makeGobmk},
+    {"456.hmmer", makeHmmer},
+    {"458.sjeng", makeSjeng},
+    {"464.h264ref", makeH264ref},
+    {"470.lbm", makeLbm},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+allNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &e : registry)
+            v.emplace_back(e.name);
+        return v;
+    }();
+    return names;
+}
+
+Workload
+build(const std::string &name)
+{
+    for (const auto &e : registry) {
+        if (name == e.name)
+            return e.build();
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<Workload>
+buildAll()
+{
+    std::vector<Workload> v;
+    v.reserve(std::size(registry));
+    for (const auto &e : registry)
+        v.push_back(e.build());
+    return v;
+}
+
+} // namespace workloads
+} // namespace eole

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the common substrate: saturating counters, RNG,
+ * bounded queues, delayed pipes, stats records and FPC confidence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/queues.hh"
+#include "common/random.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "vpred/fpc.hh"
+
+using namespace eole;
+
+TEST(SatCounter, SaturatesHighAndLow)
+{
+    SatCounter c(2);
+    EXPECT_TRUE(c.isZero());
+    EXPECT_FALSE(c.decrement());
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(c.increment());
+    EXPECT_TRUE(c.isSaturated());
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_FALSE(c.increment());
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, ResetClamps)
+{
+    SatCounter c(3);
+    c.reset(99);
+    EXPECT_EQ(c.value(), 7u);
+    c.reset(2);
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(SignedSatCounter, RangeAndPrediction)
+{
+    SignedSatCounter c(3, 0);
+    EXPECT_EQ(c.min(), -4);
+    EXPECT_EQ(c.max(), 3);
+    EXPECT_TRUE(c.predictTaken());
+    EXPECT_TRUE(c.isWeak());
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.isSaturated());
+    for (int i = 0; i < 10; ++i)
+        c.update(false);
+    EXPECT_EQ(c.value(), -4);
+    EXPECT_FALSE(c.predictTaken());
+    EXPECT_TRUE(c.isSaturated());
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool all_equal = true;
+    bool any_diff_seed_diff = false;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t va = a.next();
+        all_equal = all_equal && va == b.next();
+        any_diff_seed_diff = any_diff_seed_diff || va != c.next();
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(Rng, BoundedAndRoughlyUniform)
+{
+    Rng r(7);
+    int buckets[10] = {};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t v = r.below(10);
+        ASSERT_LT(v, 10u);
+        ++buckets[v];
+    }
+    for (int b = 0; b < 10; ++b) {
+        EXPECT_NEAR(buckets[b], n / 10, n / 100);
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(11);
+    int hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(1.0 / 32);
+    EXPECT_NEAR(hits / double(n), 1.0 / 32, 0.003);
+}
+
+TEST(CircularQueue, FifoOrderAndWraparound)
+{
+    CircularQueue<int> q(4);
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 4; ++i)
+            q.pushBack(round * 10 + i);
+        EXPECT_TRUE(q.full());
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(q.popFront(), round * 10 + i);
+        EXPECT_TRUE(q.empty());
+    }
+}
+
+TEST(CircularQueue, PopBackForSquash)
+{
+    CircularQueue<int> q(8);
+    for (int i = 0; i < 6; ++i)
+        q.pushBack(i);
+    EXPECT_EQ(q.popBack(), 5);
+    EXPECT_EQ(q.popBack(), 4);
+    EXPECT_EQ(q.back(), 3);
+    EXPECT_EQ(q.front(), 0);
+    EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(CircularQueue, IndexedAccessFromHead)
+{
+    CircularQueue<int> q(4);
+    q.pushBack(1);
+    q.pushBack(2);
+    q.popFront();
+    q.pushBack(3);
+    q.pushBack(4);
+    q.pushBack(5);  // wraps internally
+    EXPECT_EQ(q.at(0), 2);
+    EXPECT_EQ(q.at(3), 5);
+}
+
+TEST(DelayedPipe, EnforcesLatency)
+{
+    DelayedPipe<int> p(3, 2);
+    p.push(10, 1);
+    EXPECT_FALSE(p.canPop(10));
+    EXPECT_FALSE(p.canPop(12));
+    EXPECT_TRUE(p.canPop(13));
+    EXPECT_EQ(p.pop(13), 1);
+}
+
+TEST(DelayedPipe, EnforcesBandwidth)
+{
+    DelayedPipe<int> p(1, 2);
+    EXPECT_TRUE(p.canPush(5));
+    p.push(5, 1);
+    p.push(5, 2);
+    EXPECT_FALSE(p.canPush(5));
+    EXPECT_TRUE(p.canPush(6));
+}
+
+TEST(DelayedPipe, EnforcesCapacity)
+{
+    DelayedPipe<int> p(10, 0, 3);
+    p.push(0, 1);
+    p.push(0, 2);
+    p.push(0, 3);
+    EXPECT_FALSE(p.canPush(0));
+    EXPECT_FALSE(p.canPush(1));
+}
+
+TEST(DelayedPipe, RemoveIfDropsMatching)
+{
+    DelayedPipe<int> p(1, 0);
+    for (int i = 0; i < 6; ++i)
+        p.push(0, i);
+    p.removeIf([](int v) { return v % 2 == 0; });
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.pop(100), 1);
+    EXPECT_EQ(p.pop(100), 3);
+    EXPECT_EQ(p.pop(100), 5);
+}
+
+TEST(StatRecord, GetAndPrefix)
+{
+    StatRecord a;
+    a.add("x", 1.5);
+    StatRecord b;
+    b.add("hits", 10);
+    a.addAll("l1.", b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 1.5);
+    EXPECT_DOUBLE_EQ(a.get("l1.hits"), 10.0);
+    EXPECT_FALSE(a.has("missing"));
+    EXPECT_DOUBLE_EQ(a.get("missing"), 0.0);
+}
+
+TEST(Fpc, ResetsOnWrong)
+{
+    Fpc fpc({1.0, 1.0, 1.0});
+    Rng rng(3);
+    std::uint8_t c = 0;
+    fpc.update(c, true, rng);
+    fpc.update(c, true, rng);
+    EXPECT_EQ(c, 2);
+    fpc.update(c, false, rng);
+    EXPECT_EQ(c, 0);
+}
+
+TEST(Fpc, DeterministicVectorSaturates)
+{
+    Fpc fpc({1.0, 1.0, 1.0});
+    Rng rng(3);
+    std::uint8_t c = 0;
+    for (int i = 0; i < 3; ++i)
+        fpc.update(c, true, rng);
+    EXPECT_TRUE(fpc.saturated(c));
+    // Saturated counters stay saturated on further correct outcomes.
+    fpc.update(c, true, rng);
+    EXPECT_EQ(c, fpc.max());
+}
+
+TEST(Fpc, PaperVectorNeedsManyCorrectPredictions)
+{
+    // With v = {1, 4x 1/32, 2x 1/64}, the expected number of correct
+    // predictions to saturate is 1 + 4*32 + 2*64 = 257. Check the
+    // empirical mean over many trials is in that ballpark.
+    Fpc fpc;  // paper vector
+    Rng rng(17);
+    double total = 0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+        std::uint8_t c = 0;
+        int steps = 0;
+        while (!fpc.saturated(c)) {
+            fpc.update(c, true, rng);
+            ++steps;
+        }
+        total += steps;
+    }
+    EXPECT_NEAR(total / trials, 257.0, 30.0);
+}
+
+TEST(Fpc, RejectsBadVectors)
+{
+    EXPECT_DEATH({ Fpc bad(std::vector<double>{}); }, "");
+    EXPECT_DEATH({ Fpc bad(std::vector<double>{0.0}); }, "");
+    EXPECT_DEATH({ Fpc bad(std::vector<double>{2.0}); }, "");
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the experiment layer: named configurations, the parallel
+ * grid runner and table helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/configs.hh"
+#include "sim/experiment.hh"
+
+using namespace eole;
+
+TEST(Configs, NamesFollowThePaper)
+{
+    EXPECT_EQ(configs::baseline(6, 64).name, "Baseline_6_64");
+    EXPECT_EQ(configs::baselineVp(4, 64).name, "Baseline_VP_4_64");
+    EXPECT_EQ(configs::eole(6, 48).name, "EOLE_6_48");
+    EXPECT_EQ(configs::eoleConstrained(4, 64, 4, 4).name,
+              "EOLE_4_64_4ports_4banks");
+    EXPECT_EQ(configs::ole(4, 64, 4, 4).name, "OLE_4_64_4ports_4banks");
+    EXPECT_EQ(configs::eoe(4, 64, 4, 4).name, "EOE_4_64_4ports_4banks");
+}
+
+TEST(Configs, KnobsAreConsistent)
+{
+    const SimConfig b = configs::baseline(4, 48);
+    EXPECT_EQ(b.issueWidth, 4);
+    EXPECT_EQ(b.iqEntries, 48);
+    EXPECT_EQ(b.numAlu, 4);  // ALU rank tracks issue width (§6.1)
+    EXPECT_FALSE(b.vpEnabled());
+    EXPECT_EQ(b.preCommitCycles(), 0);
+
+    const SimConfig v = configs::baselineVp(6, 64);
+    EXPECT_TRUE(v.vpEnabled());
+    EXPECT_EQ(v.preCommitCycles(), 1);  // the LE/VT stage
+    EXPECT_FALSE(v.eoleActive());
+
+    const SimConfig e = configs::eoleConstrained(4, 64, 4, 3);
+    EXPECT_TRUE(e.earlyExec);
+    EXPECT_TRUE(e.lateExec);
+    EXPECT_EQ(e.prfBanks, 4);
+    EXPECT_EQ(e.levtReadPortsPerBank, 3);
+    EXPECT_EQ(e.eeWritePortsPerBank, 2);
+
+    const SimConfig o = configs::ole(4, 64, 4, 4);
+    EXPECT_FALSE(o.earlyExec);
+    EXPECT_TRUE(o.lateExec);
+
+    const SimConfig eo = configs::eoe(4, 64, 4, 4);
+    EXPECT_TRUE(eo.earlyExec);
+    EXPECT_FALSE(eo.lateExec);
+}
+
+TEST(Experiment, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Experiment, EnvOverridesRunLengths)
+{
+    setenv("EOLE_WARMUP", "123", 1);
+    setenv("EOLE_INSTS", "456", 1);
+    EXPECT_EQ(warmupUops(), 123u);
+    EXPECT_EQ(measureUops(), 456u);
+    unsetenv("EOLE_WARMUP");
+    unsetenv("EOLE_INSTS");
+}
+
+TEST(Experiment, GridRunsAllPairsInParallel)
+{
+    setenv("EOLE_WARMUP", "2000", 1);
+    setenv("EOLE_INSTS", "20000", 1);
+
+    const std::vector<SimConfig> cfgs = {configs::baseline(6, 64),
+                                         configs::baselineVp(6, 64)};
+    const std::vector<std::string> names = {"164.gzip", "186.crafty"};
+    const auto results = runGrid(cfgs, names);
+    ASSERT_EQ(results.size(), 4u);
+
+    for (const auto &cfg : cfgs) {
+        for (const auto &wname : names) {
+            const RunResult &r = findResult(results, cfg.name, wname);
+            EXPECT_GT(r.ipc(), 0.0) << cfg.name << "/" << wname;
+            // A commit group may overshoot the target by < commitWidth.
+            EXPECT_GE(r.stats.get("committed_uops"), 20000.0);
+            EXPECT_LT(r.stats.get("committed_uops"), 20008.0);
+        }
+    }
+    // VP stats only present (non-zero) on the VP configuration.
+    EXPECT_EQ(findResult(results, "Baseline_6_64", "164.gzip")
+                  .stats.get("vp_used"),
+              0.0);
+
+    unsetenv("EOLE_WARMUP");
+    unsetenv("EOLE_INSTS");
+}
+
+TEST(Experiment, FindResultDiesOnMissing)
+{
+    std::vector<RunResult> results;
+    EXPECT_DEATH((void)findResult(results, "nope", "nothing"),
+                 "no result");
+}
+
+TEST(Experiment, DeterministicAcrossRuns)
+{
+    setenv("EOLE_WARMUP", "1000", 1);
+    setenv("EOLE_INSTS", "10000", 1);
+    const std::vector<SimConfig> cfgs = {configs::eole(4, 64)};
+    const std::vector<std::string> names = {"458.sjeng"};
+    const auto a = runGrid(cfgs, names);
+    const auto b = runGrid(cfgs, names);
+    EXPECT_DOUBLE_EQ(a[0].stats.get("cycles"), b[0].stats.get("cycles"));
+    EXPECT_DOUBLE_EQ(a[0].stats.get("early_executed"),
+                     b[0].stats.get("early_executed"));
+    unsetenv("EOLE_WARMUP");
+    unsetenv("EOLE_INSTS");
+}
