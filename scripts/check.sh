@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entrypoint: tier-1 verify (configure + build + ctest) with short
+# run lengths so the experiment grids finish in CI time. The run-length
+# env overrides are honoured by sim/experiment.cc (see DESIGN.md §5);
+# tests that pin golden values use their own explicit run lengths and
+# are unaffected.
+#
+# Usage: scripts/check.sh [--with-bench]
+#   --with-bench   also run the fig13 modularity bench (stage-swap
+#                  self-check + the EOLE/OLE/EOE grid) on the short
+#                  run lengths.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export EOLE_WARMUP="${EOLE_WARMUP:-50000}"
+export EOLE_INSTS="${EOLE_INSTS:-100000}"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "${1:-}" == "--with-bench" ]]; then
+    ./build/fig13_modularity
+fi
+
+echo "check.sh: OK (warmup=$EOLE_WARMUP, insts=$EOLE_INSTS)"

@@ -1,908 +1,71 @@
 #include "pipeline/core.hh"
 
-#include <algorithm>
-
-#include "common/logging.hh"
-#include "isa/functional.hh"
-
 namespace eole {
 
-namespace {
-
-/** Deterministic garbage for wrong-address speculative loads. */
-RegVal
-garbageValue(Addr addr)
-{
-    return (addr * 0x9e3779b97f4a7c15ULL) >> 11;
-}
-
-/** Do two byte ranges overlap? */
-bool
-rangesOverlap(Addr a1, unsigned s1, Addr a2, unsigned s2)
-{
-    return a1 < a2 + s2 && a2 < a1 + s1;
-}
-
-RegVal
-sliceValue(RegVal v, unsigned size)
-{
-    if (size >= 8)
-        return v;
-    return v & ((1ULL << (8 * size)) - 1);
-}
-
-} // namespace
-
 Core::Core(const SimConfig &config, const Workload &workload)
-    : cfg(config), ts(workload.makeTrace()),
-      vp(createValuePredictor(cfg.vp, cfg.seed ^ 0x70)),
-      ssets(cfg.ssitLog2Entries, cfg.lfstEntries),
-      fus(cfg.numAlu, cfg.numMulDiv, cfg.numFp, cfg.numFpMulDiv,
-          cfg.numMemPorts),
-      ee(cfg.eeStages),
-      ports(cfg.prfBanks, cfg.eeWritePortsPerBank, cfg.levtReadPortsPerBank),
-      frontPipe(cfg.frontEndCycles, cfg.fetchWidth,
-                static_cast<size_t>(cfg.frontEndCycles) * cfg.fetchWidth),
-      rob(cfg.robEntries), lq(cfg.lqEntries), sq(cfg.sqEntries)
+    : Core(config, workload, buildDefaultPipeline(config))
 {
-    fatal_if(cfg.levtReadPortsPerBank == 1,
-             "LE/VT needs >= 2 read ports per bank (a late-executed µ-op "
-             "may read two operands from one bank)");
-    fatal_if(cfg.prfBanks > 64, "at most 64 PRF banks supported");
+}
 
-    // The branch unit owns the global history; VTAGE folds ride along.
-    std::vector<std::pair<int, int>> extra;
-    if (vp)
-        extra = vp->foldSpecs();
-    bu = std::make_unique<BranchUnit>(cfg.bp, extra, cfg.seed ^ 0xb0);
-    if (vp)
-        vp->bindHistory(bu->history(), bu->extraFoldBase());
-
-    mem = std::make_unique<MemHierarchy>(cfg.mem);
-
-    prf[0] = std::make_unique<PhysRegFile>(cfg.physIntRegs, cfg.prfBanks);
-    prf[1] = std::make_unique<PhysRegFile>(cfg.physFpRegs, cfg.prfBanks);
-    rmap[0] = std::make_unique<RenameMap>(numArchIntRegs);
-    rmap[1] = std::make_unique<RenameMap>(numArchFpRegs);
-
-    // Initial mapping: arch reg i -> phys reg i, holding the VM's
-    // post-init architectural values.
-    prf[0]->initFreeLists(numArchIntRegs);
-    prf[1]->initFreeLists(numArchFpRegs);
-    const KernelVM &vm = ts.machine();
-    for (int r = 0; r < numArchIntRegs; ++r) {
-        rmap[0]->rename(static_cast<RegIndex>(r), static_cast<RegIndex>(r));
-        prf[0]->write(static_cast<RegIndex>(r),
-                      vm.readIntReg(static_cast<RegIndex>(r)), 0);
-    }
-    for (int r = 0; r < numArchFpRegs; ++r) {
-        rmap[1]->rename(static_cast<RegIndex>(r), static_cast<RegIndex>(r));
-        prf[1]->write(static_cast<RegIndex>(r),
-                      vm.readFpReg(static_cast<RegIndex>(r)), 0);
-    }
+Core::Core(const SimConfig &config, const Workload &workload,
+           StagePipeline pipeline)
+    : state(std::make_unique<PipelineState>(config, workload)),
+      pipe(std::move(pipeline))
+{
+    pipe.wire();
+    state->setSquashOrder(pipe.squashOrder);
 }
 
 Core::~Core() = default;
 
-int
-Core::bankOfReg(RegClass cls, RegIndex phys) const
-{
-    return prf[int(cls)]->bankOf(phys);
-}
-
-RegVal
-Core::readOperand(const DynInst &di, int idx) const
-{
-    const RegIndex src = idx == 0 ? di.uop.src1 : di.uop.src2;
-    if (src == invalidReg)
-        return 0;
-    return prf[int(di.uop.srcClass[idx])]->read(di.physSrc[idx]);
-}
-
-bool
-Core::operandsReady(const DynInst &di) const
-{
-    for (int i = 0; i < 2; ++i) {
-        const RegIndex src = i == 0 ? di.uop.src1 : di.uop.src2;
-        if (src == invalidReg)
-            continue;
-        if (!prf[int(di.uop.srcClass[i])]->isReady(di.physSrc[i], now))
-            return false;
-    }
-    return true;
-}
-
-bool
-Core::storeExecuted(SeqNum store_seq) const
-{
-    for (size_t i = 0; i < sq.size(); ++i) {
-        const DynInstPtr &st = sq.at(i);
-        if (st->seq == store_seq)
-            return st->effAddrValid;
-    }
-    // Not in the SQ: already committed (or squashed).
-    return true;
-}
-
-// ------------------------------ Execution -------------------------------
-
-void
-Core::finishExec(const DynInstPtr &di, RegVal value, Cycle ready)
-{
-    di->computedValue = value;
-    di->hasComputedValue = true;
-    if (di->physDst != invalidReg) {
-        PhysRegFile &f = prfOf(di->uop.dstClass);
-        if (di->predictionUsed) {
-            // The prediction was written (and made ready) at dispatch;
-            // writeback replaces the value, as in the paper's baseline.
-            f.overwriteValue(di->physDst, value);
-        } else {
-            f.write(di->physDst, value, ready);
-        }
-    }
-    completions[ready].push_back(di);
-}
-
-void
-Core::checkStoreViolation(const DynInstPtr &store)
-{
-    DynInstPtr victim;
-    for (size_t i = 0; i < lq.size(); ++i) {
-        const DynInstPtr &ld = lq.at(i);
-        if (ld->seq <= store->seq || !ld->effAddrValid || ld->squashed)
-            continue;
-        if (!ld->issued && !ld->completed)
-            continue;
-        if (!rangesOverlap(ld->effAddr, ld->uop.memSize, store->effAddr,
-                           store->uop.memSize)) {
-            continue;
-        }
-        if (!victim || ld->seq < victim->seq)
-            victim = ld;
-    }
-    if (!victim)
-        return;
-
-    ++s.memOrderViolations;
-    ssets.violation(victim->uop.pc, store->uop.pc);
-    // Squash from the violating load (it re-executes after the store).
-    squashAfter(victim->seq - 1, victim->postSnap, now + 1);
-}
-
-bool
-Core::executeInst(const DynInstPtr &di)
-{
-    const OpClass cls = di->uop.opClass();
-
-    switch (cls) {
-      case OpClass::IntAlu:
-      case OpClass::IntMul:
-      case OpClass::IntDiv:
-      case OpClass::FpAlu:
-      case OpClass::FpMul:
-      case OpClass::FpDiv: {
-        const RegVal a = readOperand(*di, 0);
-        const RegVal b = readOperand(*di, 1);
-        const RegVal val = execAlu(di->uop.opc, a, b, di->uop.imm);
-        finishExec(di, val, now + opLatency(cls));
-        return true;
-      }
-
-      case OpClass::Branch: {
-        // Branches resolve one cycle after issue on an ALU. Calls
-        // produce the link value.
-        const RegVal val = di->uop.isCall() ? di->uop.pc + uopBytes : 0;
-        finishExec(di, val, now + 1);
-        return true;
-      }
-
-      case OpClass::MemRead: {
-        const Addr addr = effectiveAddr(readOperand(*di, 0), di->uop.imm);
-        di->effAddr = addr;
-        di->effAddrValid = true;
-
-        // Search the SQ for the youngest older overlapping store.
-        DynInstPtr match;
-        bool partial = false;
-        for (size_t i = sq.size(); i-- > 0;) {
-            const DynInstPtr &st = sq.at(i);
-            if (st->seq > di->seq || st->squashed)
-                continue;
-            if (!st->effAddrValid) {
-                // Unknown address older store: proceed speculatively
-                // (Store Sets vouched); violations are caught later.
-                continue;
-            }
-            if (!rangesOverlap(addr, di->uop.memSize, st->effAddr,
-                               st->uop.memSize)) {
-                continue;
-            }
-            if (st->effAddr == addr && di->uop.memSize <= st->uop.memSize)
-                match = st;
-            else
-                partial = true;
-            break;  // youngest older overlapping store decides
-        }
-
-        if (partial) {
-            // Partial overlap: wait until the store drains (retry).
-            return false;
-        }
-
-        RegVal val;
-        Cycle ready;
-        if (match) {
-            val = sliceValue(match->storeData, di->uop.memSize);
-            ready = now + 2;  // forwarding at L1-hit-like latency
-            ++s.storeToLoadForwards;
-        } else {
-            // Architecturally correct value when the address is right;
-            // deterministic garbage when executing with mispredicted
-            // operands (will be squashed).
-            val = addr == di->uop.effAddr ? di->uop.result
-                                          : sliceValue(garbageValue(addr),
-                                                       di->uop.memSize);
-            ready = mem->loadAccess(di->uop.pc, addr, now + 1);
-        }
-        finishExec(di, val, ready);
-        return true;
-      }
-
-      case OpClass::MemWrite: {
-        const Addr addr = effectiveAddr(readOperand(*di, 0), di->uop.imm);
-        di->effAddr = addr;
-        di->effAddrValid = true;
-        di->storeData = readOperand(*di, 1);
-        ssets.storeResolved(di->uop.pc, di->seq);
-        // Violation check first: the squash (if any) only removes µ-ops
-        // younger than the violating load; this store survives it.
-        checkStoreViolation(di);
-        finishExec(di, di->storeData, now + 1);
-        return true;
-      }
-
-      default:
-        finishExec(di, 0, now + 1);
-        return true;
-    }
-}
-
-// ------------------------------ Stages ----------------------------------
-
-void
-Core::completionStage()
-{
-    while (!completions.empty() && completions.begin()->first <= now) {
-        auto node = completions.extract(completions.begin());
-        for (const DynInstPtr &di : node.mapped()) {
-            if (di->squashed)
-                continue;
-            di->completed = true;
-            di->completeCycle = now;
-            if (di->isBranch() && di->bp.mispredict && !di->lateExecBranch)
-                resolveMispredictedBranch(di);
-        }
-    }
-}
-
-void
-Core::resolveMispredictedBranch(const DynInstPtr &di)
-{
-    // Nothing younger was fetched (fetch stalls behind a branch known
-    // to be mispredicted), so repair state and redirect fetch.
-    bu->repairAfterBranch(di->uop, di->preSnap);
-    ee.reset();
-    if (fetchBlockedOnBranch && fetchBlockedOnBranch->seq == di->seq)
-        fetchBlockedOnBranch.reset();
-    fetchStallUntil = std::max(fetchStallUntil, now + 1);
-    ++s.branchMispredicts;
-    if (di->bp.highConf)
-        ++s.highConfMispredicts;
-}
-
-bool
-Core::readyToRetire(const DynInst &di) const
-{
-    // completeCycle is the execution-completion cycle for OoO µ-ops,
-    // the dispatch cycle for EE'd / late-executable µ-ops. The +1 is
-    // the writeback->commit stage; preCommitCycles() adds the LE/VT
-    // stage when value prediction is on (§4.1).
-    const Cycle delay = 1 + cfg.preCommitCycles();
-    if (!di.completed && !di.lateExecutable())
-        return false;
-    return di.dispatched && now >= di.completeCycle + delay;
-}
-
-int
-Core::levtReadNeeds(const DynInst &di, int *banks_out) const
-{
-    int n = 0;
-    if (di.lateExecutable()) {
-        // Operand reads for Late Execution.
-        for (int i = 0; i < 2; ++i) {
-            const RegIndex src = i == 0 ? di.uop.src1 : di.uop.src2;
-            if (src == invalidReg)
-                continue;
-            banks_out[n++] = bankOfReg(di.uop.srcClass[i], di.physSrc[i]);
-        }
-    } else if (di.uop.vpEligible() && cfg.vpEnabled()) {
-        // Validation (predicted) / training (all eligible) result read.
-        banks_out[n++] = bankOfReg(di.uop.dstClass, di.physDst);
-    }
-    return n;
-}
-
-void
-Core::lateExecute(const DynInstPtr &di)
-{
-    if (di->lateExecAlu) {
-        const RegVal a = readOperand(*di, 0);
-        const RegVal b = readOperand(*di, 1);
-        di->computedValue = execAlu(di->uop.opc, a, b, di->uop.imm);
-        di->hasComputedValue = true;
-        di->completed = true;
-        ++s.lateExecutedAlu;
-    } else if (di->lateExecBranch) {
-        di->completed = true;
-        ++s.lateExecutedBranches;
-        if (di->bp.mispredict)
-            resolveMispredictedBranch(di);
-    }
-}
-
-void
-Core::commitStage()
-{
-    int committed = 0;
-    while (committed < cfg.commitWidth && !rob.empty()) {
-        DynInstPtr di = rob.front();
-        if (!readyToRetire(*di))
-            break;
-
-        // LE/VT read-port accounting (§6.3).
-        int banks[4];
-        const int nreads = levtReadNeeds(*di, banks);
-        if (nreads > 0 && !ports.tryLevtReads(banks, nreads)) {
-            ++s.commitPortStalls;
-            break;
-        }
-
-        // Late Execution happens here, in the pre-commit stage.
-        const bool was_le = di->lateExecutable();
-        if (was_le)
-            lateExecute(di);
-
-        // --- Validation (predicted µ-ops) ---
-        bool value_mispredict = false;
-        if (di->predictionUsed) {
-            panic_if(!di->hasComputedValue,
-                     "predicted µ-op %llu commits without a result",
-                     (unsigned long long)di->seq);
-            value_mispredict = di->computedValue != di->predictedValue;
-            if (!value_mispredict)
-                ++s.vpCorrectUsed;
-            // Fix the PRF if the prediction was still live there.
-            if (value_mispredict)
-                prfOf(di->uop.dstClass).overwriteValue(di->physDst,
-                                                       di->computedValue);
-        }
-
-        // --- Lockstep oracle check (self-verification) ---
-        if (di->uop.hasDst()) {
-            panic_if(di->computedValue != di->uop.result,
-                     "oracle mismatch @%llu pc=%#llx %s: got %#llx "
-                     "expected %#llx",
-                     (unsigned long long)di->seq,
-                     (unsigned long long)di->uop.pc,
-                     opcodeName(di->uop.opc),
-                     (unsigned long long)di->computedValue,
-                     (unsigned long long)di->uop.result);
-        } else if (di->isStore()) {
-            panic_if(di->storeData != di->uop.result
-                         || di->effAddr != di->uop.effAddr,
-                     "store oracle mismatch @%llu",
-                     (unsigned long long)di->seq);
-        }
-
-        // --- Training ---
-        if (cfg.vpEnabled() && di->vpLookupValid)
-            vp->commit(di->uop.pc, di->uop.result, di->vp);
-        if (di->isBranch())
-            bu->commitBranch(di->uop, di->bp);
-        if (di->isStore())
-            mem->storeAccess(di->uop.pc, di->effAddr, now);
-
-        // --- Statistics ---
-        ++s.committedUops;
-        if (di->uop.isCondBr()) {
-            ++s.condBranches;
-            if (di->bp.highConf)
-                ++s.highConfBranches;
-        }
-        if (di->uop.vpEligible())
-            ++s.vpEligible;
-        if (di->predictionUsed)
-            ++s.vpPredictionsUsed;
-        if (di->earlyExecuted)
-            ++s.earlyExecuted;
-        if (di->isLoad())
-            ++s.loads;
-        if (di->isStore())
-            ++s.stores;
-
-        // --- Retire ---
-        if (di->oldPhysDst != invalidReg)
-            prfOf(di->uop.dstClass).freeReg(di->oldPhysDst);
-        rob.popFront();
-        if (di->isLoad())
-            lq.popFront();
-        if (di->isStore())
-            sq.popFront();
-        ts.retireUpTo(di->seq);
-        ++committed;
-
-        if (value_mispredict) {
-            ++s.vpMispredictSquashes;
-            squashAfter(di->seq, di->postSnap, now + 1);
-            break;
-        }
-    }
-}
-
-void
-Core::issueStage()
-{
-    fus.newCycle();
-    int issued = 0;
-
-    // Iterate over a snapshot: a store's violation check may squash
-    // (and thus mutate) the IQ mid-scan.
-    const std::vector<DynInstPtr> candidates = iq;
-    for (const DynInstPtr &di : candidates) {
-        if (issued >= cfg.issueWidth)
-            break;
-        if (di->squashed || di->issued)
-            continue;
-        if (!operandsReady(*di))
-            continue;
-
-        const OpClass cls = di->uop.opClass();
-        if (!fus.canIssue(cls, now))
-            continue;
-
-        // Store Sets: loads and stores wait for the in-flight store
-        // the predictor says they depend on.
-        if ((di->isLoad() || di->isStore()) && di->dependsOnStore != 0
-            && !storeExecuted(di->dependsOnStore)) {
-            continue;
-        }
-
-        if (!executeInst(di))
-            continue;  // blocked (e.g. partial store overlap); retry
-
-        di->issued = true;
-        di->inIQ = false;
-        const unsigned lat = opLatency(cls);
-        fus.issue(cls, now, now + lat);
-        ++issued;
-        if (di->squashed)
-            break;  // a store's violation check squashed the pipeline
-    }
-
-    std::erase_if(iq, [](const DynInstPtr &di) {
-        return di->issued || di->squashed;
-    });
-    s.iqOccupancySum += iq.size();
-}
-
-void
-Core::dispatchStage()
-{
-    int dispatched = 0;
-    while (dispatched < cfg.dispatchWidth && !renameOut.empty()) {
-        DynInstPtr di = renameOut.front();
-
-        if (rob.full()) {
-            ++s.robFullStalls;
-            break;
-        }
-        if (di->isLoad() && lq.full())
-            break;
-        if (di->isStore() && sq.full())
-            break;
-
-        const bool needs_iq = !di->bypassesOoO()
-            && di->uop.opClass() != OpClass::NoOp;
-        if (needs_iq && static_cast<int>(iq.size()) >= cfg.iqEntries) {
-            ++s.iqFullStalls;
-            break;
-        }
-
-        // EE results and used predictions are written to the PRF at
-        // dispatch, consuming constrained write ports (§6.3).
-        if (di->physDst != invalidReg
-            && (di->earlyExecuted || di->predictionUsed)) {
-            const int bank = bankOfReg(di->uop.dstClass, di->physDst);
-            if (!ports.tryEeWrite(bank)) {
-                ++s.dispatchPortStalls;
-                break;
-            }
-            const RegVal v = di->earlyExecuted ? di->computedValue
-                                               : di->predictedValue;
-            prfOf(di->uop.dstClass).write(di->physDst, v, now);
-        }
-
-        renameOut.pop_front();
-        di->dispatched = true;
-        rob.pushBack(di);
-        if (di->isLoad())
-            lq.pushBack(di);
-        if (di->isStore())
-            sq.pushBack(di);
-
-        if (di->earlyExecuted || di->uop.opClass() == OpClass::NoOp) {
-            di->completed = true;
-            di->completeCycle = now;
-        } else if (di->lateExecutable()) {
-            di->completeCycle = now;  // LE gating base (see readyToRetire)
-        } else {
-            di->inIQ = true;
-            iq.push_back(di);
-            ++s.dispatchedToIQ;
-        }
-        ++dispatched;
-    }
-}
-
-void
-Core::renameStage()
-{
-    renameGroup.clear();
-
-    while (static_cast<int>(renameGroup.size()) < cfg.renameWidth
-           && renameOut.size() < 2 * static_cast<size_t>(cfg.dispatchWidth)
-           && frontPipe.canPop(now)) {
-        const DynInstPtr &peek = frontPipe.front();
-
-        // Banked free-list check before consuming the µ-op.
-        const bool has_dst = peek->uop.hasDst()
-            && !(peek->uop.dstClass == RegClass::Int && peek->uop.dst == 0);
-        int bank = 0;
-        if (has_dst) {
-            bank = bankCursor % cfg.prfBanks;
-            if (!prfOf(peek->uop.dstClass).bankHasFree(bank)) {
-                ++s.renameBankStalls;
-                break;
-            }
-        }
-
-        DynInstPtr di = frontPipe.pop(now);
-        if (renameGroup.empty())
-            ee.beginGroup();
-
-        // Rename sources.
-        for (int i = 0; i < 2; ++i) {
-            const RegIndex src = i == 0 ? di->uop.src1 : di->uop.src2;
-            if (src == invalidReg)
-                continue;
-            di->physSrc[i] = mapOf(di->uop.srcClass[i]).lookup(src);
-        }
-
-        // Rename destination (bank-aware round-robin allocation).
-        if (has_dst) {
-            PhysRegFile &f = prfOf(di->uop.dstClass);
-            const RegIndex phys = f.allocFromBank(bank);
-            di->physDst = phys;
-            di->oldPhysDst = mapOf(di->uop.dstClass).rename(di->uop.dst,
-                                                            phys);
-            f.markPending(phys);
-            ++bankCursor;
-        } else if (di->uop.hasDst()) {
-            // Write to the int zero register: architecturally dropped.
-            di->uop.dst = invalidReg;
-        }
-        di->renamed = true;
-
-        // --- Early Execution (parallel with Rename, §3.2) ---
-        if (cfg.earlyExec)
-            (void)tryEarlyExecute(di);
-
-        // Publish bypass/prediction operands for EE consumers.
-        if (di->physDst != invalidReg) {
-            if (di->earlyExecuted) {
-                ee.publish(di->uop.dstClass, di->physDst,
-                           di->computedValue);
-            } else if (di->predictionUsed) {
-                ee.publish(di->uop.dstClass, di->physDst,
-                           di->predictedValue);
-            }
-        }
-
-        // --- Late Execution routing (§3.3) ---
-        if (cfg.lateExec && !di->earlyExecuted && di->predictionUsed
-            && isSingleCycleAlu(di->uop.opc)) {
-            di->lateExecAlu = true;
-        }
-        if (cfg.lateExec && cfg.lateExecBranches && di->uop.isCondBr()
-            && di->bp.highConf) {
-            di->lateExecBranch = true;
-        }
-
-        // Store Sets bookkeeping (rename order = program order).
-        if (di->isLoad() || di->isStore())
-            di->dependsOnStore = ssets.lookupDependence(di->uop.pc);
-        if (di->isStore())
-            ssets.insertStore(di->uop.pc, di->seq);
-
-        renameGroup.push_back(di);
-        renameOut.push_back(di);
-    }
-
-    // Optional second EE stage (Fig 2): retry non-executed µ-ops with
-    // the first stage's results visible.
-    if (cfg.earlyExec && ee.stages() > 1) {
-        for (const DynInstPtr &di : renameGroup) {
-            if (di->earlyExecuted)
-                continue;
-            if (tryEarlyExecute(di)) {
-                ee.publish(di->uop.dstClass, di->physDst,
-                           di->computedValue);
-                di->lateExecAlu = false;
-            }
-        }
-    }
-}
-
-bool
-Core::tryEarlyExecute(const DynInstPtr &di)
-{
-    if (!isSingleCycleAlu(di->uop.opc) || di->physDst == invalidReg)
-        return false;
-
-    RegVal vals[2] = {0, 0};
-    for (int i = 0; i < 2; ++i) {
-        const RegIndex src = i == 0 ? di->uop.src1 : di->uop.src2;
-        if (src == invalidReg)
-            continue;
-        // The int zero register is a constant (like an immediate).
-        if (di->uop.srcClass[i] == RegClass::Int && src == 0)
-            continue;
-        if (!ee.available(di->uop.srcClass[i], di->physSrc[i], vals[i]))
-            return false;
-    }
-
-    di->computedValue = execAlu(di->uop.opc, vals[0], vals[1], di->uop.imm);
-    di->hasComputedValue = true;
-    di->earlyExecuted = true;
-    return true;
-}
-
-void
-Core::fetchStage()
-{
-    if (fetchBlockedOnBranch || now < fetchStallUntil)
-        return;
-
-    int fetched = 0;
-    int taken_branches = 0;
-    Addr cur_line = ~0ULL;
-
-    while (fetched < cfg.fetchWidth && ts.hasNext()
-           && frontPipe.canPush(now)) {
-        const TraceUop &peek = ts.peek();
-        const Addr line = peek.pc & ~static_cast<Addr>(63);
-        if (line != cur_line) {
-            const Cycle ready = mem->fetchAccess(peek.pc, now);
-            const Cycle hit_time = now + cfg.mem.l1i.latency;
-            if (ready > hit_time) {
-                // I-cache miss: stall fetch until the line arrives.
-                fetchStallUntil = ready;
-                break;
-            }
-            cur_line = line;
-        }
-
-        auto di = std::make_shared<DynInst>();
-        di->seq = ts.nextSeq();
-        di->uop = ts.fetch();
-        di->fetchCycle = now;
-
-        // Value prediction at fetch (§4.2). Writes to the int zero
-        // register are architecturally dropped and not predicted.
-        const bool real_dst = di->uop.vpEligible()
-            && !(di->uop.dstClass == RegClass::Int && di->uop.dst == 0);
-        if (vp && real_dst) {
-            di->vp = vp->predict(di->uop.pc);
-            di->vpLookupValid = true;
-            if (di->vp.confident) {
-                di->predictionUsed = true;
-                di->predictedValue = di->vp.value;
-            }
-        }
-
-        bool stop_after = false;
-        if (di->uop.isBranch()) {
-            di->bp = bu->predictBranch(di->uop, di->preSnap);
-            if (di->bp.mispredict) {
-                // Fetch stalls on the wrong path until resolution.
-                fetchBlockedOnBranch = di;
-                stop_after = true;
-            } else if (di->bp.btbMiss && di->bp.predTaken) {
-                // Taken without a BTB target: decode-redirect bubble.
-                fetchStallUntil = now + cfg.btbMissBubble;
-                ++s.btbMissBubbles;
-                stop_after = true;
-            } else if (di->bp.predTaken
-                       && ++taken_branches >= cfg.maxTakenBranchesPerFetch) {
-                stop_after = true;
-            }
-        }
-        di->postSnap = bu->currentSnapshot();
-
-        frontPipe.push(now, di);
-        ++fetched;
-        if (stop_after)
-            break;
-    }
-}
-
-// ------------------------------ Squash -----------------------------------
-
-void
-Core::markSquashed(const DynInstPtr &di)
-{
-    di->squashed = true;
-    if (di->vpLookupValid && vp)
-        vp->squash(di->uop.pc, di->vp);
-    if (di->isStore())
-        ssets.storeResolved(di->uop.pc, di->seq);
-}
-
-void
-Core::undoRename(const DynInstPtr &di)
-{
-    if (di->physDst != invalidReg) {
-        mapOf(di->uop.dstClass).restore(di->uop.dst, di->oldPhysDst);
-        prfOf(di->uop.dstClass).freeReg(di->physDst);
-    }
-}
-
-void
-Core::squashAfter(SeqNum keep_seq, const BranchUnit::SnapshotPtr &restore,
-                  Cycle resume_fetch_at)
-{
-    // Youngest first: rename-out buffer, then the ROB.
-    while (!renameOut.empty() && renameOut.back()->seq > keep_seq) {
-        DynInstPtr di = renameOut.back();
-        renameOut.pop_back();
-        undoRename(di);
-        markSquashed(di);
-    }
-    while (!rob.empty() && rob.back()->seq > keep_seq) {
-        DynInstPtr di = rob.popBack();
-        undoRename(di);
-        markSquashed(di);
-    }
-    while (!lq.empty() && lq.back()->seq > keep_seq)
-        lq.popBack();
-    while (!sq.empty() && sq.back()->seq > keep_seq)
-        sq.popBack();
-
-    std::erase_if(iq, [](const DynInstPtr &di) { return di->squashed; });
-
-    // Front-end pipe entries are not renamed; just squash them.
-    frontPipe.removeIf([&](const DynInstPtr &di) {
-        if (di->seq > keep_seq) {
-            markSquashed(di);
-            return true;
-        }
-        return false;
-    });
-
-    ee.reset();
-    ts.rewindTo(keep_seq + 1);
-    bu->restoreTo(restore);
-
-    if (fetchBlockedOnBranch && fetchBlockedOnBranch->seq > keep_seq)
-        fetchBlockedOnBranch.reset();
-    fetchStallUntil = std::max(fetchStallUntil, resume_fetch_at);
-}
-
-// ------------------------------ Top level --------------------------------
-
 void
 Core::tick()
 {
-    ports.newCycle();
-    completionStage();
-    commitStage();
-    issueStage();
-    dispatchStage();
-    renameStage();
-    fetchStage();
-    ++now;
-    ++s.cycles;
+    state->beginCycle();
+    for (const auto &stage : pipe.stages)
+        stage->tick(*state);
+    state->endCycle();
 }
 
 std::uint64_t
 Core::run(std::uint64_t target_commits, std::uint64_t max_cycles)
 {
-    const std::uint64_t start_commits = s.committedUops;
-    const Cycle start_cycle = now;
-    while (s.committedUops - start_commits < target_commits
-           && now - start_cycle < max_cycles) {
-        if (rob.empty() && renameOut.empty() && frontPipe.empty()
-            && !ts.hasNext()) {
+    const std::uint64_t start_commits = state->committedUops;
+    const Cycle start_cycle = state->now;
+    while (state->committedUops - start_commits < target_commits
+           && state->now - start_cycle < max_cycles) {
+        if (state->rob.empty() && state->renameOut.empty()
+            && state->frontPipe.empty() && !state->ts.hasNext()) {
             break;  // trace drained
         }
         tick();
     }
-    return s.committedUops - start_commits;
+    return state->committedUops - start_commits;
 }
 
 void
 Core::resetStats()
 {
-    s = CoreStats{};
+    state->resetStats();
+    for (const auto &stage : pipe.stages)
+        stage->resetStats();
 }
 
-StatRecord
-CoreStats::record() const
+const CoreStats &
+Core::stats() const
 {
-    StatRecord r;
-    r.add("cycles", double(cycles));
-    r.add("committed_uops", double(committedUops));
-    r.add("ipc", ipc());
-    r.add("cond_branches", double(condBranches));
-    r.add("branch_mispredicts", double(branchMispredicts));
-    r.add("branch_mpki", ratio(1000.0 * double(branchMispredicts),
-                               double(committedUops)));
-    r.add("high_conf_branches", double(highConfBranches));
-    r.add("high_conf_mispredicts", double(highConfMispredicts));
-    r.add("btb_miss_bubbles", double(btbMissBubbles));
-    r.add("vp_eligible", double(vpEligible));
-    r.add("vp_used", double(vpPredictionsUsed));
-    r.add("vp_correct_used", double(vpCorrectUsed));
-    r.add("vp_accuracy", ratio(double(vpCorrectUsed),
-                               double(vpPredictionsUsed)));
-    r.add("vp_coverage", ratio(double(vpPredictionsUsed),
-                               double(vpEligible)));
-    r.add("vp_squashes", double(vpMispredictSquashes));
-    r.add("early_executed", double(earlyExecuted));
-    r.add("late_executed_alu", double(lateExecutedAlu));
-    r.add("late_executed_branches", double(lateExecutedBranches));
-    r.add("ee_frac", ratio(double(earlyExecuted), double(committedUops)));
-    r.add("le_alu_frac", ratio(double(lateExecutedAlu),
-                               double(committedUops)));
-    r.add("le_br_frac", ratio(double(lateExecutedBranches),
-                              double(committedUops)));
-    r.add("le_frac", ratio(double(lateExecutedAlu + lateExecutedBranches),
-                           double(committedUops)));
-    r.add("offload_frac",
-          ratio(double(earlyExecuted + lateExecutedAlu
-                       + lateExecutedBranches),
-                double(committedUops)));
-    r.add("loads", double(loads));
-    r.add("stores", double(stores));
-    r.add("stl_forwards", double(storeToLoadForwards));
-    r.add("mem_order_violations", double(memOrderViolations));
-    r.add("rename_bank_stalls", double(renameBankStalls));
-    r.add("dispatch_port_stalls", double(dispatchPortStalls));
-    r.add("commit_port_stalls", double(commitPortStalls));
-    r.add("rob_full_stalls", double(robFullStalls));
-    r.add("iq_full_stalls", double(iqFullStalls));
-    r.add("avg_iq_occupancy", ratio(double(iqOccupancySum),
-                                    double(cycles)));
-    r.add("dispatched_to_iq", double(dispatchedToIQ));
-    return r;
+    aggregated = CoreStats{};
+    state->addStats(aggregated);
+    for (const auto &stage : pipe.stages)
+        stage->addStats(aggregated);
+    return aggregated;
 }
 
 StatRecord
 Core::record() const
 {
-    StatRecord r = s.record();
-    r.addAll("mem.", mem->record());
+    StatRecord r = stats().record();
+    r.addAll("mem.", state->mem->record());
     return r;
 }
 

@@ -19,6 +19,11 @@
  *     VP is enabled
  *   Commit (8-wide, in order)
  *
+ * Each stage is a separate Stage object (src/pipeline/stages/)
+ * operating on the shared PipelineState substrate; Core is a thin
+ * conductor that assembles the stage vector from the SimConfig and
+ * ticks it in reverse pipeline order each cycle (see DESIGN.md §2).
+ *
  * Recovery is always full pipeline squash + front-end re-fetch: branch
  * mispredictions at execute (or at LE/VT for high-confidence
  * branches), value mispredictions at validation, and memory-order
@@ -32,76 +37,28 @@
 #ifndef EOLE_PIPELINE_CORE_HH
 #define EOLE_PIPELINE_CORE_HH
 
-#include <deque>
-#include <map>
 #include <memory>
-#include <vector>
 
-#include "common/queues.hh"
 #include "common/stats.hh"
-#include "core/early_exec.hh"
-#include "core/port_model.hh"
-#include "mem/hierarchy.hh"
-#include "pipeline/dyn_inst.hh"
-#include "pipeline/fu_pool.hh"
-#include "pipeline/regfile.hh"
-#include "pipeline/store_sets.hh"
+#include "pipeline/core_stats.hh"
+#include "pipeline/pipeline_state.hh"
+#include "pipeline/stages/pipeline_builder.hh"
 #include "sim/config.hh"
 #include "workloads/workload.hh"
 
 namespace eole {
-
-/** Aggregate per-run statistics. */
-struct CoreStats
-{
-    std::uint64_t cycles = 0;
-    std::uint64_t committedUops = 0;
-
-    // Branches.
-    std::uint64_t condBranches = 0;
-    std::uint64_t branchMispredicts = 0;
-    std::uint64_t highConfBranches = 0;
-    std::uint64_t highConfMispredicts = 0;
-    std::uint64_t btbMissBubbles = 0;
-
-    // Value prediction.
-    std::uint64_t vpEligible = 0;
-    std::uint64_t vpPredictionsUsed = 0;
-    std::uint64_t vpCorrectUsed = 0;
-    std::uint64_t vpMispredictSquashes = 0;
-
-    // EOLE.
-    std::uint64_t earlyExecuted = 0;
-    std::uint64_t lateExecutedAlu = 0;
-    std::uint64_t lateExecutedBranches = 0;
-
-    // Memory.
-    std::uint64_t loads = 0;
-    std::uint64_t stores = 0;
-    std::uint64_t storeToLoadForwards = 0;
-    std::uint64_t memOrderViolations = 0;
-
-    // Stalls.
-    std::uint64_t renameBankStalls = 0;
-    std::uint64_t dispatchPortStalls = 0;
-    std::uint64_t commitPortStalls = 0;
-    std::uint64_t robFullStalls = 0;
-    std::uint64_t iqFullStalls = 0;
-
-    // Occupancy.
-    std::uint64_t iqOccupancySum = 0;
-    std::uint64_t dispatchedToIQ = 0;
-
-    double ipc() const { return ratio(double(committedUops), double(cycles)); }
-
-    StatRecord record() const;
-};
 
 /** One core simulation instance: one configuration x one workload. */
 class Core
 {
   public:
     Core(const SimConfig &config, const Workload &workload);
+
+    /** Construct with a custom stage pipeline (benches/experiments
+     *  swap or instrument individual stages this way). */
+    Core(const SimConfig &config, const Workload &workload,
+         StagePipeline pipeline);
+
     ~Core();
 
     /**
@@ -116,86 +73,28 @@ class Core
      *  in-flight pipeline state are preserved. */
     void resetStats();
 
-    const CoreStats &stats() const { return s; }
+    /** Aggregate of every stage's counters (rebuilt on each call). */
+    const CoreStats &stats() const;
 
     /** Full statistics dump including memory-hierarchy counters. */
     StatRecord record() const;
 
-    Cycle cycle() const { return now; }
+    Cycle cycle() const { return state->now; }
+
+    /** The shared substrate (exposed for tests/benches instrumenting
+     *  the pipeline). */
+    const PipelineState &pipelineState() const { return *state; }
+
+    /** The assembled stage pipeline. */
+    const StagePipeline &pipeline() const { return pipe; }
 
   private:
-    // --- Pipeline stages (called in reverse order each tick) ---
     void tick();
-    void completionStage();
-    void commitStage();
-    void issueStage();
-    void dispatchStage();
-    void renameStage();
-    void fetchStage();
 
-    // --- Helpers ---
-    PhysRegFile &prfOf(RegClass cls) { return *prf[int(cls)]; }
-    RenameMap &mapOf(RegClass cls) { return *rmap[int(cls)]; }
+    std::unique_ptr<PipelineState> state;
+    StagePipeline pipe;
 
-    RegVal readOperand(const DynInst &di, int idx) const;
-    bool operandsReady(const DynInst &di) const;
-    bool executeInst(const DynInstPtr &di);
-    void finishExec(const DynInstPtr &di, RegVal value, Cycle ready);
-    bool storeExecuted(SeqNum store_seq) const;
-    void checkStoreViolation(const DynInstPtr &store);
-    bool tryEarlyExecute(const DynInstPtr &di);
-    int bankOfReg(RegClass cls, RegIndex phys) const;
-    bool readyToRetire(const DynInst &di) const;
-    int levtReadNeeds(const DynInst &di, int *banks_out) const;
-
-    /** Late-execute a µ-op in the LE/VT stage. */
-    void lateExecute(const DynInstPtr &di);
-
-    /**
-     * Full squash of everything younger than @p keep_seq.
-     *
-     * @param keep_seq youngest surviving sequence number
-     * @param restore front-end snapshot to restore (state after
-     *        keep_seq)
-     * @param resume_fetch_at first cycle fetch may run again
-     */
-    void squashAfter(SeqNum keep_seq, const BranchUnit::SnapshotPtr &restore,
-                     Cycle resume_fetch_at);
-    void markSquashed(const DynInstPtr &di);
-    void undoRename(const DynInstPtr &di);
-
-    /** A mispredicted branch resolved: repair + un-stall fetch. */
-    void resolveMispredictedBranch(const DynInstPtr &di);
-
-    // --- Configuration & substrate ---
-    SimConfig cfg;
-    TraceSource ts;
-    std::unique_ptr<ValuePredictor> vp;
-    std::unique_ptr<BranchUnit> bu;
-    std::unique_ptr<MemHierarchy> mem;
-    std::unique_ptr<PhysRegFile> prf[numRegClasses];
-    std::unique_ptr<RenameMap> rmap[numRegClasses];
-    StoreSets ssets;
-    FuPool fus;
-    EarlyExecBlock ee;
-    PrfPortModel ports;
-
-    // --- Pipeline state ---
-    Cycle now = 0;
-    DelayedPipe<DynInstPtr> frontPipe;
-    std::deque<DynInstPtr> renameOut;
-    CircularQueue<DynInstPtr> rob;
-    CircularQueue<DynInstPtr> lq;
-    CircularQueue<DynInstPtr> sq;
-    std::vector<DynInstPtr> iq;
-    std::map<Cycle, std::vector<DynInstPtr>> completions;
-    std::vector<DynInstPtr> renameGroup;  //!< scratch: this cycle's group
-
-    Cycle fetchStallUntil = 0;
-    DynInstPtr fetchBlockedOnBranch;
-    int bankCursor = 0;
-
-    CoreStats s;
+    mutable CoreStats aggregated;
 };
 
 } // namespace eole

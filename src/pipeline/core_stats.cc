@@ -1,0 +1,56 @@
+#include "pipeline/core_stats.hh"
+
+namespace eole {
+
+StatRecord
+CoreStats::record() const
+{
+    StatRecord r;
+    r.add("cycles", double(cycles));
+    r.add("committed_uops", double(committedUops));
+    r.add("ipc", ipc());
+    r.add("cond_branches", double(condBranches));
+    r.add("branch_mispredicts", double(branchMispredicts));
+    r.add("branch_mpki", ratio(1000.0 * double(branchMispredicts),
+                               double(committedUops)));
+    r.add("high_conf_branches", double(highConfBranches));
+    r.add("high_conf_mispredicts", double(highConfMispredicts));
+    r.add("btb_miss_bubbles", double(btbMissBubbles));
+    r.add("vp_eligible", double(vpEligible));
+    r.add("vp_used", double(vpPredictionsUsed));
+    r.add("vp_correct_used", double(vpCorrectUsed));
+    r.add("vp_accuracy", ratio(double(vpCorrectUsed),
+                               double(vpPredictionsUsed)));
+    r.add("vp_coverage", ratio(double(vpPredictionsUsed),
+                               double(vpEligible)));
+    r.add("vp_squashes", double(vpMispredictSquashes));
+    r.add("early_executed", double(earlyExecuted));
+    r.add("late_executed_alu", double(lateExecutedAlu));
+    r.add("late_executed_branches", double(lateExecutedBranches));
+    r.add("ee_frac", ratio(double(earlyExecuted), double(committedUops)));
+    r.add("le_alu_frac", ratio(double(lateExecutedAlu),
+                               double(committedUops)));
+    r.add("le_br_frac", ratio(double(lateExecutedBranches),
+                              double(committedUops)));
+    r.add("le_frac", ratio(double(lateExecutedAlu + lateExecutedBranches),
+                           double(committedUops)));
+    r.add("offload_frac",
+          ratio(double(earlyExecuted + lateExecutedAlu
+                       + lateExecutedBranches),
+                double(committedUops)));
+    r.add("loads", double(loads));
+    r.add("stores", double(stores));
+    r.add("stl_forwards", double(storeToLoadForwards));
+    r.add("mem_order_violations", double(memOrderViolations));
+    r.add("rename_bank_stalls", double(renameBankStalls));
+    r.add("dispatch_port_stalls", double(dispatchPortStalls));
+    r.add("commit_port_stalls", double(commitPortStalls));
+    r.add("rob_full_stalls", double(robFullStalls));
+    r.add("iq_full_stalls", double(iqFullStalls));
+    r.add("avg_iq_occupancy", ratio(double(iqOccupancySum),
+                                    double(cycles)));
+    r.add("dispatched_to_iq", double(dispatchedToIQ));
+    return r;
+}
+
+} // namespace eole

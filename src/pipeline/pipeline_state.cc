@@ -1,0 +1,177 @@
+#include "pipeline/pipeline_state.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "pipeline/stages/stage.hh"
+
+namespace eole {
+
+PipelineState::PipelineState(const SimConfig &config, const Workload &workload)
+    : cfg(config), ts(workload.makeTrace()),
+      vp(createValuePredictor(cfg.vp, cfg.seed ^ 0x70)),
+      ssets(cfg.ssitLog2Entries, cfg.lfstEntries),
+      fus(cfg.numAlu, cfg.numMulDiv, cfg.numFp, cfg.numFpMulDiv,
+          cfg.numMemPorts),
+      ports(cfg.prfBanks, cfg.eeWritePortsPerBank, cfg.levtReadPortsPerBank),
+      frontPipe(cfg.frontEndCycles, cfg.fetchWidth,
+                static_cast<size_t>(cfg.frontEndCycles) * cfg.fetchWidth),
+      rob(cfg.robEntries), lq(cfg.lqEntries), sq(cfg.sqEntries)
+{
+    fatal_if(cfg.levtReadPortsPerBank == 1,
+             "LE/VT needs >= 2 read ports per bank (a late-executed µ-op "
+             "may read two operands from one bank)");
+    fatal_if(cfg.prfBanks > 64, "at most 64 PRF banks supported");
+
+    // The branch unit owns the global history; VTAGE folds ride along.
+    std::vector<std::pair<int, int>> extra;
+    if (vp)
+        extra = vp->foldSpecs();
+    bu = std::make_unique<BranchUnit>(cfg.bp, extra, cfg.seed ^ 0xb0);
+    if (vp)
+        vp->bindHistory(bu->history(), bu->extraFoldBase());
+
+    mem = std::make_unique<MemHierarchy>(cfg.mem);
+
+    prf[0] = std::make_unique<PhysRegFile>(cfg.physIntRegs, cfg.prfBanks);
+    prf[1] = std::make_unique<PhysRegFile>(cfg.physFpRegs, cfg.prfBanks);
+    rmap[0] = std::make_unique<RenameMap>(numArchIntRegs);
+    rmap[1] = std::make_unique<RenameMap>(numArchFpRegs);
+
+    // Initial mapping: arch reg i -> phys reg i, holding the VM's
+    // post-init architectural values.
+    prf[0]->initFreeLists(numArchIntRegs);
+    prf[1]->initFreeLists(numArchFpRegs);
+    const KernelVM &vm = ts.machine();
+    for (int r = 0; r < numArchIntRegs; ++r) {
+        rmap[0]->rename(static_cast<RegIndex>(r), static_cast<RegIndex>(r));
+        prf[0]->write(static_cast<RegIndex>(r),
+                      vm.readIntReg(static_cast<RegIndex>(r)), 0);
+    }
+    for (int r = 0; r < numArchFpRegs; ++r) {
+        rmap[1]->rename(static_cast<RegIndex>(r), static_cast<RegIndex>(r));
+        prf[1]->write(static_cast<RegIndex>(r),
+                      vm.readFpReg(static_cast<RegIndex>(r)), 0);
+    }
+}
+
+PipelineState::~PipelineState() = default;
+
+void
+PipelineState::setSquashOrder(std::vector<Stage *> order)
+{
+    squashOrder = std::move(order);
+}
+
+void
+PipelineState::beginCycle()
+{
+    ports.newCycle();
+}
+
+void
+PipelineState::endCycle()
+{
+    ++now;
+    ++cycles;
+}
+
+int
+PipelineState::bankOfReg(RegClass cls, RegIndex phys) const
+{
+    return prf[int(cls)]->bankOf(phys);
+}
+
+RegVal
+PipelineState::readOperand(const DynInst &di, int idx) const
+{
+    const RegIndex src = idx == 0 ? di.uop.src1 : di.uop.src2;
+    if (src == invalidReg)
+        return 0;
+    return prf[int(di.uop.srcClass[idx])]->read(di.physSrc[idx]);
+}
+
+bool
+PipelineState::operandsReady(const DynInst &di) const
+{
+    for (int i = 0; i < 2; ++i) {
+        const RegIndex src = i == 0 ? di.uop.src1 : di.uop.src2;
+        if (src == invalidReg)
+            continue;
+        if (!prf[int(di.uop.srcClass[i])]->isReady(di.physSrc[i], now))
+            return false;
+    }
+    return true;
+}
+
+void
+PipelineState::markSquashed(const DynInstPtr &di)
+{
+    di->squashed = true;
+    if (di->vpLookupValid && vp)
+        vp->squash(di->uop.pc, di->vp);
+    if (di->isStore())
+        ssets.storeResolved(di->uop.pc, di->seq);
+}
+
+void
+PipelineState::undoRename(const DynInstPtr &di)
+{
+    if (di->physDst != invalidReg) {
+        mapOf(di->uop.dstClass).restore(di->uop.dst, di->oldPhysDst);
+        prfOf(di->uop.dstClass).freeReg(di->physDst);
+    }
+}
+
+void
+PipelineState::squashAfter(SeqNum keep_seq,
+                           const BranchUnit::SnapshotPtr &restore,
+                           Cycle resume_fetch_at)
+{
+    // Stage unwind in the registered order. The order matters: rename's
+    // output buffer holds the youngest renamed µ-ops and must restore
+    // its map entries before the ROB walk does (youngest first), and
+    // the IQ prune relies on the ROB walk having marked its squashed
+    // entries.
+    for (Stage *stage : squashOrder)
+        stage->squash(*this, keep_seq, resume_fetch_at);
+
+    ts.rewindTo(keep_seq + 1);
+    bu->restoreTo(restore);
+}
+
+void
+PipelineState::resolveMispredictedBranch(const DynInstPtr &di)
+{
+    // Nothing younger was fetched (fetch stalls behind a branch known
+    // to be mispredicted), so repair state and redirect fetch.
+    bu->repairAfterBranch(di->uop, di->preSnap);
+    for (Stage *stage : squashOrder)
+        stage->onFetchRedirect(*this);
+    if (fetchBlockedOnBranch && fetchBlockedOnBranch->seq == di->seq)
+        fetchBlockedOnBranch.reset();
+    fetchStallUntil = std::max(fetchStallUntil, now + 1);
+    ++branchMispredicts;
+    if (di->bp.highConf)
+        ++highConfMispredicts;
+}
+
+void
+PipelineState::addStats(CoreStats &out) const
+{
+    out.cycles += cycles;
+    out.committedUops += committedUops;
+    out.branchMispredicts += branchMispredicts;
+    out.highConfMispredicts += highConfMispredicts;
+}
+
+void
+PipelineState::resetStats()
+{
+    cycles = 0;
+    committedUops = 0;
+    branchMispredicts = 0;
+    highConfMispredicts = 0;
+}
+
+} // namespace eole

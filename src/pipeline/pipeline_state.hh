@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The shared pipeline substrate every stage operates on.
+ *
+ * PipelineState owns the structural resources (ROB, LSQ, IQ, physical
+ * register files, rename maps, FU pool, PRF port model) and the
+ * architectural machinery (trace source, predictors, memory hierarchy)
+ * that the stage objects read and mutate through their tick() methods.
+ * It also implements the cross-stage recovery machinery: a full squash
+ * walks the stages in a fixed youngest-first unwind order, and a
+ * resolved-branch redirect notifies every stage so front-end
+ * speculative state (e.g. the Early Execution bypass) is dropped.
+ *
+ * Stats that no single stage owns (cycles, committed µ-ops, branch
+ * mispredictions resolved through the shared recovery path) live here;
+ * everything else is stage-owned and aggregated by Core::stats().
+ */
+
+#ifndef EOLE_PIPELINE_PIPELINE_STATE_HH
+#define EOLE_PIPELINE_PIPELINE_STATE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bpred/branch_unit.hh"
+#include "common/queues.hh"
+#include "mem/hierarchy.hh"
+#include "pipeline/core_stats.hh"
+#include "pipeline/dyn_inst.hh"
+#include "pipeline/fu_pool.hh"
+#include "pipeline/port_model.hh"
+#include "pipeline/regfile.hh"
+#include "pipeline/store_sets.hh"
+#include "sim/config.hh"
+#include "vpred/value_predictor.hh"
+#include "workloads/workload.hh"
+
+namespace eole {
+
+class Stage;
+
+struct PipelineState
+{
+    PipelineState(const SimConfig &config, const Workload &workload);
+    ~PipelineState();
+
+    // --- Configuration & substrate ---
+    SimConfig cfg;
+    TraceSource ts;
+    std::unique_ptr<ValuePredictor> vp;
+    std::unique_ptr<BranchUnit> bu;
+    std::unique_ptr<MemHierarchy> mem;
+    std::unique_ptr<PhysRegFile> prf[numRegClasses];
+    std::unique_ptr<RenameMap> rmap[numRegClasses];
+    StoreSets ssets;
+    FuPool fus;
+    PrfPortModel ports;
+
+    // --- Inter-stage pipeline registers ---
+    Cycle now = 0;
+    DelayedPipe<DynInstPtr> frontPipe;  //!< fetch -> rename
+    std::deque<DynInstPtr> renameOut;   //!< rename -> dispatch
+    CircularQueue<DynInstPtr> rob;
+    CircularQueue<DynInstPtr> lq;
+    CircularQueue<DynInstPtr> sq;
+    std::vector<DynInstPtr> iq;
+    std::map<Cycle, std::vector<DynInstPtr>> completions;
+
+    Cycle fetchStallUntil = 0;
+    DynInstPtr fetchBlockedOnBranch;
+    int bankCursor = 0;
+
+    // --- Cross-stage statistics ---
+    Cycle cycles = 0;
+    std::uint64_t committedUops = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t highConfMispredicts = 0;
+
+    /** Register the squash/redirect unwind order (non-owning; set by
+     *  Core when it assembles the stage pipeline). */
+    void setSquashOrder(std::vector<Stage *> order);
+
+    /** Start-of-cycle housekeeping (per-cycle port budgets). */
+    void beginCycle();
+
+    /** End-of-cycle housekeeping (advance time). */
+    void endCycle();
+
+    // --- Register helpers ---
+    PhysRegFile &prfOf(RegClass cls) { return *prf[int(cls)]; }
+    const PhysRegFile &prfOf(RegClass cls) const { return *prf[int(cls)]; }
+    RenameMap &mapOf(RegClass cls) { return *rmap[int(cls)]; }
+
+    int bankOfReg(RegClass cls, RegIndex phys) const;
+    RegVal readOperand(const DynInst &di, int idx) const;
+    bool operandsReady(const DynInst &di) const;
+
+    // --- Recovery ---
+
+    /**
+     * Full squash of everything younger than @p keep_seq: every stage
+     * unwinds its in-flight state (in the registered order), then the
+     * trace source rewinds and the front-end history is restored.
+     *
+     * @param keep_seq youngest surviving sequence number
+     * @param restore front-end snapshot to restore (state after
+     *        keep_seq)
+     * @param resume_fetch_at first cycle fetch may run again
+     */
+    void squashAfter(SeqNum keep_seq, const BranchUnit::SnapshotPtr &restore,
+                     Cycle resume_fetch_at);
+
+    /** Mark one µ-op squashed and release its predictor resources. */
+    void markSquashed(const DynInstPtr &di);
+
+    /** Walk back one µ-op's rename (map restore + register free). */
+    void undoRename(const DynInstPtr &di);
+
+    /** A mispredicted branch resolved: repair + un-stall fetch. */
+    void resolveMispredictedBranch(const DynInstPtr &di);
+
+    /** Fold the cross-stage counters into the aggregate record. */
+    void addStats(CoreStats &out) const;
+
+    /** Zero the cross-stage counters. */
+    void resetStats();
+
+  private:
+    std::vector<Stage *> squashOrder;
+};
+
+} // namespace eole
+
+#endif // EOLE_PIPELINE_PIPELINE_STATE_HH

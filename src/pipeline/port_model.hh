@@ -14,8 +14,8 @@
  * by issue width, which the configurations vary directly.
  */
 
-#ifndef EOLE_CORE_PORT_MODEL_HH
-#define EOLE_CORE_PORT_MODEL_HH
+#ifndef EOLE_PIPELINE_PORT_MODEL_HH
+#define EOLE_PIPELINE_PORT_MODEL_HH
 
 #include <vector>
 
@@ -100,4 +100,4 @@ class PrfPortModel
 
 } // namespace eole
 
-#endif // EOLE_CORE_PORT_MODEL_HH
+#endif // EOLE_PIPELINE_PORT_MODEL_HH

@@ -1,0 +1,142 @@
+#include "pipeline/stages/commit.hh"
+
+#include "common/logging.hh"
+#include "isa/functional.hh"
+#include "pipeline/pipeline_state.hh"
+#include "pipeline/stages/levt.hh"
+
+namespace eole {
+
+CommitStage::CommitStage(const SimConfig &cfg, LevtStage *levt_)
+    : commitWidth(cfg.commitWidth),
+      retireDelay(1 + cfg.preCommitCycles()), levt(levt_)
+{
+}
+
+bool
+CommitStage::readyToRetire(const PipelineState &st, const DynInst &di) const
+{
+    // completeCycle is the execution-completion cycle for OoO µ-ops,
+    // the dispatch cycle for EE'd / late-executable µ-ops. retireDelay
+    // is the writeback->commit stage plus the LE/VT stage when value
+    // prediction is on (§4.1).
+    if (!di.completed && !di.lateExecutable())
+        return false;
+    return di.dispatched && st.now >= di.completeCycle + retireDelay;
+}
+
+void
+CommitStage::tick(PipelineState &st)
+{
+    int committed = 0;
+    while (committed < commitWidth && !st.rob.empty()) {
+        DynInstPtr di = st.rob.front();
+        if (!readyToRetire(st, *di))
+            break;
+
+        // LE/VT read-port accounting (§6.3).
+        if (levt && !levt->reservePorts(st, *di))
+            break;
+
+        // Late Execution happens here, in the pre-commit stage.
+        if (levt && di->lateExecutable())
+            levt->lateExecute(st, di);
+
+        // --- Validation (predicted µ-ops) ---
+        const bool value_mispredict = levt && levt->validate(st, di);
+
+        // --- Lockstep oracle check (self-verification) ---
+        if (di->uop.hasDst()) {
+            panic_if(di->computedValue != di->uop.result,
+                     "oracle mismatch @%llu pc=%#llx %s: got %#llx "
+                     "expected %#llx",
+                     (unsigned long long)di->seq,
+                     (unsigned long long)di->uop.pc,
+                     opcodeName(di->uop.opc),
+                     (unsigned long long)di->computedValue,
+                     (unsigned long long)di->uop.result);
+        } else if (di->isStore()) {
+            panic_if(di->storeData != di->uop.result
+                         || di->effAddr != di->uop.effAddr,
+                     "store oracle mismatch @%llu",
+                     (unsigned long long)di->seq);
+        }
+
+        // --- Training ---
+        if (levt)
+            levt->train(st, di);
+        if (di->isBranch())
+            st.bu->commitBranch(di->uop, di->bp);
+        if (di->isStore())
+            st.mem->storeAccess(di->uop.pc, di->effAddr, st.now);
+
+        // --- Statistics ---
+        ++st.committedUops;
+        if (di->uop.isCondBr()) {
+            ++s.condBranches;
+            if (di->bp.highConf)
+                ++s.highConfBranches;
+        }
+        if (di->uop.vpEligible())
+            ++s.vpEligible;
+        if (di->predictionUsed)
+            ++s.vpPredictionsUsed;
+        if (di->earlyExecuted)
+            ++s.earlyExecuted;
+        if (di->isLoad())
+            ++s.loads;
+        if (di->isStore())
+            ++s.stores;
+
+        // --- Retire ---
+        if (di->oldPhysDst != invalidReg)
+            st.prfOf(di->uop.dstClass).freeReg(di->oldPhysDst);
+        st.rob.popFront();
+        if (di->isLoad())
+            st.lq.popFront();
+        if (di->isStore())
+            st.sq.popFront();
+        st.ts.retireUpTo(di->seq);
+        ++committed;
+
+        if (value_mispredict) {
+            st.squashAfter(di->seq, di->postSnap, st.now + 1);
+            break;
+        }
+    }
+}
+
+void
+CommitStage::squash(PipelineState &st, SeqNum keep_seq, Cycle)
+{
+    // Youngest first out of the ROB; the LSQ tails mirror it.
+    while (!st.rob.empty() && st.rob.back()->seq > keep_seq) {
+        DynInstPtr di = st.rob.popBack();
+        st.undoRename(di);
+        st.markSquashed(di);
+    }
+    while (!st.lq.empty() && st.lq.back()->seq > keep_seq)
+        st.lq.popBack();
+    while (!st.sq.empty() && st.sq.back()->seq > keep_seq)
+        st.sq.popBack();
+}
+
+void
+CommitStage::resetStats()
+{
+    s = Stats{};
+}
+
+void
+CommitStage::addStats(CoreStats &out) const
+{
+    out.condBranches += s.condBranches;
+    out.highConfBranches += s.highConfBranches;
+    out.vpEligible += s.vpEligible;
+    out.vpPredictionsUsed += s.vpPredictionsUsed;
+    out.earlyExecuted += s.earlyExecuted;
+    out.loads += s.loads;
+    out.stores += s.stores;
+}
+
+} // namespace eole

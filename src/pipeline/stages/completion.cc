@@ -1,0 +1,23 @@
+#include "pipeline/stages/completion.hh"
+
+#include "pipeline/pipeline_state.hh"
+
+namespace eole {
+
+void
+CompletionStage::tick(PipelineState &st)
+{
+    while (!st.completions.empty() && st.completions.begin()->first <= st.now) {
+        auto node = st.completions.extract(st.completions.begin());
+        for (const DynInstPtr &di : node.mapped()) {
+            if (di->squashed)
+                continue;
+            di->completed = true;
+            di->completeCycle = st.now;
+            if (di->isBranch() && di->bp.mispredict && !di->lateExecBranch)
+                st.resolveMispredictedBranch(di);
+        }
+    }
+}
+
+} // namespace eole

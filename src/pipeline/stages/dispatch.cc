@@ -1,0 +1,86 @@
+#include "pipeline/stages/dispatch.hh"
+
+#include "pipeline/pipeline_state.hh"
+
+namespace eole {
+
+DispatchStage::DispatchStage(const SimConfig &cfg)
+    : dispatchWidth(cfg.dispatchWidth), iqEntries(cfg.iqEntries)
+{
+}
+
+void
+DispatchStage::tick(PipelineState &st)
+{
+    int dispatched = 0;
+    while (dispatched < dispatchWidth && !st.renameOut.empty()) {
+        DynInstPtr di = st.renameOut.front();
+
+        if (st.rob.full()) {
+            ++s.robFullStalls;
+            break;
+        }
+        if (di->isLoad() && st.lq.full())
+            break;
+        if (di->isStore() && st.sq.full())
+            break;
+
+        const bool needs_iq = !di->bypassesOoO()
+            && di->uop.opClass() != OpClass::NoOp;
+        if (needs_iq && static_cast<int>(st.iq.size()) >= iqEntries) {
+            ++s.iqFullStalls;
+            break;
+        }
+
+        // EE results and used predictions are written to the PRF at
+        // dispatch, consuming constrained write ports (§6.3).
+        if (di->physDst != invalidReg
+            && (di->earlyExecuted || di->predictionUsed)) {
+            const int bank = st.bankOfReg(di->uop.dstClass, di->physDst);
+            if (!st.ports.tryEeWrite(bank)) {
+                ++s.dispatchPortStalls;
+                break;
+            }
+            const RegVal v = di->earlyExecuted ? di->computedValue
+                                               : di->predictedValue;
+            st.prfOf(di->uop.dstClass).write(di->physDst, v, st.now);
+        }
+
+        st.renameOut.pop_front();
+        di->dispatched = true;
+        st.rob.pushBack(di);
+        if (di->isLoad())
+            st.lq.pushBack(di);
+        if (di->isStore())
+            st.sq.pushBack(di);
+
+        if (di->earlyExecuted || di->uop.opClass() == OpClass::NoOp) {
+            di->completed = true;
+            di->completeCycle = st.now;
+        } else if (di->lateExecutable()) {
+            di->completeCycle = st.now;  // LE gating base (see commit)
+        } else {
+            di->inIQ = true;
+            st.iq.push_back(di);
+            ++s.dispatchedToIQ;
+        }
+        ++dispatched;
+    }
+}
+
+void
+DispatchStage::resetStats()
+{
+    s = Stats{};
+}
+
+void
+DispatchStage::addStats(CoreStats &out) const
+{
+    out.dispatchPortStalls += s.dispatchPortStalls;
+    out.robFullStalls += s.robFullStalls;
+    out.iqFullStalls += s.iqFullStalls;
+    out.dispatchedToIQ += s.dispatchedToIQ;
+}
+
+} // namespace eole

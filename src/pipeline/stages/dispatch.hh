@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dispatch stage: ROB/IQ/LSQ allocation.
+ *
+ * Moves renamed µ-ops into the out-of-order window. Early-Execution
+ * results and used value predictions are written to the PRF here,
+ * consuming the constrained EE write ports (§6.3); early-executed and
+ * late-executable µ-ops bypass the IQ entirely.
+ */
+
+#ifndef EOLE_PIPELINE_STAGES_DISPATCH_HH
+#define EOLE_PIPELINE_STAGES_DISPATCH_HH
+
+#include "pipeline/stages/stage.hh"
+#include "sim/config.hh"
+
+namespace eole {
+
+class DispatchStage : public Stage
+{
+  public:
+    explicit DispatchStage(const SimConfig &cfg);
+
+    const char *name() const override { return "dispatch"; }
+    void tick(PipelineState &st) override;
+    void resetStats() override;
+    void addStats(CoreStats &out) const override;
+
+  private:
+    struct Stats
+    {
+        std::uint64_t dispatchPortStalls = 0;
+        std::uint64_t robFullStalls = 0;
+        std::uint64_t iqFullStalls = 0;
+        std::uint64_t dispatchedToIQ = 0;
+    };
+
+    int dispatchWidth;
+    int iqEntries;
+
+    Stats s;
+};
+
+} // namespace eole
+
+#endif // EOLE_PIPELINE_STAGES_DISPATCH_HH

@@ -21,8 +21,8 @@
  * first stage's results of the same group.
  */
 
-#ifndef EOLE_CORE_EARLY_EXEC_HH
-#define EOLE_CORE_EARLY_EXEC_HH
+#ifndef EOLE_PIPELINE_STAGES_EARLY_EXEC_HH
+#define EOLE_PIPELINE_STAGES_EARLY_EXEC_HH
 
 #include <cstdint>
 #include <unordered_map>
@@ -101,4 +101,4 @@ class EarlyExecBlock
 
 } // namespace eole
 
-#endif // EOLE_CORE_EARLY_EXEC_HH
+#endif // EOLE_PIPELINE_STAGES_EARLY_EXEC_HH

@@ -1,0 +1,262 @@
+#include "pipeline/stages/issue.hh"
+
+#include <algorithm>
+
+#include "isa/functional.hh"
+#include "pipeline/pipeline_state.hh"
+
+namespace eole {
+
+namespace {
+
+/** Deterministic garbage for wrong-address speculative loads. */
+RegVal
+garbageValue(Addr addr)
+{
+    return (addr * 0x9e3779b97f4a7c15ULL) >> 11;
+}
+
+/** Do two byte ranges overlap? */
+bool
+rangesOverlap(Addr a1, unsigned s1, Addr a2, unsigned s2)
+{
+    return a1 < a2 + s2 && a2 < a1 + s1;
+}
+
+RegVal
+sliceValue(RegVal v, unsigned size)
+{
+    if (size >= 8)
+        return v;
+    return v & ((1ULL << (8 * size)) - 1);
+}
+
+} // namespace
+
+IssueStage::IssueStage(const SimConfig &cfg) : issueWidth(cfg.issueWidth)
+{
+}
+
+void
+IssueStage::tick(PipelineState &st)
+{
+    st.fus.newCycle();
+    int issued = 0;
+
+    // Iterate over a snapshot: a store's violation check may squash
+    // (and thus mutate) the IQ mid-scan.
+    const std::vector<DynInstPtr> candidates = st.iq;
+    for (const DynInstPtr &di : candidates) {
+        if (issued >= issueWidth)
+            break;
+        if (di->squashed || di->issued)
+            continue;
+        if (!st.operandsReady(*di))
+            continue;
+
+        const OpClass cls = di->uop.opClass();
+        if (!st.fus.canIssue(cls, st.now))
+            continue;
+
+        // Store Sets: loads and stores wait for the in-flight store
+        // the predictor says they depend on.
+        if ((di->isLoad() || di->isStore()) && di->dependsOnStore != 0
+            && !storeExecuted(st, di->dependsOnStore)) {
+            continue;
+        }
+
+        if (!executeInst(st, di))
+            continue;  // blocked (e.g. partial store overlap); retry
+
+        di->issued = true;
+        di->inIQ = false;
+        const unsigned lat = opLatency(cls);
+        st.fus.issue(cls, st.now, st.now + lat);
+        ++issued;
+        if (di->squashed)
+            break;  // a store's violation check squashed the pipeline
+    }
+
+    std::erase_if(st.iq, [](const DynInstPtr &di) {
+        return di->issued || di->squashed;
+    });
+    s.iqOccupancySum += st.iq.size();
+}
+
+bool
+IssueStage::storeExecuted(const PipelineState &st, SeqNum store_seq) const
+{
+    for (size_t i = 0; i < st.sq.size(); ++i) {
+        const DynInstPtr &stq = st.sq.at(i);
+        if (stq->seq == store_seq)
+            return stq->effAddrValid;
+    }
+    // Not in the SQ: already committed (or squashed).
+    return true;
+}
+
+void
+IssueStage::finishExec(PipelineState &st, const DynInstPtr &di, RegVal value,
+                       Cycle ready)
+{
+    di->computedValue = value;
+    di->hasComputedValue = true;
+    if (di->physDst != invalidReg) {
+        PhysRegFile &f = st.prfOf(di->uop.dstClass);
+        if (di->predictionUsed) {
+            // The prediction was written (and made ready) at dispatch;
+            // writeback replaces the value, as in the paper's baseline.
+            f.overwriteValue(di->physDst, value);
+        } else {
+            f.write(di->physDst, value, ready);
+        }
+    }
+    st.completions[ready].push_back(di);
+}
+
+void
+IssueStage::checkStoreViolation(PipelineState &st, const DynInstPtr &store)
+{
+    DynInstPtr victim;
+    for (size_t i = 0; i < st.lq.size(); ++i) {
+        const DynInstPtr &ld = st.lq.at(i);
+        if (ld->seq <= store->seq || !ld->effAddrValid || ld->squashed)
+            continue;
+        if (!ld->issued && !ld->completed)
+            continue;
+        if (!rangesOverlap(ld->effAddr, ld->uop.memSize, store->effAddr,
+                           store->uop.memSize)) {
+            continue;
+        }
+        if (!victim || ld->seq < victim->seq)
+            victim = ld;
+    }
+    if (!victim)
+        return;
+
+    ++s.memOrderViolations;
+    st.ssets.violation(victim->uop.pc, store->uop.pc);
+    // Squash from the violating load (it re-executes after the store).
+    st.squashAfter(victim->seq - 1, victim->postSnap, st.now + 1);
+}
+
+bool
+IssueStage::executeInst(PipelineState &st, const DynInstPtr &di)
+{
+    const OpClass cls = di->uop.opClass();
+
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+      case OpClass::FpAlu:
+      case OpClass::FpMul:
+      case OpClass::FpDiv: {
+        const RegVal a = st.readOperand(*di, 0);
+        const RegVal b = st.readOperand(*di, 1);
+        const RegVal val = execAlu(di->uop.opc, a, b, di->uop.imm);
+        finishExec(st, di, val, st.now + opLatency(cls));
+        return true;
+      }
+
+      case OpClass::Branch: {
+        // Branches resolve one cycle after issue on an ALU. Calls
+        // produce the link value.
+        const RegVal val = di->uop.isCall() ? di->uop.pc + uopBytes : 0;
+        finishExec(st, di, val, st.now + 1);
+        return true;
+      }
+
+      case OpClass::MemRead: {
+        const Addr addr = effectiveAddr(st.readOperand(*di, 0), di->uop.imm);
+        di->effAddr = addr;
+        di->effAddrValid = true;
+
+        // Search the SQ for the youngest older overlapping store.
+        DynInstPtr match;
+        bool partial = false;
+        for (size_t i = st.sq.size(); i-- > 0;) {
+            const DynInstPtr &stq = st.sq.at(i);
+            if (stq->seq > di->seq || stq->squashed)
+                continue;
+            if (!stq->effAddrValid) {
+                // Unknown address older store: proceed speculatively
+                // (Store Sets vouched); violations are caught later.
+                continue;
+            }
+            if (!rangesOverlap(addr, di->uop.memSize, stq->effAddr,
+                               stq->uop.memSize)) {
+                continue;
+            }
+            if (stq->effAddr == addr && di->uop.memSize <= stq->uop.memSize)
+                match = stq;
+            else
+                partial = true;
+            break;  // youngest older overlapping store decides
+        }
+
+        if (partial) {
+            // Partial overlap: wait until the store drains (retry).
+            return false;
+        }
+
+        RegVal val;
+        Cycle ready;
+        if (match) {
+            val = sliceValue(match->storeData, di->uop.memSize);
+            ready = st.now + 2;  // forwarding at L1-hit-like latency
+            ++s.storeToLoadForwards;
+        } else {
+            // Architecturally correct value when the address is right;
+            // deterministic garbage when executing with mispredicted
+            // operands (will be squashed).
+            val = addr == di->uop.effAddr ? di->uop.result
+                                          : sliceValue(garbageValue(addr),
+                                                       di->uop.memSize);
+            ready = st.mem->loadAccess(di->uop.pc, addr, st.now + 1);
+        }
+        finishExec(st, di, val, ready);
+        return true;
+      }
+
+      case OpClass::MemWrite: {
+        const Addr addr = effectiveAddr(st.readOperand(*di, 0), di->uop.imm);
+        di->effAddr = addr;
+        di->effAddrValid = true;
+        di->storeData = st.readOperand(*di, 1);
+        st.ssets.storeResolved(di->uop.pc, di->seq);
+        // Violation check first: the squash (if any) only removes µ-ops
+        // younger than the violating load; this store survives it.
+        checkStoreViolation(st, di);
+        finishExec(st, di, di->storeData, st.now + 1);
+        return true;
+      }
+
+      default:
+        finishExec(st, di, 0, st.now + 1);
+        return true;
+    }
+}
+
+void
+IssueStage::squash(PipelineState &st, SeqNum, Cycle)
+{
+    // The ROB walk (commit's squash) has already marked the dead µ-ops.
+    std::erase_if(st.iq, [](const DynInstPtr &di) { return di->squashed; });
+}
+
+void
+IssueStage::resetStats()
+{
+    s = Stats{};
+}
+
+void
+IssueStage::addStats(CoreStats &out) const
+{
+    out.storeToLoadForwards += s.storeToLoadForwards;
+    out.memOrderViolations += s.memOrderViolations;
+    out.iqOccupancySum += s.iqOccupancySum;
+}
+
+} // namespace eole

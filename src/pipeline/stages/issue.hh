@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Issue/execute stage: the out-of-order engine.
+ *
+ * Oldest-first selection over the IQ under FU-pool and issue-width
+ * constraints, Store Sets memory-dependence enforcement, execution
+ * with a latency oracle (loads access the memory hierarchy, with
+ * store-to-load forwarding and memory-order violation detection on
+ * store execute).
+ */
+
+#ifndef EOLE_PIPELINE_STAGES_ISSUE_HH
+#define EOLE_PIPELINE_STAGES_ISSUE_HH
+
+#include "pipeline/dyn_inst.hh"
+#include "pipeline/stages/stage.hh"
+#include "sim/config.hh"
+
+namespace eole {
+
+class IssueStage : public Stage
+{
+  public:
+    explicit IssueStage(const SimConfig &cfg);
+
+    const char *name() const override { return "issue"; }
+    void tick(PipelineState &st) override;
+    void squash(PipelineState &st, SeqNum keep_seq,
+                Cycle resume_fetch_at) override;
+    void resetStats() override;
+    void addStats(CoreStats &out) const override;
+
+  private:
+    struct Stats
+    {
+        std::uint64_t storeToLoadForwards = 0;
+        std::uint64_t memOrderViolations = 0;
+        std::uint64_t iqOccupancySum = 0;
+    };
+
+    /** @return false when execution is blocked and must retry (e.g. a
+     *  partial store overlap). */
+    bool executeInst(PipelineState &st, const DynInstPtr &di);
+    void finishExec(PipelineState &st, const DynInstPtr &di, RegVal value,
+                    Cycle ready);
+    bool storeExecuted(const PipelineState &st, SeqNum store_seq) const;
+    void checkStoreViolation(PipelineState &st, const DynInstPtr &store);
+
+    int issueWidth;
+
+    Stats s;
+};
+
+} // namespace eole
+
+#endif // EOLE_PIPELINE_STAGES_ISSUE_HH

@@ -1,0 +1,85 @@
+#include "pipeline/stages/pipeline_builder.hh"
+
+#include "common/logging.hh"
+#include "pipeline/stages/commit.hh"
+#include "pipeline/stages/completion.hh"
+#include "pipeline/stages/dispatch.hh"
+#include "pipeline/stages/fetch.hh"
+#include "pipeline/stages/issue.hh"
+#include "pipeline/stages/levt.hh"
+#include "pipeline/stages/rename.hh"
+
+namespace eole {
+
+Stage *
+StagePipeline::byName(const std::string &stage_name) const
+{
+    for (const auto &stage : stages) {
+        if (stage_name == stage->name())
+            return stage.get();
+    }
+    return nullptr;
+}
+
+void
+StagePipeline::replace(const std::string &stage_name,
+                       std::unique_ptr<Stage> replacement)
+{
+    fatal_if(stage_name != replacement->name(),
+             "replacement stage reports name '%s', expected '%s'",
+             replacement->name(), stage_name.c_str());
+    for (auto &stage : stages) {
+        if (stage_name != stage->name())
+            continue;
+        for (Stage *&sq : squashOrder) {
+            if (sq == stage.get())
+                sq = replacement.get();
+        }
+        stage = std::move(replacement);
+        wire();
+        return;
+    }
+    fatal("no stage named '%s' to replace", stage_name.c_str());
+}
+
+void
+StagePipeline::wire()
+{
+    auto *commit = dynamic_cast<CommitStage *>(byName("commit"));
+    if (commit)
+        commit->setLevt(dynamic_cast<LevtStage *>(byName("levt")));
+}
+
+StagePipeline
+buildDefaultPipeline(const SimConfig &cfg)
+{
+    StagePipeline p;
+
+    auto completion = std::make_unique<CompletionStage>();
+    // The LE/VT pre-commit stage exists only when it has work: used
+    // predictions to validate/train (VP on) or µ-ops routed to Late
+    // Execution.
+    std::unique_ptr<LevtStage> levt;
+    if (cfg.vpEnabled() || cfg.lateExec)
+        levt = std::make_unique<LevtStage>(cfg);
+    auto commit = std::make_unique<CommitStage>(cfg, levt.get());
+    auto issue = std::make_unique<IssueStage>(cfg);
+    auto dispatch = std::make_unique<DispatchStage>(cfg);
+    auto rename = std::make_unique<RenameStage>(cfg);
+    auto fetch = std::make_unique<FetchStage>(cfg);
+
+    p.squashOrder = {rename.get(), commit.get(), issue.get(), fetch.get()};
+
+    // Tick order: back of the pipeline first.
+    p.stages.push_back(std::move(completion));
+    if (levt)
+        p.stages.push_back(std::move(levt));
+    p.stages.push_back(std::move(commit));
+    p.stages.push_back(std::move(issue));
+    p.stages.push_back(std::move(dispatch));
+    p.stages.push_back(std::move(rename));
+    p.stages.push_back(std::move(fetch));
+    return p;
+}
+
+} // namespace eole

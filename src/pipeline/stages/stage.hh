@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The pipeline stage interface.
+ *
+ * Each stage of the EOLE core (fetch, rename+EE, dispatch, issue,
+ * completion, LE/VT, commit) is a separate object implementing this
+ * interface and operating on the shared PipelineState substrate. The
+ * Core conductor ticks the stages in reverse pipeline order each cycle
+ * and routes squash/redirect events to every stage; stages own their
+ * statistics and fold them into the aggregate CoreStats on demand.
+ */
+
+#ifndef EOLE_PIPELINE_STAGES_STAGE_HH
+#define EOLE_PIPELINE_STAGES_STAGE_HH
+
+#include "common/types.hh"
+
+namespace eole {
+
+struct CoreStats;
+struct PipelineState;
+
+class Stage
+{
+  public:
+    virtual ~Stage() = default;
+
+    /** Stable identifier ("fetch", "rename", ... ); used by benches
+     *  and the pipeline builder to locate/replace stages. */
+    virtual const char *name() const = 0;
+
+    /** Do one cycle of this stage's work. */
+    virtual void tick(PipelineState &st) = 0;
+
+    /**
+     * A full pipeline squash is unwinding everything younger than
+     * @p keep_seq: drop/repair this stage's in-flight state. Stages are
+     * invoked in PipelineState::squashAfter's fixed unwind order
+     * (rename-map restores must run youngest-first across stages).
+     */
+    virtual void squash(PipelineState &st, SeqNum keep_seq,
+                        Cycle resume_fetch_at);
+
+    /** Fetch was redirected by a resolved branch without a full squash
+     *  (nothing younger was fetched): drop front-end speculative state. */
+    virtual void onFetchRedirect(PipelineState &st);
+
+    /** Zero this stage's statistics (end of warmup). */
+    virtual void resetStats();
+
+    /** Fold this stage's counters into the aggregate record. */
+    virtual void addStats(CoreStats &out) const;
+};
+
+inline void
+Stage::squash(PipelineState &, SeqNum, Cycle)
+{
+}
+
+inline void
+Stage::onFetchRedirect(PipelineState &)
+{
+}
+
+inline void
+Stage::resetStats()
+{
+}
+
+inline void
+Stage::addStats(CoreStats &) const
+{
+}
+
+} // namespace eole
+
+#endif // EOLE_PIPELINE_STAGES_STAGE_HH

@@ -8,8 +8,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/early_exec.hh"
-#include "core/port_model.hh"
+#include "pipeline/stages/early_exec.hh"
+#include "pipeline/port_model.hh"
 #include "isa/assembler.hh"
 #include "pipeline/core.hh"
 #include "sim/configs.hh"
