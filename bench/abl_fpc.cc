@@ -4,40 +4,13 @@
  * 3-bit counter (all-1 transitions, i.e. no probabilistic filtering)
  * and an even stricter vector. Shows the accuracy/coverage trade-off
  * that makes commit-time squash recovery affordable.
+ *
+ * Thin wrapper over the "abl_fpc" plan; see `eole run abl_fpc`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Ablation", "FPC probability-vector sweep");
-
-    const SimConfig base = configs::baseline(6, 64);
-
-    SimConfig plain = configs::baselineVp(6, 64);
-    plain.name = "FPC_plain3bit";
-    plain.vp.fpcVector = {1, 1, 1, 1, 1, 1, 1};
-
-    SimConfig paper = configs::baselineVp(6, 64);
-    paper.name = "FPC_paper";
-
-    SimConfig strict = configs::baselineVp(6, 64);
-    strict.name = "FPC_strict";
-    strict.vp.fpcVector = {1.0, 1.0 / 64, 1.0 / 64, 1.0 / 64,
-                           1.0 / 64, 1.0 / 128, 1.0 / 128};
-
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({base, plain, paper, strict}, names);
-    const std::vector<std::string> cols = {"FPC_plain3bit", "FPC_paper",
-                                           "FPC_strict"};
-
-    printTable("Speedup over Baseline_6_64 by FPC vector", results, cols,
-               names, "ipc", base.name);
-    printTable("Value-misprediction squashes (per run)", results, cols,
-               names, "vp_squashes");
-    printTable("Coverage by FPC vector", results, cols, names,
-               "vp_coverage");
-    return 0;
+    return eole::runFigure("abl_fpc");
 }

@@ -3,46 +3,14 @@
  * predictor family compared head-to-head on the VP baseline --
  * Last-Value, Stride, 2-Delta Stride, FCM, VTAGE and the paper's
  * VTAGE-2DStride hybrid.
+ *
+ * Thin wrapper over the "abl_predictors" plan; see
+ * `eole run abl_predictors`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Ablation", "value-predictor family comparison");
-
-    const SimConfig base = configs::baseline(6, 64);
-
-    std::vector<SimConfig> cfgs = {base};
-    const std::pair<VpKind, const char *> kinds[] = {
-        {VpKind::LastValue, "VP_LVP"},
-        {VpKind::Stride, "VP_Stride"},
-        {VpKind::TwoDeltaStride, "VP_2DStride"},
-        {VpKind::Fcm, "VP_FCM"},
-        {VpKind::Vtage, "VP_VTAGE"},
-        {VpKind::HybridVtage2DStride, "VP_Hybrid"},
-    };
-    for (const auto &[kind, name] : kinds) {
-        SimConfig c = configs::baselineVp(6, 64);
-        c.name = name;
-        c.vp.kind = kind;
-        cfgs.push_back(c);
-    }
-
-    const auto &names = workloads::allNames();
-    const auto results = runGrid(cfgs, names);
-
-    std::vector<std::string> cols;
-    for (const auto &[kind, name] : kinds)
-        cols.emplace_back(name);
-
-    printTable("Speedup over Baseline_6_64 by predictor", results, cols,
-               names, "ipc", base.name);
-    printTable("Coverage (used/eligible) by predictor", results, cols,
-               names, "vp_coverage");
-    printTable("Accuracy on used predictions by predictor", results, cols,
-               names, "vp_accuracy");
-    return 0;
+    return eole::runFigure("abl_predictors");
 }

@@ -1,6 +1,12 @@
 /**
  * @file
  * Shared helpers for the per-figure benchmark harnesses.
+ *
+ * Since the sweep engine, each figure is a named ExperimentPlan
+ * (sim/plans.hh) and the per-figure binaries are thin wrappers around
+ * runFigure(). The `eole` CLI drives the same plans with more control
+ * (--jobs, --filter, --out, diff); these binaries remain for
+ * one-command reproduction of a figure.
  */
 
 #ifndef EOLE_BENCH_BENCH_COMMON_HH
@@ -10,6 +16,8 @@
 
 #include "sim/configs.hh"
 #include "sim/experiment.hh"
+#include "sim/plans.hh"
+#include "sim/sweep.hh"
 #include "workloads/workload.hh"
 
 namespace eole {
@@ -22,6 +30,17 @@ announce(const char *fig, const char *what)
                 "(override: EOLE_WARMUP / EOLE_INSTS / EOLE_THREADS)\n",
                 (unsigned long long)warmupUops(),
                 (unsigned long long)measureUops(), runnerThreads());
+}
+
+/** Run a named plan with env-default settings and print its tables. */
+inline int
+runFigure(const char *plan_name)
+{
+    const ExperimentPlan plan = plans::get(plan_name);
+    announce(plan.name.c_str(), plan.description.c_str());
+    const PlanResult result = runPlan(plan);
+    printPlanTables(plan, result);
+    return 0;
 }
 
 } // namespace eole

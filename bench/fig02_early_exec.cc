@@ -2,26 +2,14 @@
  * Figure 2: proportion of committed µ-ops that can be early-executed,
  * with one or two ALU stages, on the 8-wide-rename 6-issue model with
  * the VTAGE-2DStride hybrid predictor.
+ *
+ * Thin wrapper over the "fig02" plan; `eole run fig02` is the full
+ * driver (parallel jobs, filtering, artifacts).
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Fig 2", "early-executable fraction, 1 vs 2 ALU stages");
-
-    SimConfig one = configs::eole(6, 64);
-    one.name = "EE_1stage";
-    SimConfig two = configs::eole(6, 64);
-    two.name = "EE_2stages";
-    two.eeStages = 2;
-
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({one, two}, names);
-
-    printTable("Fraction of committed u-ops early-executed (Fig 2)",
-               results, {"EE_1stage", "EE_2stages"}, names, "ee_frac");
-    return 0;
+    return eole::runFigure("fig02");
 }

@@ -3,30 +3,13 @@
  * (value-predicted single-cycle ALU µ-ops and very-high-confidence
  * branches); µ-ops that could also be early-executed are not counted,
  * as in the paper.
+ *
+ * Thin wrapper over the "fig04" plan; see `eole run fig04`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Fig 4",
-             "late-executable fraction (high-conf branches + predicted)");
-
-    SimConfig cfg = configs::eole(6, 64);
-    cfg.name = "EOLE_6_64";
-
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({cfg}, names);
-
-    printTable("High-confidence branches late-executed (Fig 4, bottom)",
-               results, {"EOLE_6_64"}, names, "le_br_frac");
-    printTable("Value-predicted u-ops late-executed (Fig 4, top)",
-               results, {"EOLE_6_64"}, names, "le_alu_frac");
-    printTable("Total late-executed fraction (Fig 4)", results,
-               {"EOLE_6_64"}, names, "le_frac");
-    printTable("Total OoO-engine offload incl. EE (end of §3.4)", results,
-               {"EOLE_6_64"}, names, "offload_frac");
-    return 0;
+    return eole::runFigure("fig04");
 }

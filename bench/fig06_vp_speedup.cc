@@ -1,26 +1,13 @@
 /**
  * Figure 6: speedup of Baseline_VP_6_64 (VTAGE-2DStride hybrid) over
  * Baseline_6_64.
+ *
+ * Thin wrapper over the "fig06" plan; see `eole run fig06`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Fig 6", "value-prediction speedup over Baseline_6_64");
-
-    const SimConfig base = configs::baseline(6, 64);
-    const SimConfig vp = configs::baselineVp(6, 64);
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({base, vp}, names);
-
-    printTable("Speedup of VTAGE-2DStride VP over Baseline_6_64 (Fig 6)",
-               results, {vp.name}, names, "ipc", base.name);
-    printTable("VP coverage (used / eligible)", results, {vp.name}, names,
-               "vp_coverage");
-    printTable("VP accuracy on used predictions", results, {vp.name},
-               names, "vp_accuracy");
-    return 0;
+    return eole::runFigure("fig06");
 }

@@ -1,27 +1,13 @@
 /**
  * Figure 7: EOLE and the VP baseline as the OoO issue width shrinks
  * from 6 to 4, normalized to Baseline_VP_6_64.
+ *
+ * Thin wrapper over the "fig07" plan; see `eole run fig07`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Fig 7", "issue-width sensitivity of EOLE vs baseline");
-
-    const SimConfig ref = configs::baselineVp(6, 64);
-    const SimConfig bvp4 = configs::baselineVp(4, 64);
-    const SimConfig eole4 = configs::eole(4, 64);
-    const SimConfig eole6 = configs::eole(6, 64);
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({ref, bvp4, eole4, eole6}, names);
-
-    printTable("Speedup over Baseline_VP_6_64 (Fig 7)", results,
-               {bvp4.name, eole4.name, eole6.name}, names, "ipc",
-               ref.name);
-    printTable("OoO offload fraction (context)", results,
-               {eole4.name, eole6.name}, names, "offload_frac");
-    return 0;
+    return eole::runFigure("fig07");
 }

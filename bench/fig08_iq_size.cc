@@ -1,28 +1,13 @@
 /**
  * Figure 8: EOLE and the VP baseline as the instruction-queue size
  * shrinks from 64 to 48 entries, normalized to Baseline_VP_6_64.
+ *
+ * Thin wrapper over the "fig08" plan; see `eole run fig08`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Fig 8", "IQ-size sensitivity of EOLE vs baseline");
-
-    const SimConfig ref = configs::baselineVp(6, 64);
-    const SimConfig bvp48 = configs::baselineVp(6, 48);
-    const SimConfig eole48 = configs::eole(6, 48);
-    const SimConfig eole64 = configs::eole(6, 64);
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({ref, bvp48, eole48, eole64}, names);
-
-    printTable("Speedup over Baseline_VP_6_64 (Fig 8)", results,
-               {bvp48.name, eole48.name, eole64.name}, names, "ipc",
-               ref.name);
-    printTable("Average IQ occupancy (context)", results,
-               {ref.name, eole48.name, eole64.name}, names,
-               "avg_iq_occupancy");
-    return 0;
+    return eole::runFigure("fig08");
 }

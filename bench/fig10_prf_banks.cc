@@ -3,26 +3,13 @@
  * dispatch group are allocated round-robin across banks, and rename
  * stalls when the designated bank is empty), normalized to the
  * single-bank EOLE_4_64.
+ *
+ * Thin wrapper over the "fig10" plan; see `eole run fig10`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Fig 10", "PRF banking (allocation imbalance) cost");
-
-    const SimConfig ref = configs::eole(4, 64);  // 1 bank
-    const SimConfig b2 = configs::eoleBanked(4, 64, 2);
-    const SimConfig b4 = configs::eoleBanked(4, 64, 4);
-    const SimConfig b8 = configs::eoleBanked(4, 64, 8);
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({ref, b2, b4, b8}, names);
-
-    printTable("Speedup over single-bank EOLE_4_64 (Fig 10)", results,
-               {b2.name, b4.name, b8.name}, names, "ipc", ref.name);
-    printTable("Rename bank stalls (context)", results,
-               {b2.name, b4.name, b8.name}, names, "rename_bank_stalls");
-    return 0;
+    return eole::runFigure("fig10");
 }

@@ -2,26 +2,13 @@
  * Figure 11: EOLE_4_64 with a 4-bank PRF and 2/3/4 read ports per bank
  * dedicated to Late Execution / Validation / Training, normalized to
  * EOLE_4_64 with a single bank and unconstrained ports.
+ *
+ * Thin wrapper over the "fig11" plan; see `eole run fig11`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Fig 11", "LE/VT read-port constraint cost");
-
-    const SimConfig ref = configs::eole(4, 64);  // unconstrained
-    const SimConfig p2 = configs::eoleConstrained(4, 64, 4, 2);
-    const SimConfig p3 = configs::eoleConstrained(4, 64, 4, 3);
-    const SimConfig p4 = configs::eoleConstrained(4, 64, 4, 4);
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({ref, p2, p3, p4}, names);
-
-    printTable("Speedup over unconstrained EOLE_4_64 (Fig 11)", results,
-               {p2.name, p3.name, p4.name}, names, "ipc", ref.name);
-    printTable("Commit port stalls (context)", results,
-               {p2.name, p3.name, p4.name}, names, "commit_port_stalls");
-    return 0;
+    return eole::runFigure("fig11");
 }

@@ -2,25 +2,13 @@
  * Figure 12: the bottom line. Baseline_6_64 (no VP), idealized
  * EOLE_4_64, and the realistic EOLE_4_64 with 4 LE/VT read ports and a
  * 4-bank PRF, all normalized to Baseline_VP_6_64.
+ *
+ * Thin wrapper over the "fig12" plan; see `eole run fig12`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Fig 12", "overall EOLE result vs VP baseline");
-
-    const SimConfig ref = configs::baselineVp(6, 64);
-    const SimConfig base = configs::baseline(6, 64);
-    const SimConfig eole4 = configs::eole(4, 64);
-    const SimConfig real4 = configs::eoleConstrained(4, 64, 4, 4);
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({ref, base, eole4, real4}, names);
-
-    printTable("Speedup over Baseline_VP_6_64 (Fig 12)", results,
-               {base.name, eole4.name, real4.name}, names, "ipc",
-               ref.name);
-    return 0;
+    return eole::runFigure("fig12");
 }

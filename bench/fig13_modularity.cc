@@ -86,8 +86,6 @@ stageSwapDemo(const SimConfig &cfg, const std::string &workload)
 int
 main()
 {
-    announce("Fig 13", "EOLE vs OLE (LE only) vs EOE (EE only)");
-
     const SimConfig ref = configs::baselineVp(6, 64);
     const SimConfig full = configs::eoleConstrained(4, 64, 4, 4);
     const SimConfig le_only = configs::ole(4, 64, 4, 4);
@@ -102,14 +100,6 @@ main()
 
     stageSwapDemo(full, "444.namd");
 
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({ref, full, le_only, ee_only}, names);
-
-    printTable("Speedup over Baseline_VP_6_64 (Fig 13)", results,
-               {full.name, le_only.name, ee_only.name}, names, "ipc",
-               ref.name);
-    printTable("Offload fraction (context)", results,
-               {full.name, le_only.name, ee_only.name}, names,
-               "offload_frac");
-    return 0;
+    // The grid itself is the "fig13" plan (see `eole run fig13`).
+    return runFigure("fig13");
 }

@@ -1,23 +1,13 @@
 /**
  * Table 3: baseline (Baseline_6_64, no value prediction) IPC for every
  * benchmark.
+ *
+ * Thin wrapper over the "table3" plan; see `eole run table3`.
  */
 #include "bench_common.hh"
-
-using namespace eole;
 
 int
 main()
 {
-    announce("Table 3", "baseline per-benchmark IPC");
-
-    const SimConfig base = configs::baseline(6, 64);
-    const auto &names = workloads::allNames();
-    const auto results = runGrid({base}, names);
-
-    printTable("Baseline_6_64 IPC (Table 3)", results, {base.name}, names,
-               "ipc");
-    printTable("Branch MPKI (context)", results, {base.name}, names,
-               "branch_mpki");
-    return 0;
+    return eole::runFigure("table3");
 }

@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
 # CI entrypoint: tier-1 verify (configure + build + ctest) with short
 # run lengths so the experiment grids finish in CI time. The run-length
-# env overrides are honoured by sim/experiment.cc (see DESIGN.md §5);
+# env overrides are honoured by the sweep engine (see DESIGN.md §5/§7);
 # tests that pin golden values use their own explicit run lengths and
 # are unaffected.
 #
-# Usage: scripts/check.sh [--with-bench]
+# Usage: scripts/check.sh [--with-bench] [--tsan]
 #   --with-bench   also run the fig13 modularity bench (stage-swap
 #                  self-check + the EOLE/OLE/EOE grid) on the short
 #                  run lengths.
+#   --tsan         additionally build with ThreadSanitizer
+#                  (-DEOLE_TSAN=ON, build-tsan/) and run the sweep
+#                  engine + torture suites under it.
+#
+# Every ctest invocation runs with --timeout (EOLE_TEST_TIMEOUT,
+# default 600 s per suite) so a hung worker thread fails CI instead of
+# wedging it, and failures are propagated explicitly — they do not rely
+# on `set -e` surviving future edits.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,13 +25,51 @@ export EOLE_WARMUP="${EOLE_WARMUP:-50000}"
 export EOLE_INSTS="${EOLE_INSTS:-100000}"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+TEST_TIMEOUT="${EOLE_TEST_TIMEOUT:-600}"
 
-cmake -B build -S .
+WITH_BENCH=0
+WITH_TSAN=0
+for arg in "$@"; do
+    case "$arg" in
+      --with-bench) WITH_BENCH=1 ;;
+      --tsan) WITH_TSAN=1 ;;
+      *)
+        echo "check.sh: unknown option '$arg'" >&2
+        exit 2
+        ;;
+    esac
+done
+
+run_ctest() {
+    local build_dir="$1"
+    shift
+    # Propagate the ctest exit code under -j explicitly. The per-test
+    # TIMEOUT property (set from EOLE_TEST_TIMEOUT at configure time —
+    # it overrides ctest's --timeout flag) bounds each suite so one
+    # hung binary cannot wedge the run.
+    if ! (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" "$@");
+    then
+        echo "check.sh: ctest FAILED in $build_dir" >&2
+        exit 1
+    fi
+}
+
+cmake -B build -S . -DEOLE_TEST_TIMEOUT="$TEST_TIMEOUT"
 cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
+run_ctest build
 
-if [[ "${1:-}" == "--with-bench" ]]; then
+if [[ "$WITH_BENCH" == 1 ]]; then
     ./build/fig13_modularity
 fi
 
-echo "check.sh: OK (warmup=$EOLE_WARMUP, insts=$EOLE_INSTS)"
+if [[ "$WITH_TSAN" == 1 ]]; then
+    echo "check.sh: ThreadSanitizer pass (sweep engine + torture)"
+    cmake -B build-tsan -S . -DEOLE_TSAN=ON \
+          -DEOLE_TEST_TIMEOUT="$TEST_TIMEOUT"
+    cmake --build build-tsan -j "$JOBS" \
+          --target test_experiment test_torture
+    run_ctest build-tsan -R '^(test_experiment|test_torture)$'
+fi
+
+echo "check.sh: OK (warmup=$EOLE_WARMUP, insts=$EOLE_INSTS," \
+     "timeout=${TEST_TIMEOUT}s$([[ $WITH_TSAN == 1 ]] && echo ', tsan'))"

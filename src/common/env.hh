@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Environment-variable parsing helpers shared by the run-length knobs
+ * (EOLE_WARMUP / EOLE_INSTS / EOLE_THREADS), the trace-cache budget
+ * and the torture harness.
+ */
+
+#ifndef EOLE_COMMON_ENV_HH
+#define EOLE_COMMON_ENV_HH
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace eole {
+
+/** @p name parsed as u64 (base auto-detected), or @p fallback when
+ *  unset/empty. */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    return std::strtoull(v, nullptr, 0);
+}
+
+} // namespace eole
+
+#endif // EOLE_COMMON_ENV_HH

@@ -1,0 +1,34 @@
+#include "isa/frozen_trace.hh"
+
+#include <algorithm>
+
+#include "isa/kernel_vm.hh"
+#include "isa/static_inst.hh"
+
+namespace eole {
+
+std::shared_ptr<const FrozenTrace>
+recordTrace(const Program &program, std::size_t mem_bytes,
+            const std::function<void(KernelVM &)> &init,
+            std::uint64_t max_uops)
+{
+    KernelVM vm(program, mem_bytes);
+    if (init)
+        init(vm);
+
+    auto trace = std::make_shared<FrozenTrace>();
+    for (int r = 0; r < numArchIntRegs; ++r)
+        trace->initIntRegs[r] = vm.readIntReg(static_cast<RegIndex>(r));
+    for (int r = 0; r < numArchFpRegs; ++r)
+        trace->initFpRegs[r] = vm.readFpReg(static_cast<RegIndex>(r));
+
+    trace->uops.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(max_uops, 1u << 22)));
+    TraceUop u;
+    while (trace->uops.size() < max_uops && vm.step(u))
+        trace->uops.push_back(u);
+    trace->complete = vm.halted();
+    return trace;
+}
+
+} // namespace eole

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * FrozenTrace: an immutable, pre-executed µ-op stream.
+ *
+ * The functional execution of a workload is independent of the timing
+ * configuration, so a sweep that runs N configurations over the same
+ * workload re-executes the identical µ-op stream N times. A
+ * FrozenTrace records that stream once — together with the post-init
+ * architectural register state the timing core seeds its PRF from —
+ * and is then shared read-only across any number of concurrently
+ * running cores (see sim/trace_cache.hh). Replaying a frozen trace is
+ * also faster than live functional execution: fetch becomes an indexed
+ * read with no VM stepping and no replay-window bookkeeping.
+ */
+
+#ifndef EOLE_ISA_FROZEN_TRACE_HH
+#define EOLE_ISA_FROZEN_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/trace.hh"
+
+namespace eole {
+
+class KernelVM;
+struct Program;
+
+/**
+ * Immutable recording of a kernel's dynamic µ-op stream. Safe to share
+ * across threads once constructed (all members are const after
+ * recordTrace returns).
+ */
+struct FrozenTrace
+{
+    std::vector<TraceUop> uops;
+
+    /** The program halted within uops (the stream is the whole run).
+     *  When false, uops is a prefix and a consumer reading past the
+     *  end is a hard error — size the recording generously. */
+    bool complete = false;
+
+    /** Post-init architectural state (what a live VM would hold when
+     *  the timing core seeds its register files). */
+    RegVal initIntRegs[numArchIntRegs] = {};
+    RegVal initFpRegs[numArchFpRegs] = {};
+
+    std::size_t bytes() const { return uops.size() * sizeof(TraceUop); }
+};
+
+/**
+ * Functionally execute @p program (after running @p init) and record up
+ * to @p max_uops µ-ops.
+ *
+ * @param program the kernel (copied into the recording run)
+ * @param mem_bytes VM data-memory size
+ * @param init one-time architectural state initializer (may be null)
+ * @param max_uops recording cap; the trace is complete if the program
+ *        halts within the cap
+ */
+std::shared_ptr<const FrozenTrace>
+recordTrace(const Program &program, std::size_t mem_bytes,
+            const std::function<void(KernelVM &)> &init,
+            std::uint64_t max_uops);
+
+} // namespace eole
+
+#endif // EOLE_ISA_FROZEN_TRACE_HH

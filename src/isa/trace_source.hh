@@ -8,6 +8,14 @@
  * or memory-order violation) the front end rewinds to the first squashed
  * µ-op and re-fetches the same correct-path stream. Committed µ-ops are
  * retired from the replay window.
+ *
+ * Two backings produce bit-identical streams:
+ *  - a live KernelVM stepped lazily (the original mode), and
+ *  - a shared immutable FrozenTrace recorded once and replayed by any
+ *    number of concurrently-running cores (the sweep engine's trace
+ *    cache, see sim/trace_cache.hh). Replay keeps no window of its
+ *    own — rewind/retire are pure index arithmetic over the shared
+ *    vector.
  */
 
 #ifndef EOLE_ISA_TRACE_SOURCE_HH
@@ -18,20 +26,23 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "isa/frozen_trace.hh"
 #include "isa/kernel_vm.hh"
 #include "isa/trace.hh"
 
 namespace eole {
 
 /**
- * Sequence-numbered µ-op stream backed by a KernelVM. Sequence numbers
- * start at 1 and are dense. The window of µ-ops between the oldest
- * non-retired and the newest generated is kept for replay.
+ * Sequence-numbered µ-op stream backed by a KernelVM or a FrozenTrace.
+ * Sequence numbers start at 1 and are dense. In VM mode, the window of
+ * µ-ops between the oldest non-retired and the newest generated is
+ * kept for replay.
  */
 class TraceSource
 {
   public:
     /**
+     * Live-VM backing.
      * @param program kernel program (copied; self-contained source)
      * @param mem_bytes VM data-memory size
      * @param init one-time architectural state initializer
@@ -45,10 +56,28 @@ class TraceSource
             init(*vm);
     }
 
+    /** Replay backing over a shared immutable recording. */
+    explicit TraceSource(std::shared_ptr<const FrozenTrace> trace)
+        : frozen(std::move(trace))
+    {
+        panic_if(!frozen, "null frozen trace");
+    }
+
+    bool replaying() const { return frozen != nullptr; }
+
     /** Is a µ-op available at the cursor? */
     bool
     hasNext()
     {
+        if (frozen) {
+            if (cursor < frozen->uops.size())
+                return true;
+            panic_if(!frozen->complete,
+                     "frozen trace exhausted after %zu µ-ops but the "
+                     "program has not halted; record a longer prefix",
+                     frozen->uops.size());
+            return false;
+        }
         fill();
         return cursor < window.size();
     }
@@ -60,18 +89,20 @@ class TraceSource
     const TraceUop &
     peek()
     {
-        fill();
-        panic_if(cursor >= window.size(), "peek past end of trace");
-        return window[cursor];
+        panic_if(!hasNext(), "peek past end of trace");
+        return frozen ? frozen->uops[cursor] : window[cursor];
     }
 
     /** Consume and return the µ-op at the cursor. */
     const TraceUop &
     fetch()
     {
-        fill();
-        panic_if(cursor >= window.size(), "fetch past end of trace");
-        return window[cursor++];
+        panic_if(!hasNext(), "fetch past end of trace");
+        const TraceUop &u = frozen ? frozen->uops[cursor] : window[cursor];
+        ++cursor;
+        if (frozen && cursor > highWater)
+            highWater = cursor;
+        return u;
     }
 
     /**
@@ -81,6 +112,15 @@ class TraceSource
     void
     rewindTo(SeqNum seq)
     {
+        if (frozen) {
+            panic_if(seq <= retiredSeq || seq > highWater + 1,
+                     "rewind to %llu outside window (%llu, %llu]",
+                     (unsigned long long)seq,
+                     (unsigned long long)retiredSeq,
+                     (unsigned long long)(highWater + 1));
+            cursor = static_cast<std::size_t>(seq - 1);
+            return;
+        }
         panic_if(seq < baseSeq || seq > baseSeq + window.size(),
                  "rewind to %llu outside window [%llu, %llu]",
                  (unsigned long long)seq, (unsigned long long)baseSeq,
@@ -92,6 +132,13 @@ class TraceSource
     void
     retireUpTo(SeqNum seq)
     {
+        if (frozen) {
+            panic_if(seq > cursor, "retiring unfetched µ-op %llu",
+                     (unsigned long long)seq);
+            if (seq > retiredSeq)
+                retiredSeq = seq;
+            return;
+        }
         while (!window.empty() && baseSeq <= seq) {
             panic_if(cursor == 0, "retiring unfetched µ-op %llu",
                      (unsigned long long)baseSeq);
@@ -102,9 +149,35 @@ class TraceSource
     }
 
     /** Total µ-ops generated so far (high-water mark). */
-    std::uint64_t generated() const { return vm->executedUops(); }
+    std::uint64_t
+    generated() const
+    {
+        return frozen ? highWater : vm->executedUops();
+    }
 
-    KernelVM &machine() { return *vm; }
+    /** The live VM — the escape hatch for ad-hoc tools and debugging
+     *  that need architectural state mid-run (VM backing only; replay
+     *  has no machine). Core code reads initial register state through
+     *  the backing-agnostic accessors below instead. */
+    KernelVM &
+    machine()
+    {
+        panic_if(!vm, "no live VM behind a frozen-trace replay");
+        return *vm;
+    }
+
+    /** Post-init architectural state (valid for both backings). */
+    RegVal
+    initialIntReg(RegIndex r) const
+    {
+        return frozen ? frozen->initIntRegs[r] : vm->readIntReg(r);
+    }
+
+    RegVal
+    initialFpReg(RegIndex r) const
+    {
+        return frozen ? frozen->initFpRegs[r] : vm->readFpReg(r);
+    }
 
   private:
     void
@@ -119,9 +192,16 @@ class TraceSource
 
     std::unique_ptr<Program> prog;
     std::unique_ptr<KernelVM> vm;
+    std::shared_ptr<const FrozenTrace> frozen;
+
+    // VM mode: sliding replay window. Replay mode: window is the whole
+    // frozen stream, so baseSeq stays 1 and cursor is the 0-based index
+    // of the next fetch.
     std::deque<TraceUop> window;
-    SeqNum baseSeq = 1;    //!< sequence number of window[0]
+    SeqNum baseSeq = 1;     //!< sequence number of window[0] (VM mode)
     std::size_t cursor = 0;
+    std::size_t highWater = 0;  //!< replay: max cursor ever reached
+    SeqNum retiredSeq = 0;      //!< replay: all seq <= this retired
 };
 
 } // namespace eole

@@ -85,6 +85,14 @@ class Core
      *  the pipeline). */
     const PipelineState &pipelineState() const { return *state; }
 
+    /** Observe every retiring µ-op (commit-stream capture; see
+     *  tests/test_torture.cc). Pass nullptr to detach. */
+    void
+    setCommitHook(std::function<void(const DynInst &)> hook)
+    {
+        state->onCommit = std::move(hook);
+    }
+
     /** The assembled stage pipeline. */
     const StagePipeline &pipeline() const { return pipe; }
 

@@ -42,16 +42,15 @@ PipelineState::PipelineState(const SimConfig &config, const Workload &workload)
     // post-init architectural values.
     prf[0]->initFreeLists(numArchIntRegs);
     prf[1]->initFreeLists(numArchFpRegs);
-    const KernelVM &vm = ts.machine();
     for (int r = 0; r < numArchIntRegs; ++r) {
         rmap[0]->rename(static_cast<RegIndex>(r), static_cast<RegIndex>(r));
         prf[0]->write(static_cast<RegIndex>(r),
-                      vm.readIntReg(static_cast<RegIndex>(r)), 0);
+                      ts.initialIntReg(static_cast<RegIndex>(r)), 0);
     }
     for (int r = 0; r < numArchFpRegs; ++r) {
         rmap[1]->rename(static_cast<RegIndex>(r), static_cast<RegIndex>(r));
         prf[1]->write(static_cast<RegIndex>(r),
-                      vm.readFpReg(static_cast<RegIndex>(r)), 0);
+                      ts.initialFpReg(static_cast<RegIndex>(r)), 0);
     }
 }
 

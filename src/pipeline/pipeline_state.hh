@@ -20,6 +20,7 @@
 #define EOLE_PIPELINE_PIPELINE_STATE_HH
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -71,6 +72,11 @@ struct PipelineState
     Cycle fetchStallUntil = 0;
     DynInstPtr fetchBlockedOnBranch;
     int bankCursor = 0;
+
+    /** Optional commit observer, invoked for every retiring µ-op after
+     *  the oracle check (tests and tools capture the commit stream
+     *  through this; unset in normal runs). */
+    std::function<void(const DynInst &)> onCommit;
 
     // --- Cross-stage statistics ---
     Cycle cycles = 0;

@@ -62,6 +62,9 @@ CommitStage::tick(PipelineState &st)
                      (unsigned long long)di->seq);
         }
 
+        if (st.onCommit)
+            st.onCommit(*di);
+
         // --- Training ---
         if (levt)
             levt->train(st, di);

@@ -1,0 +1,409 @@
+#include "sim/artifact.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace eole {
+
+namespace {
+
+// ------------------------------- Writing ---------------------------------
+
+/** %.17g: shortest text that round-trips an IEEE double via strtod. */
+std::string
+numberText(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+// ------------------------------- Parsing ---------------------------------
+
+/**
+ * Minimal recursive-descent parser for the artifact subset of JSON
+ * (objects, arrays, strings, numbers; booleans/null accepted and
+ * ignored where a number is not required). Errors are fatal: artifacts
+ * are machine-written, so a malformed one is an operator mistake worth
+ * stopping on.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        fatal_if(pos >= s.size() || s[pos] != c,
+                 "artifact parse error at offset %zu: expected '%c'", pos,
+                 c);
+        ++pos;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c == '\\') {
+                fatal_if(pos >= s.size(), "artifact: truncated escape");
+                const char e = s[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    fatal_if(pos + 4 > s.size(), "artifact: bad \\u");
+                    const std::string hex = s.substr(pos, 4);
+                    pos += 4;
+                    out += static_cast<char>(
+                        std::strtoul(hex.c_str(), nullptr, 16));
+                    break;
+                  }
+                  default:
+                    fatal("artifact: unsupported escape \\%c", e);
+                }
+            } else {
+                out += c;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        char *end = nullptr;
+        const double v = std::strtod(s.c_str() + pos, &end);
+        fatal_if(end == s.c_str() + pos,
+                 "artifact parse error at offset %zu: expected number",
+                 pos);
+        pos = static_cast<std::size_t>(end - s.c_str());
+        return v;
+    }
+
+    /** Exact unsigned 64-bit integer (seeds do not fit in a double). */
+    std::uint64_t
+    parseU64()
+    {
+        skipWs();
+        char *end = nullptr;
+        const std::uint64_t v = std::strtoull(s.c_str() + pos, &end, 10);
+        fatal_if(end == s.c_str() + pos,
+                 "artifact parse error at offset %zu: expected integer",
+                 pos);
+        pos = static_cast<std::size_t>(end - s.c_str());
+        return v;
+    }
+
+    /** Skip any one value (used for unknown/ignored keys). */
+    void
+    skipValue()
+    {
+        skipWs();
+        fatal_if(pos >= s.size(), "artifact: truncated document");
+        const char c = s[pos];
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            ++pos;
+            if (!tryConsume('}')) {
+                do {
+                    parseString();
+                    expect(':');
+                    skipValue();
+                } while (tryConsume(','));
+                expect('}');
+            }
+        } else if (c == '[') {
+            ++pos;
+            if (!tryConsume(']')) {
+                do {
+                    skipValue();
+                } while (tryConsume(','));
+                expect(']');
+            }
+        } else if (c == 't' || c == 'f' || c == 'n') {
+            while (pos < s.size() && std::isalpha(
+                       static_cast<unsigned char>(s[pos])))
+                ++pos;
+        } else {
+            parseNumber();
+        }
+    }
+
+    void
+    finish()
+    {
+        skipWs();
+        fatal_if(pos != s.size(), "artifact: trailing garbage at %zu", pos);
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size()
+               && std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+RunResult
+parseCell(JsonParser &p)
+{
+    RunResult cell;
+    p.expect('{');
+    do {
+        const std::string key = p.parseString();
+        p.expect(':');
+        if (key == "config") {
+            cell.config = p.parseString();
+        } else if (key == "workload") {
+            cell.workload = p.parseString();
+        } else if (key == "seed") {
+            cell.seed = p.parseU64();
+        } else if (key == "stats") {
+            p.expect('{');
+            if (!p.tryConsume('}')) {
+                do {
+                    const std::string stat = p.parseString();
+                    p.expect(':');
+                    cell.stats.add(stat, p.parseNumber());
+                } while (p.tryConsume(','));
+                p.expect('}');
+            }
+        } else {
+            p.skipValue();
+        }
+    } while (p.tryConsume(','));
+    p.expect('}');
+    return cell;
+}
+
+} // namespace
+
+void
+writeJsonArtifact(std::ostream &os, const PlanResult &result)
+{
+    os << "{\n";
+    os << "  \"schema\": \"eole-sweep-v1\",\n";
+    os << "  \"plan\": ";
+    writeEscaped(os, result.plan);
+    os << ",\n";
+    os << "  \"seed\": " << result.seed << ",\n";
+    os << "  \"warmup\": " << result.warmup << ",\n";
+    os << "  \"measure\": " << result.measure << ",\n";
+    os << "  \"filter\": ";
+    writeEscaped(os, result.filter);
+    os << ",\n";
+    os << "  \"cells\": [";
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        const RunResult &cell = result.cells[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\n";
+        os << "      \"config\": ";
+        writeEscaped(os, cell.config);
+        os << ",\n";
+        os << "      \"workload\": ";
+        writeEscaped(os, cell.workload);
+        os << ",\n";
+        os << "      \"seed\": " << cell.seed << ",\n";
+        os << "      \"stats\": {";
+        const auto &stats = cell.stats.all();
+        for (std::size_t k = 0; k < stats.size(); ++k) {
+            os << (k ? ",\n" : "\n");
+            os << "        ";
+            writeEscaped(os, stats[k].first);
+            os << ": " << numberText(stats[k].second);
+        }
+        os << (stats.empty() ? "}" : "\n      }") << "\n";
+        os << "    }";
+    }
+    os << (result.cells.empty() ? "]" : "\n  ]") << "\n";
+    os << "}\n";
+}
+
+std::string
+jsonArtifactString(const PlanResult &result)
+{
+    std::ostringstream oss;
+    writeJsonArtifact(oss, result);
+    return oss.str();
+}
+
+void
+writeCsvArtifact(std::ostream &os, const PlanResult &result)
+{
+    os << "plan,config,workload,seed,stat,value\n";
+    for (const RunResult &cell : result.cells) {
+        for (const auto &[stat, value] : cell.stats.all()) {
+            os << result.plan << ',' << cell.config << ','
+               << cell.workload << ',' << cell.seed << ',' << stat << ','
+               << numberText(value) << '\n';
+        }
+    }
+}
+
+PlanResult
+readJsonArtifact(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+
+    PlanResult result;
+    std::string schema;
+    JsonParser p(text);
+    p.expect('{');
+    do {
+        const std::string key = p.parseString();
+        p.expect(':');
+        if (key == "schema") {
+            schema = p.parseString();
+        } else if (key == "plan") {
+            result.plan = p.parseString();
+        } else if (key == "seed") {
+            result.seed = p.parseU64();
+        } else if (key == "warmup") {
+            result.warmup = p.parseU64();
+        } else if (key == "measure") {
+            result.measure = p.parseU64();
+        } else if (key == "filter") {
+            result.filter = p.parseString();
+        } else if (key == "cells") {
+            p.expect('[');
+            if (!p.tryConsume(']')) {
+                do {
+                    result.cells.push_back(parseCell(p));
+                } while (p.tryConsume(','));
+                p.expect(']');
+            }
+        } else {
+            p.skipValue();
+        }
+    } while (p.tryConsume(','));
+    p.expect('}');
+    p.finish();
+
+    fatal_if(schema != "eole-sweep-v1",
+             "unsupported artifact schema \"%s\"", schema.c_str());
+    return result;
+}
+
+PlanResult
+readJsonArtifactFile(const std::string &path)
+{
+    std::ifstream is(path);
+    fatal_if(!is, "cannot read artifact %s", path.c_str());
+    return readJsonArtifact(is);
+}
+
+std::size_t
+diffArtifacts(const PlanResult &a, const PlanResult &b,
+              const DiffOptions &options, std::ostream &os)
+{
+    std::size_t diffs = 0;
+    auto report = [&](const std::string &line) {
+        ++diffs;
+        if (static_cast<int>(diffs) <= options.maxPrint)
+            os << "  " << line << "\n";
+    };
+
+    if (a.warmup != b.warmup || a.measure != b.measure) {
+        os << "note: run lengths differ (a: " << a.warmup << "+"
+           << a.measure << ", b: " << b.warmup << "+" << b.measure
+           << " µ-ops); stat differences are expected\n";
+    }
+
+    auto close = [&](double x, double y) {
+        if (x == y)
+            return true;
+        const double scale = std::max(std::fabs(x), std::fabs(y));
+        return std::fabs(x - y) <= options.absTol + options.relTol * scale;
+    };
+
+    for (const RunResult &ca : a.cells) {
+        const RunResult *cb = b.find(ca.config, ca.workload);
+        const std::string id = ca.config + "/" + ca.workload;
+        if (!cb) {
+            report("cell " + id + " missing from b");
+            continue;
+        }
+        for (const auto &[stat, va] : ca.stats.all()) {
+            if (!cb->stats.has(stat)) {
+                report(id + ": stat " + stat + " missing from b");
+            } else if (const double vb = cb->stats.get(stat);
+                       !close(va, vb)) {
+                report(id + ": " + stat + " " + std::string("a=")
+                       + std::to_string(va) + " b=" + std::to_string(vb));
+            }
+        }
+    }
+    for (const RunResult &cb : b.cells) {
+        if (!a.find(cb.config, cb.workload))
+            report("cell " + cb.config + "/" + cb.workload
+                   + " missing from a");
+    }
+
+    if (static_cast<int>(diffs) > options.maxPrint) {
+        os << "  ... " << (diffs - options.maxPrint)
+           << " more difference(s)\n";
+    }
+    return diffs;
+}
+
+} // namespace eole

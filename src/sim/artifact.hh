@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sweep artifacts: structured JSON/CSV output for PlanResults, a
+ * reader for the JSON form, and a diff.
+ *
+ * The JSON writer is canonical and fully deterministic — fixed key
+ * order, cells in config-major slot order, doubles printed with %.17g
+ * (round-trip exact) — so byte-comparing two artifacts is a valid
+ * equality check and is exactly how the engine's `--jobs` invariance
+ * is pinned (tests/test_experiment.cc). No timestamps or host
+ * information are recorded for the same reason.
+ */
+
+#ifndef EOLE_SIM_ARTIFACT_HH
+#define EOLE_SIM_ARTIFACT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/sweep.hh"
+
+namespace eole {
+
+/** Canonical JSON artifact (schema "eole-sweep-v1"). */
+void writeJsonArtifact(std::ostream &os, const PlanResult &result);
+
+/** The same artifact as a string (byte-comparison in tests). */
+std::string jsonArtifactString(const PlanResult &result);
+
+/** Long-form CSV: header + one row per (cell, stat). */
+void writeCsvArtifact(std::ostream &os, const PlanResult &result);
+
+/** Parse an artifact produced by writeJsonArtifact (fatal on a
+ *  malformed document or wrong schema). */
+PlanResult readJsonArtifact(std::istream &is);
+
+/** Convenience: read an artifact file (fatal if unreadable). */
+PlanResult readJsonArtifactFile(const std::string &path);
+
+struct DiffOptions
+{
+    double relTol = 0.0;   //!< per-stat relative tolerance
+    double absTol = 0.0;   //!< per-stat absolute tolerance
+    int maxPrint = 25;     //!< differences to print before eliding
+};
+
+/**
+ * Compare two artifacts cell-by-cell and stat-by-stat, reporting to
+ * @p os. Returns the number of differences (missing cells/stats count
+ * as differences); 0 means the artifacts agree within tolerance.
+ */
+std::size_t diffArtifacts(const PlanResult &a, const PlanResult &b,
+                          const DiffOptions &options, std::ostream &os);
+
+} // namespace eole
+
+#endif // EOLE_SIM_ARTIFACT_HH

@@ -1,29 +1,15 @@
 #include "sim/experiment.hh"
 
-#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 
+#include "common/env.hh"
 #include "common/logging.hh"
-#include "pipeline/core.hh"
-#include "workloads/workload.hh"
+#include "sim/sweep.hh"
 
 namespace eole {
-
-namespace {
-
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (v == nullptr || *v == '\0')
-        return fallback;
-    return std::strtoull(v, nullptr, 0);
-}
-
-} // namespace
 
 std::uint64_t
 warmupUops()
@@ -48,54 +34,14 @@ std::vector<RunResult>
 runGrid(const std::vector<SimConfig> &cfgs,
         const std::vector<std::string> &workload_names)
 {
-    struct Job
-    {
-        const SimConfig *cfg;
-        const std::string *workload;
-        std::size_t slot;
-    };
-
-    std::vector<Job> jobs;
-    std::vector<RunResult> results(cfgs.size() * workload_names.size());
-    for (std::size_t c = 0; c < cfgs.size(); ++c) {
-        for (std::size_t w = 0; w < workload_names.size(); ++w) {
-            const std::size_t slot = c * workload_names.size() + w;
-            results[slot].config = cfgs[c].name;
-            results[slot].workload = workload_names[w];
-            jobs.push_back(Job{&cfgs[c], &workload_names[w], slot});
-        }
-    }
-
-    const std::uint64_t warm = warmupUops();
-    const std::uint64_t inst = measureUops();
-    // Generous safety valve against pathological configurations.
-    const std::uint64_t max_cycles = (warm + inst) * 60 + 1000000;
-
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t j = next.fetch_add(1);
-            if (j >= jobs.size())
-                return;
-            const Job &job = jobs[j];
-            const Workload w = workloads::build(*job.workload);
-            Core core(*job.cfg, w);
-            core.run(warm, max_cycles);
-            core.resetStats();
-            core.run(inst, max_cycles);
-            results[job.slot].stats = core.record();
-        }
-    };
-
-    const int nthreads =
-        std::min<std::size_t>(runnerThreads(), jobs.size());
-    std::vector<std::thread> pool;
-    pool.reserve(nthreads);
-    for (int t = 0; t < nthreads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
-    return results;
+    // Legacy entry point: wrap the arguments in an ad-hoc plan and run
+    // it through the sweep engine (per-job seeding, worker pool, shared
+    // trace cache).
+    ExperimentPlan plan;
+    plan.name = "grid";
+    plan.configs = cfgs;
+    plan.workloads = workload_names;
+    return runPlan(plan).cells;
 }
 
 const RunResult &

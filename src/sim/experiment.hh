@@ -26,6 +26,7 @@ struct RunResult
 {
     std::string config;
     std::string workload;
+    std::uint64_t seed = 0;  //!< per-job seed the cell ran with
     StatRecord stats;
 
     double ipc() const { return stats.get("ipc"); }
@@ -41,7 +42,13 @@ std::uint64_t measureUops();
 int runnerThreads();
 
 /**
- * Run every (config, workload) pair in parallel.
+ * Run every (config, workload) pair in parallel (a thin wrapper over
+ * the sweep engine, sim/sweep.hh).
+ *
+ * Each cell runs with a deterministic per-job seed derived from the
+ * cell identity and the config's seed field (sim/plan.hh jobSeed) —
+ * not with SimConfig::seed verbatim — so results are independent of
+ * worker count and scheduling.
  *
  * @param cfgs configurations (names must be unique)
  * @param workload_names registry names (see workloads::allNames())

@@ -1,0 +1,67 @@
+#include "sim/plan.hh"
+
+#include <algorithm>
+
+namespace eole {
+
+namespace {
+
+/** SplitMix64 finalizer (also used by common/random.hh seeding). */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+hashString(std::uint64_t h, const std::string &s)
+{
+    // FNV-1a over the bytes, then a finalizing mix.
+    for (unsigned char c : s)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return mix64(h);
+}
+
+} // namespace
+
+std::uint64_t
+jobSeed(std::uint64_t plan_seed, std::uint64_t config_seed,
+        const std::string &config, const std::string &workload)
+{
+    std::uint64_t h = mix64(plan_seed);
+    h = mix64(h ^ config_seed);
+    h = hashString(h, config);
+    h = hashString(h, workload);
+    return h;
+}
+
+std::uint64_t
+maxInflightUops(const ExperimentPlan &plan)
+{
+    std::uint64_t worst = 0;
+    for (const SimConfig &c : plan.configs) {
+        const std::uint64_t inflight =
+            static_cast<std::uint64_t>(c.frontEndCycles) * c.fetchWidth
+            + c.robEntries + c.iqEntries + 4 * c.renameWidth
+            + 2 * c.commitWidth;
+        worst = std::max(worst, inflight);
+    }
+    // Slack for the commit-group overshoot of the warmup and measure
+    // run() calls and for anything this accounting missed.
+    return worst + 512;
+}
+
+bool
+cellMatches(const std::string &filter, const std::string &config,
+            const std::string &workload)
+{
+    if (filter.empty())
+        return true;
+    const std::string id = config + "/" + workload;
+    return id.find(filter) != std::string::npos;
+}
+
+} // namespace eole

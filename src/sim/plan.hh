@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ExperimentPlan: a declarative (configuration x workload) sweep grid.
+ *
+ * A plan is pure data — configs, workload names, run lengths, a base
+ * seed and the paper-style tables to print — expanded by the sweep
+ * engine (sim/sweep.hh) into independent jobs. Every figure of the
+ * paper is a named plan in sim/plans.hh; the per-figure bench binaries
+ * and the `eole` CLI both drive plans through the same engine.
+ *
+ * Seeding discipline: each job's SimConfig::seed is derived
+ * deterministically from (plan seed, config seed, config name,
+ * workload name), so a cell's random streams (FPC transitions,
+ * predictor tie-breaks) do not depend on job scheduling, worker count
+ * or execution order — the foundation of the engine's
+ * bit-identical-regardless-of-`--jobs` guarantee.
+ */
+
+#ifndef EOLE_SIM_PLAN_HH
+#define EOLE_SIM_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace eole {
+
+/** One paper-style table over the grid (see printPlanTables). */
+struct TableSpec
+{
+    std::string title;
+    std::string stat;            //!< StatRecord name, e.g. "ipc"
+    std::vector<std::string> columns;  //!< config names, column order
+    std::string normalizeTo;     //!< config dividing each row ("" = abs)
+};
+
+/** Declarative sweep grid. */
+struct ExperimentPlan
+{
+    std::string name;
+    std::string description;
+    std::vector<SimConfig> configs;        //!< names must be unique
+    std::vector<std::string> workloads;    //!< registry names
+    std::uint64_t seed = 1;                //!< base for per-job seeds
+    std::uint64_t warmup = 0;              //!< µ-ops; 0 = EOLE_WARMUP
+    std::uint64_t measure = 0;             //!< µ-ops; 0 = EOLE_INSTS
+    std::vector<TableSpec> tables;
+
+    std::size_t gridSize() const { return configs.size() * workloads.size(); }
+};
+
+/**
+ * Deterministic per-job seed: a function of the plan seed, the
+ * config's own seed knob and the cell's (config, workload) identity
+ * only — never of scheduling. Stable across platforms, thread counts
+ * and job orderings. Folding in SimConfig::seed keeps configs that
+ * differ only in their seed distinguishable (seed studies).
+ */
+std::uint64_t jobSeed(std::uint64_t plan_seed, std::uint64_t config_seed,
+                      const std::string &config,
+                      const std::string &workload);
+
+/**
+ * Upper bound on µ-ops fetched but not yet committed under any of the
+ * plan's configurations (front-end pipe + rename buffer + ROB, plus
+ * slack). Used to size frozen-trace recordings so a replay never runs
+ * off the end of the prefix.
+ */
+std::uint64_t maxInflightUops(const ExperimentPlan &plan);
+
+/** Does "config/workload" contain @p filter (empty matches all)? */
+bool cellMatches(const std::string &filter, const std::string &config,
+                 const std::string &workload);
+
+} // namespace eole
+
+#endif // EOLE_SIM_PLAN_HH

@@ -1,0 +1,377 @@
+#include "sim/plans.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "sim/configs.hh"
+#include "workloads/workload.hh"
+
+namespace eole {
+namespace plans {
+
+namespace {
+
+std::vector<std::string>
+names(std::initializer_list<SimConfig> cfgs)
+{
+    std::vector<std::string> out;
+    for (const SimConfig &c : cfgs)
+        out.push_back(c.name);
+    return out;
+}
+
+ExperimentPlan
+fig02()
+{
+    SimConfig one = configs::eole(6, 64);
+    one.name = "EE_1stage";
+    SimConfig two = configs::eole(6, 64);
+    two.name = "EE_2stages";
+    two.eeStages = 2;
+
+    ExperimentPlan p;
+    p.name = "fig02";
+    p.description = "early-executable fraction, 1 vs 2 ALU stages";
+    p.configs = {one, two};
+    p.workloads = workloads::allNames();
+    p.tables = {{"Fraction of committed u-ops early-executed (Fig 2)",
+                 "ee_frac", names({one, two}), ""}};
+    return p;
+}
+
+ExperimentPlan
+fig04()
+{
+    SimConfig cfg = configs::eole(6, 64);
+    cfg.name = "EOLE_6_64";
+
+    ExperimentPlan p;
+    p.name = "fig04";
+    p.description =
+        "late-executable fraction (high-conf branches + predicted)";
+    p.configs = {cfg};
+    p.workloads = workloads::allNames();
+    p.tables = {
+        {"High-confidence branches late-executed (Fig 4, bottom)",
+         "le_br_frac", {cfg.name}, ""},
+        {"Value-predicted u-ops late-executed (Fig 4, top)", "le_alu_frac",
+         {cfg.name}, ""},
+        {"Total late-executed fraction (Fig 4)", "le_frac", {cfg.name}, ""},
+        {"Total OoO-engine offload incl. EE (end of §3.4)", "offload_frac",
+         {cfg.name}, ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+fig06()
+{
+    const SimConfig base = configs::baseline(6, 64);
+    const SimConfig vp = configs::baselineVp(6, 64);
+
+    ExperimentPlan p;
+    p.name = "fig06";
+    p.description = "value-prediction speedup over Baseline_6_64";
+    p.configs = {base, vp};
+    p.workloads = workloads::allNames();
+    p.tables = {
+        {"Speedup of VTAGE-2DStride VP over Baseline_6_64 (Fig 6)", "ipc",
+         {vp.name}, base.name},
+        {"VP coverage (used / eligible)", "vp_coverage", {vp.name}, ""},
+        {"VP accuracy on used predictions", "vp_accuracy", {vp.name}, ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+fig07()
+{
+    const SimConfig ref = configs::baselineVp(6, 64);
+    const SimConfig bvp4 = configs::baselineVp(4, 64);
+    const SimConfig eole4 = configs::eole(4, 64);
+    const SimConfig eole6 = configs::eole(6, 64);
+
+    ExperimentPlan p;
+    p.name = "fig07";
+    p.description = "issue-width sensitivity of EOLE vs baseline";
+    p.configs = {ref, bvp4, eole4, eole6};
+    p.workloads = workloads::allNames();
+    p.tables = {
+        {"Speedup over Baseline_VP_6_64 (Fig 7)", "ipc",
+         names({bvp4, eole4, eole6}), ref.name},
+        {"OoO offload fraction (context)", "offload_frac",
+         names({eole4, eole6}), ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+fig08()
+{
+    const SimConfig ref = configs::baselineVp(6, 64);
+    const SimConfig bvp48 = configs::baselineVp(6, 48);
+    const SimConfig eole48 = configs::eole(6, 48);
+    const SimConfig eole64 = configs::eole(6, 64);
+
+    ExperimentPlan p;
+    p.name = "fig08";
+    p.description = "IQ-size sensitivity of EOLE vs baseline";
+    p.configs = {ref, bvp48, eole48, eole64};
+    p.workloads = workloads::allNames();
+    p.tables = {
+        {"Speedup over Baseline_VP_6_64 (Fig 8)", "ipc",
+         names({bvp48, eole48, eole64}), ref.name},
+        {"Average IQ occupancy (context)", "avg_iq_occupancy",
+         names({ref, eole48, eole64}), ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+fig10()
+{
+    const SimConfig ref = configs::eole(4, 64);  // 1 bank
+    const SimConfig b2 = configs::eoleBanked(4, 64, 2);
+    const SimConfig b4 = configs::eoleBanked(4, 64, 4);
+    const SimConfig b8 = configs::eoleBanked(4, 64, 8);
+
+    ExperimentPlan p;
+    p.name = "fig10";
+    p.description = "PRF banking (allocation imbalance) cost";
+    p.configs = {ref, b2, b4, b8};
+    p.workloads = workloads::allNames();
+    p.tables = {
+        {"Speedup over single-bank EOLE_4_64 (Fig 10)", "ipc",
+         names({b2, b4, b8}), ref.name},
+        {"Rename bank stalls (context)", "rename_bank_stalls",
+         names({b2, b4, b8}), ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+fig11()
+{
+    const SimConfig ref = configs::eole(4, 64);  // unconstrained
+    const SimConfig p2 = configs::eoleConstrained(4, 64, 4, 2);
+    const SimConfig p3 = configs::eoleConstrained(4, 64, 4, 3);
+    const SimConfig p4 = configs::eoleConstrained(4, 64, 4, 4);
+
+    ExperimentPlan p;
+    p.name = "fig11";
+    p.description = "LE/VT read-port constraint cost";
+    p.configs = {ref, p2, p3, p4};
+    p.workloads = workloads::allNames();
+    p.tables = {
+        {"Speedup over unconstrained EOLE_4_64 (Fig 11)", "ipc",
+         names({p2, p3, p4}), ref.name},
+        {"Commit port stalls (context)", "commit_port_stalls",
+         names({p2, p3, p4}), ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+fig12()
+{
+    const SimConfig ref = configs::baselineVp(6, 64);
+    const SimConfig base = configs::baseline(6, 64);
+    const SimConfig eole4 = configs::eole(4, 64);
+    const SimConfig real4 = configs::eoleConstrained(4, 64, 4, 4);
+
+    ExperimentPlan p;
+    p.name = "fig12";
+    p.description = "overall EOLE result vs VP baseline";
+    p.configs = {ref, base, eole4, real4};
+    p.workloads = workloads::allNames();
+    p.tables = {{"Speedup over Baseline_VP_6_64 (Fig 12)", "ipc",
+                 names({base, eole4, real4}), ref.name}};
+    return p;
+}
+
+ExperimentPlan
+fig13()
+{
+    const SimConfig ref = configs::baselineVp(6, 64);
+    const SimConfig full = configs::eoleConstrained(4, 64, 4, 4);
+    const SimConfig le_only = configs::ole(4, 64, 4, 4);
+    const SimConfig ee_only = configs::eoe(4, 64, 4, 4);
+
+    ExperimentPlan p;
+    p.name = "fig13";
+    p.description = "EOLE vs OLE (LE only) vs EOE (EE only)";
+    p.configs = {ref, full, le_only, ee_only};
+    p.workloads = workloads::allNames();
+    p.tables = {
+        {"Speedup over Baseline_VP_6_64 (Fig 13)", "ipc",
+         names({full, le_only, ee_only}), ref.name},
+        {"Offload fraction (context)", "offload_frac",
+         names({full, le_only, ee_only}), ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+table3()
+{
+    const SimConfig base = configs::baseline(6, 64);
+
+    ExperimentPlan p;
+    p.name = "table3";
+    p.description = "baseline per-benchmark IPC";
+    p.configs = {base};
+    p.workloads = workloads::allNames();
+    p.tables = {
+        {"Baseline_6_64 IPC (Table 3)", "ipc", {base.name}, ""},
+        {"Branch MPKI (context)", "branch_mpki", {base.name}, ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+ablFpc()
+{
+    const SimConfig base = configs::baseline(6, 64);
+
+    SimConfig plain = configs::baselineVp(6, 64);
+    plain.name = "FPC_plain3bit";
+    plain.vp.fpcVector = {1, 1, 1, 1, 1, 1, 1};
+
+    SimConfig paper = configs::baselineVp(6, 64);
+    paper.name = "FPC_paper";
+
+    SimConfig strict = configs::baselineVp(6, 64);
+    strict.name = "FPC_strict";
+    strict.vp.fpcVector = {1.0, 1.0 / 64, 1.0 / 64, 1.0 / 64,
+                           1.0 / 64, 1.0 / 128, 1.0 / 128};
+
+    ExperimentPlan p;
+    p.name = "abl_fpc";
+    p.description = "FPC probability-vector sweep";
+    p.configs = {base, plain, paper, strict};
+    p.workloads = workloads::allNames();
+    const std::vector<std::string> cols = names({plain, paper, strict});
+    p.tables = {
+        {"Speedup over Baseline_6_64 by FPC vector", "ipc", cols,
+         base.name},
+        {"Value-misprediction squashes (per run)", "vp_squashes", cols,
+         ""},
+        {"Coverage by FPC vector", "vp_coverage", cols, ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+ablPredictors()
+{
+    const SimConfig base = configs::baseline(6, 64);
+
+    ExperimentPlan p;
+    p.name = "abl_predictors";
+    p.description = "value-predictor family comparison";
+    p.configs = {base};
+    const std::pair<VpKind, const char *> kinds[] = {
+        {VpKind::LastValue, "VP_LVP"},
+        {VpKind::Stride, "VP_Stride"},
+        {VpKind::TwoDeltaStride, "VP_2DStride"},
+        {VpKind::Fcm, "VP_FCM"},
+        {VpKind::Vtage, "VP_VTAGE"},
+        {VpKind::HybridVtage2DStride, "VP_Hybrid"},
+    };
+    std::vector<std::string> cols;
+    for (const auto &[kind, name] : kinds) {
+        SimConfig c = configs::baselineVp(6, 64);
+        c.name = name;
+        c.vp.kind = kind;
+        p.configs.push_back(c);
+        cols.emplace_back(name);
+    }
+    p.workloads = workloads::allNames();
+    p.tables = {
+        {"Speedup over Baseline_6_64 by predictor", "ipc", cols,
+         base.name},
+        {"Coverage (used/eligible) by predictor", "vp_coverage", cols, ""},
+        {"Accuracy on used predictions by predictor", "vp_accuracy", cols,
+         ""},
+    };
+    return p;
+}
+
+ExperimentPlan
+smoke()
+{
+    const SimConfig base = configs::baseline(6, 64);
+    const SimConfig eole4 = configs::eole(4, 64);
+
+    ExperimentPlan p;
+    p.name = "smoke";
+    p.description = "tiny 2x2 grid for CI, demos and determinism tests";
+    p.configs = {base, eole4};
+    p.workloads = {"164.gzip", "186.crafty"};
+    p.tables = {
+        {"IPC (smoke)", "ipc", names({base, eole4}), ""},
+        {"Speedup over Baseline_6_64 (smoke)", "ipc", {eole4.name},
+         base.name},
+    };
+    return p;
+}
+
+using Builder = ExperimentPlan (*)();
+
+const std::vector<std::pair<std::string, Builder>> &
+registry()
+{
+    static const std::vector<std::pair<std::string, Builder>> reg = {
+        {"fig02", fig02},
+        {"fig04", fig04},
+        {"fig06", fig06},
+        {"fig07", fig07},
+        {"fig08", fig08},
+        {"fig10", fig10},
+        {"fig11", fig11},
+        {"fig12", fig12},
+        {"fig13", fig13},
+        {"table3", table3},
+        {"abl_fpc", ablFpc},
+        {"abl_predictors", ablPredictors},
+        {"smoke", smoke},
+    };
+    return reg;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allNames()
+{
+    static const std::vector<std::string> all = [] {
+        std::vector<std::string> out;
+        for (const auto &[name, builder] : registry())
+            out.push_back(name);
+        return out;
+    }();
+    return all;
+}
+
+bool
+exists(const std::string &name)
+{
+    for (const auto &[n, builder] : registry()) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+ExperimentPlan
+get(const std::string &name)
+{
+    for (const auto &[n, builder] : registry()) {
+        if (n == name)
+            return builder();
+    }
+    fatal("unknown plan \"%s\" (try `eole list`)", name.c_str());
+}
+
+} // namespace plans
+} // namespace eole

@@ -1,0 +1,220 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "pipeline/core.hh"
+#include "sim/trace_cache.hh"
+#include "workloads/workload.hh"
+
+namespace eole {
+
+const RunResult *
+PlanResult::find(const std::string &config, const std::string &workload) const
+{
+    for (const RunResult &c : cells) {
+        if (c.config == config && c.workload == workload)
+            return &c;
+    }
+    return nullptr;
+}
+
+PlanResult
+runPlan(const ExperimentPlan &plan, const SweepOptions &options)
+{
+    for (std::size_t i = 0; i < plan.configs.size(); ++i) {
+        for (std::size_t j = i + 1; j < plan.configs.size(); ++j) {
+            fatal_if(plan.configs[i].name == plan.configs[j].name,
+                     "plan %s: duplicate config name %s", plan.name.c_str(),
+                     plan.configs[i].name.c_str());
+        }
+    }
+
+    PlanResult out;
+    out.plan = plan.name;
+    out.seed = plan.seed;
+    out.warmup = options.warmup ? options.warmup
+                                : (plan.warmup ? plan.warmup : warmupUops());
+    out.measure = options.measure
+        ? options.measure
+        : (plan.measure ? plan.measure : measureUops());
+    out.filter = options.filter;
+
+    // Expand matched cells. Result slots are config-major (the artifact
+    // order); jobs run workload-major so configurations sharing one
+    // workload's frozen trace cluster together and the trace can be
+    // dropped once its last job completes.
+    struct Job
+    {
+        std::size_t cfg;
+        std::size_t wl;
+        std::size_t slot;
+    };
+    std::vector<Job> jobs;
+    std::vector<std::size_t> jobsPerWorkload(plan.workloads.size(), 0);
+    for (std::size_t w = 0; w < plan.workloads.size(); ++w) {
+        for (std::size_t c = 0; c < plan.configs.size(); ++c) {
+            if (cellMatches(options.filter, plan.configs[c].name,
+                            plan.workloads[w])) {
+                jobs.push_back(Job{c, w, 0});
+                ++jobsPerWorkload[w];
+            }
+        }
+    }
+    // Assign config-major output slots.
+    out.cells.resize(jobs.size());
+    {
+        std::vector<Job *> byCell;
+        byCell.reserve(jobs.size());
+        for (Job &j : jobs)
+            byCell.push_back(&j);
+        std::size_t slot = 0;
+        for (std::size_t c = 0; c < plan.configs.size(); ++c) {
+            for (Job *j : byCell) {
+                if (j->cfg == c)
+                    j->slot = slot++;
+            }
+        }
+    }
+    for (const Job &j : jobs) {
+        RunResult &cell = out.cells[j.slot];
+        cell.config = plan.configs[j.cfg].name;
+        cell.workload = plan.workloads[j.wl];
+        cell.seed = jobSeed(plan.seed, plan.configs[j.cfg].seed,
+                            cell.config, cell.workload);
+    }
+    if (jobs.empty())
+        return out;
+
+    // Trace-cache sizing: the stream a job consumes is bounded by the
+    // committed target of both run() calls plus the in-flight window.
+    const std::uint64_t traceUopsNeeded =
+        out.warmup + out.measure + maxInflightUops(plan);
+    const std::uint64_t maxCycles =
+        (out.warmup + out.measure) * 60 + 1000000;
+
+    TraceCache cache;
+    std::vector<std::atomic<std::size_t>> remaining(plan.workloads.size());
+    for (std::size_t w = 0; w < plan.workloads.size(); ++w)
+        remaining[w].store(jobsPerWorkload[w], std::memory_order_relaxed);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMu;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t j = next.fetch_add(1);
+            if (j >= jobs.size())
+                return;
+            const Job &job = jobs[j];
+            SimConfig cfg = plan.configs[job.cfg];
+            RunResult &cell = out.cells[job.slot];
+            cfg.seed = cell.seed;
+
+            Workload w = workloads::build(cell.workload);
+            if (options.useTraceCache)
+                w.frozen = cache.get(w, traceUopsNeeded);
+
+            {
+                Core core(cfg, w);
+                core.run(out.warmup, maxCycles);
+                core.resetStats();
+                core.run(out.measure, maxCycles);
+                cell.stats = core.record();
+            }
+            w.frozen.reset();
+            if (remaining[job.wl].fetch_sub(1) == 1)
+                cache.drop(cell.workload);
+
+            const std::size_t finished = done.fetch_add(1) + 1;
+            if (options.progress) {
+                std::lock_guard<std::mutex> lock(progressMu);
+                options.progress(finished, jobs.size(), cell);
+            }
+        }
+    };
+
+    const std::size_t nthreads = std::min<std::size_t>(
+        options.jobs > 0 ? options.jobs : runnerThreads(), jobs.size());
+    if (nthreads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads);
+        for (std::size_t t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    return out;
+}
+
+void
+printPlanTables(const ExperimentPlan &plan, const PlanResult &result)
+{
+    for (const TableSpec &table : plan.tables) {
+        // A row is printable when every column cell (and the normalizer
+        // cell) survived the filter.
+        std::vector<const std::string *> rows;
+        for (const std::string &w : plan.workloads) {
+            bool whole = true;
+            for (const std::string &c : table.columns)
+                whole = whole && result.find(c, w) != nullptr;
+            if (!table.normalizeTo.empty())
+                whole = whole && result.find(table.normalizeTo, w) != nullptr;
+            if (whole)
+                rows.push_back(&w);
+        }
+        if (rows.empty()) {
+            std::printf("\n== %s == (no cells matched filter \"%s\")\n",
+                        table.title.c_str(), result.filter.c_str());
+            continue;
+        }
+
+        std::printf("\n== %s ==\n", table.title.c_str());
+        std::printf("%-14s", "benchmark");
+        for (const auto &c : table.columns)
+            std::printf(" %22s", c.c_str());
+        std::printf("\n");
+
+        std::vector<std::vector<double>> columns(table.columns.size());
+        for (const std::string *w : rows) {
+            std::printf("%-14s", w->c_str());
+            double base = 1.0;
+            if (!table.normalizeTo.empty())
+                base = result.find(table.normalizeTo, *w)
+                           ->stats.get(table.stat);
+            for (std::size_t c = 0; c < table.columns.size(); ++c) {
+                const double v =
+                    result.find(table.columns[c], *w)->stats.get(table.stat);
+                const double shown =
+                    table.normalizeTo.empty() ? v : v / base;
+                columns[c].push_back(shown);
+                std::printf(" %22.3f", shown);
+            }
+            std::printf("\n");
+        }
+        std::printf("%-14s", table.normalizeTo.empty() ? "mean" : "geomean");
+        for (std::size_t c = 0; c < table.columns.size(); ++c) {
+            double m;
+            if (table.normalizeTo.empty()) {
+                double sum = 0.0;
+                for (double v : columns[c])
+                    sum += v;
+                m = columns[c].empty() ? 0.0 : sum / columns[c].size();
+            } else {
+                m = geomean(columns[c]);
+            }
+            std::printf(" %22.3f", m);
+        }
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+}
+
+} // namespace eole

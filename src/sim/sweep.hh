@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The parallel sweep engine: expand an ExperimentPlan into independent
+ * (config x workload) jobs and execute them on a worker pool.
+ *
+ * Guarantees (pinned by tests/test_experiment.cc):
+ *  - Bit-identical results regardless of worker count: per-job seeds
+ *    are a pure function of the cell identity (sim/plan.hh), jobs
+ *    share no mutable state, and results land in pre-assigned slots,
+ *    so `--jobs 1` and `--jobs 8` produce byte-identical artifacts.
+ *  - The shared trace cache is a pure accelerator: a cache hit, a
+ *    cache miss and a disabled cache all replay the same functional
+ *    stream (live-VM and frozen-replay backings are bit-identical).
+ *
+ * Scheduling is workload-major so that the configurations sharing a
+ * workload's frozen trace run back-to-back and the trace can be
+ * dropped as soon as its last job finishes (bounded memory).
+ */
+
+#ifndef EOLE_SIM_SWEEP_HH
+#define EOLE_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/plan.hh"
+
+namespace eole {
+
+/** Knobs for one runPlan invocation (CLI flags map 1:1 onto these). */
+struct SweepOptions
+{
+    int jobs = 0;              //!< worker threads; 0 = runnerThreads()
+    std::string filter;        //!< substring over "config/workload"
+    std::uint64_t warmup = 0;  //!< µ-ops; 0 = plan, then EOLE_WARMUP
+    std::uint64_t measure = 0; //!< µ-ops; 0 = plan, then EOLE_INSTS
+    bool useTraceCache = true;
+
+    /** Progress hook, invoked (serialized) as each job finishes. */
+    std::function<void(std::size_t done, std::size_t total,
+                       const RunResult &cell)> progress;
+};
+
+/** Everything one sweep produced; the in-memory form of an artifact. */
+struct PlanResult
+{
+    std::string plan;
+    std::uint64_t seed = 1;
+    std::uint64_t warmup = 0;   //!< resolved µ-ops actually run
+    std::uint64_t measure = 0;
+    std::string filter;
+    std::vector<RunResult> cells;  //!< config-major over matched cells
+
+    const RunResult *find(const std::string &config,
+                          const std::string &workload) const;
+};
+
+/** Execute every matched cell of @p plan; see file header for the
+ *  determinism guarantees. */
+PlanResult runPlan(const ExperimentPlan &plan,
+                   const SweepOptions &options = {});
+
+/** Print the plan's paper-style tables from a sweep's results. Tables
+ *  whose cells were filtered away are skipped with a note. */
+void printPlanTables(const ExperimentPlan &plan, const PlanResult &result);
+
+} // namespace eole
+
+#endif // EOLE_SIM_SWEEP_HH

@@ -1,0 +1,49 @@
+#include "sim/trace_cache.hh"
+
+#include "common/env.hh"
+#include "isa/trace.hh"
+
+namespace eole {
+
+std::uint64_t
+TraceCache::byteBudget()
+{
+    return envU64("EOLE_TRACE_CACHE_MB", 4096) * 1024 * 1024;
+}
+
+std::shared_ptr<const FrozenTrace>
+TraceCache::get(const Workload &workload, std::uint64_t min_uops)
+{
+    if (min_uops * sizeof(TraceUop) > byteBudget())
+        return nullptr;
+
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(mapMu);
+        auto &slot = entries[workload.name];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->trace
+        || (!entry->trace->complete && entry->trace->uops.size() < min_uops))
+        entry->trace = workload.freeze(min_uops);
+    return entry->trace;
+}
+
+void
+TraceCache::drop(const std::string &workload_name)
+{
+    std::lock_guard<std::mutex> lock(mapMu);
+    auto it = entries.find(workload_name);
+    if (it != entries.end()) {
+        // Entry mutex may be held by a late get(); only clear the
+        // trace pointer under it.
+        std::lock_guard<std::mutex> elock(it->second->mu);
+        it->second->trace.reset();
+    }
+}
+
+} // namespace eole

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * `eole` — the unified sweep driver.
+ *
+ *   eole list                         show every registered plan
+ *   eole run <plan> [options]         execute a plan on a worker pool
+ *   eole diff <a.json> <b.json>       compare two artifacts
+ *
+ * Each figure of the paper is a named plan (sim/plans.hh); `eole run`
+ * subsumes the per-figure bench binaries, adding parallel execution
+ * (--jobs), cell filtering (--filter), structured artifacts (--out /
+ * --csv) and reproducible seeding (--seed). Artifacts are byte-stable:
+ * the same plan at the same run lengths and seed produces the same
+ * JSON regardless of --jobs, so `eole diff` against a prior artifact
+ * is an exact regression check.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/artifact.hh"
+#include "sim/experiment.hh"
+#include "sim/plans.hh"
+#include "sim/sweep.hh"
+
+using namespace eole;
+
+namespace {
+
+int
+usage(FILE *to, int exit_code)
+{
+    std::fprintf(to,
+        "eole — EOLE sweep driver\n"
+        "\n"
+        "usage:\n"
+        "  eole list\n"
+        "      List every registered experiment plan.\n"
+        "\n"
+        "  eole run <plan> [options]\n"
+        "      --jobs N      worker threads (default: EOLE_THREADS or\n"
+        "                    hardware concurrency)\n"
+        "      --filter S    run only cells whose \"config/workload\"\n"
+        "                    contains S\n"
+        "      --out F       write the JSON artifact to F\n"
+        "      --csv F       write a long-form CSV to F\n"
+        "      --warmup N    warmup µ-ops (default: EOLE_WARMUP or 1M)\n"
+        "      --insts N     measured µ-ops (default: EOLE_INSTS or 5M)\n"
+        "      --seed N      plan base seed (default 1)\n"
+        "      --no-cache    disable the shared functional-trace cache\n"
+        "      --no-tables   skip the paper-style tables\n"
+        "      --quiet       no per-job progress on stderr\n"
+        "\n"
+        "  eole diff <a.json> <b.json> [--rel-tol X] [--abs-tol X]\n"
+        "      Compare two artifacts; exit 1 if they differ beyond\n"
+        "      tolerance (default: exact).\n");
+    return exit_code;
+}
+
+bool
+takeValue(int argc, char **argv, int &i, const char *flag, std::string &out)
+{
+    if (std::strcmp(argv[i], flag) != 0)
+        return false;
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "eole: %s needs a value\n", flag);
+        std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+}
+
+std::uint64_t
+parseU64(const std::string &s, const char *what)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 0);
+    if (end == s.c_str() || *end != '\0') {
+        std::fprintf(stderr, "eole: bad %s \"%s\"\n", what, s.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+int
+cmdList()
+{
+    std::printf("%-16s %5s  %s\n", "plan", "cells", "description");
+    for (const std::string &name : plans::allNames()) {
+        const ExperimentPlan p = plans::get(name);
+        std::printf("%-16s %5zu  %s\n", name.c_str(), p.gridSize(),
+                    p.description.c_str());
+    }
+    std::printf("\nrun lengths: warmup=%llu, measure=%llu µ-ops "
+                "(EOLE_WARMUP / EOLE_INSTS or --warmup / --insts)\n",
+                (unsigned long long)warmupUops(),
+                (unsigned long long)measureUops());
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage(stderr, 2);
+    const std::string plan_name = argv[0];
+    if (!plans::exists(plan_name)) {
+        std::fprintf(stderr, "eole: unknown plan \"%s\" (try `eole "
+                     "list`)\n", plan_name.c_str());
+        return 2;
+    }
+
+    ExperimentPlan plan = plans::get(plan_name);
+    SweepOptions opt;
+    std::string out_path, csv_path, value;
+    bool tables = true, quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        if (takeValue(argc, argv, i, "--jobs", value)) {
+            opt.jobs = static_cast<int>(parseU64(value, "--jobs"));
+        } else if (takeValue(argc, argv, i, "--filter", value)) {
+            opt.filter = value;
+        } else if (takeValue(argc, argv, i, "--out", value)) {
+            out_path = value;
+        } else if (takeValue(argc, argv, i, "--csv", value)) {
+            csv_path = value;
+        } else if (takeValue(argc, argv, i, "--warmup", value)) {
+            opt.warmup = parseU64(value, "--warmup");
+        } else if (takeValue(argc, argv, i, "--insts", value)) {
+            opt.measure = parseU64(value, "--insts");
+        } else if (takeValue(argc, argv, i, "--seed", value)) {
+            plan.seed = parseU64(value, "--seed");
+        } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+            opt.useTraceCache = false;
+        } else if (std::strcmp(argv[i], "--no-tables") == 0) {
+            tables = false;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "eole: unknown option %s\n", argv[i]);
+            return usage(stderr, 2);
+        }
+    }
+
+    if (!quiet) {
+        opt.progress = [](std::size_t done, std::size_t total,
+                          const RunResult &cell) {
+            std::fprintf(stderr, "[%zu/%zu] %s/%s ipc=%.3f\n", done,
+                         total, cell.config.c_str(),
+                         cell.workload.c_str(), cell.ipc());
+        };
+        std::fprintf(stderr, "eole run %s: %zu cells, %d jobs\n",
+                     plan_name.c_str(), plan.gridSize(),
+                     opt.jobs > 0 ? opt.jobs : runnerThreads());
+    }
+
+    const PlanResult result = runPlan(plan, opt);
+
+    if (result.cells.empty())
+        std::fprintf(stderr, "eole: no cells matched --filter \"%s\"\n",
+                     opt.filter.c_str());
+    if (tables)
+        printPlanTables(plan, result);
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        fatal_if(!os, "cannot write %s", out_path.c_str());
+        writeJsonArtifact(os, result);
+        if (!quiet)
+            std::fprintf(stderr, "wrote %s (%zu cells)\n",
+                         out_path.c_str(), result.cells.size());
+    }
+    if (!csv_path.empty()) {
+        std::ofstream os(csv_path);
+        fatal_if(!os, "cannot write %s", csv_path.c_str());
+        writeCsvArtifact(os, result);
+        if (!quiet)
+            std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    DiffOptions opt;
+    std::string value;
+    for (int i = 0; i < argc; ++i) {
+        if (takeValue(argc, argv, i, "--rel-tol", value)) {
+            opt.relTol = std::strtod(value.c_str(), nullptr);
+        } else if (takeValue(argc, argv, i, "--abs-tol", value)) {
+            opt.absTol = std::strtod(value.c_str(), nullptr);
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "eole: unknown option %s\n", argv[i]);
+            return usage(stderr, 2);
+        } else {
+            paths.emplace_back(argv[i]);
+        }
+    }
+    if (paths.size() != 2)
+        return usage(stderr, 2);
+
+    const PlanResult a = readJsonArtifactFile(paths[0]);
+    const PlanResult b = readJsonArtifactFile(paths[1]);
+    const std::size_t diffs = diffArtifacts(a, b, opt, std::cout);
+    if (diffs == 0) {
+        std::printf("artifacts agree: %zu cells (%s vs %s)\n",
+                    a.cells.size(), paths[0].c_str(), paths[1].c_str());
+        return 0;
+    }
+    std::printf("%zu difference(s) between %s and %s\n", diffs,
+                paths[0].c_str(), paths[1].c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr, 2);
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (cmd == "diff")
+        return cmdDiff(argc - 2, argv + 2);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return usage(stdout, 0);
+    std::fprintf(stderr, "eole: unknown command \"%s\"\n", cmd.c_str());
+    return usage(stderr, 2);
+}

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "isa/frozen_trace.hh"
 #include "isa/kernel_vm.hh"
 #include "isa/static_inst.hh"
 #include "isa/trace_source.hh"
@@ -31,11 +32,25 @@ struct Workload
     Program program;
     std::function<void(KernelVM &)> init;
 
+    /** Optional shared pre-executed stream (sim/trace_cache.hh). When
+     *  set, makeTrace() replays it instead of running a live VM; the
+     *  two backings are bit-identical. */
+    std::shared_ptr<const FrozenTrace> frozen;
+
     /** Construct a fresh trace source for one simulation run. */
     TraceSource
     makeTrace() const
     {
+        if (frozen)
+            return TraceSource(frozen);
         return TraceSource(program, memBytes, init);
+    }
+
+    /** Record this workload's first @p max_uops µ-ops for replay. */
+    std::shared_ptr<const FrozenTrace>
+    freeze(std::uint64_t max_uops) const
+    {
+        return recordTrace(program, memBytes, init, max_uops);
     }
 };
 

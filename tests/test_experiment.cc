@@ -1,17 +1,38 @@
 /**
  * @file
  * Tests for the experiment layer: named configurations, the parallel
- * grid runner and table helpers.
+ * sweep engine (plans, jobs, seeding, trace cache), artifacts and
+ * table helpers.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <sstream>
 
+#include "sim/artifact.hh"
 #include "sim/configs.hh"
 #include "sim/experiment.hh"
+#include "sim/plans.hh"
+#include "sim/sweep.hh"
+#include "sim/trace_cache.hh"
+#include "workloads/workload.hh"
 
 using namespace eole;
+
+namespace {
+
+/** The 2x2 determinism plan, pinned at explicit run lengths. */
+ExperimentPlan
+tinyPlan()
+{
+    ExperimentPlan p = plans::get("smoke");
+    p.warmup = 2000;
+    p.measure = 20000;
+    return p;
+}
+
+} // namespace
 
 TEST(Configs, NamesFollowThePaper)
 {
@@ -105,6 +126,185 @@ TEST(Experiment, FindResultDiesOnMissing)
     std::vector<RunResult> results;
     EXPECT_DEATH((void)findResult(results, "nope", "nothing"),
                  "no result");
+}
+
+// ------------------------- Sweep engine ----------------------------------
+
+TEST(Plans, RegistryCoversTheFigures)
+{
+    const auto &names = plans::allNames();
+    ASSERT_GE(names.size(), 13u);
+    for (const char *expected :
+         {"fig02", "fig04", "fig06", "fig07", "fig08", "fig10", "fig11",
+          "fig12", "fig13", "table3", "abl_fpc", "abl_predictors",
+          "smoke"}) {
+        EXPECT_TRUE(plans::exists(expected)) << expected;
+    }
+
+    const ExperimentPlan fig12 = plans::get("fig12");
+    EXPECT_EQ(fig12.configs.size(), 4u);
+    EXPECT_EQ(fig12.workloads.size(), 19u);
+    ASSERT_EQ(fig12.tables.size(), 1u);
+    EXPECT_EQ(fig12.tables[0].normalizeTo, "Baseline_VP_6_64");
+
+    EXPECT_FALSE(plans::exists("not_a_plan"));
+    EXPECT_DEATH((void)plans::get("not_a_plan"), "unknown plan");
+}
+
+TEST(Plans, JobSeedsAreStableAndCellUnique)
+{
+    // Per-job seeds are a pure function of (plan seed, config seed,
+    // config name, workload) — never of scheduling. Each input must
+    // change the seed, including SimConfig::seed alone (so a seed
+    // study over same-named configs measures something).
+    const std::uint64_t s = jobSeed(1, 1, "EOLE_4_64", "164.gzip");
+    EXPECT_EQ(s, jobSeed(1, 1, "EOLE_4_64", "164.gzip"));
+    EXPECT_NE(s, jobSeed(2, 1, "EOLE_4_64", "164.gzip"));
+    EXPECT_NE(s, jobSeed(1, 2, "EOLE_4_64", "164.gzip"));
+    EXPECT_NE(s, jobSeed(1, 1, "EOLE_6_64", "164.gzip"));
+    EXPECT_NE(s, jobSeed(1, 1, "EOLE_4_64", "186.crafty"));
+}
+
+TEST(Sweep, JobCountDoesNotChangeTheArtifactBytes)
+{
+    // The headline guarantee: a 2x2 plan serially and on 8 workers
+    // produces byte-identical JSON artifacts.
+    const ExperimentPlan plan = tinyPlan();
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    SweepOptions wide;
+    wide.jobs = 8;
+
+    const std::string a = jsonArtifactString(runPlan(plan, serial));
+    const std::string b = jsonArtifactString(runPlan(plan, wide));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"schema\": \"eole-sweep-v1\""), std::string::npos);
+}
+
+TEST(Sweep, TraceCacheDoesNotChangeTheArtifactBytes)
+{
+    // Frozen-trace replay is a pure accelerator: live-VM execution
+    // must produce the same bytes.
+    const ExperimentPlan plan = tinyPlan();
+
+    SweepOptions cached;   // default: cache on
+    SweepOptions live;
+    live.useTraceCache = false;
+
+    EXPECT_EQ(jsonArtifactString(runPlan(plan, cached)),
+              jsonArtifactString(runPlan(plan, live)));
+}
+
+TEST(Sweep, FilterSelectsCells)
+{
+    const ExperimentPlan plan = tinyPlan();
+    SweepOptions opt;
+    opt.filter = "gzip";
+    const PlanResult res = runPlan(plan, opt);
+    ASSERT_EQ(res.cells.size(), 2u);
+    for (const RunResult &cell : res.cells)
+        EXPECT_EQ(cell.workload, "164.gzip");
+    EXPECT_NE(res.find("Baseline_6_64", "164.gzip"), nullptr);
+    EXPECT_EQ(res.find("Baseline_6_64", "186.crafty"), nullptr);
+
+    opt.filter = "no-such-cell";
+    EXPECT_TRUE(runPlan(plan, opt).cells.empty());
+}
+
+TEST(Sweep, ProgressReportsEveryJob)
+{
+    const ExperimentPlan plan = tinyPlan();
+    SweepOptions opt;
+    opt.jobs = 2;
+    std::size_t calls = 0, last_total = 0;
+    opt.progress = [&](std::size_t, std::size_t total,
+                       const RunResult &) {
+        ++calls;
+        last_total = total;
+    };
+    (void)runPlan(plan, opt);
+    EXPECT_EQ(calls, 4u);
+    EXPECT_EQ(last_total, 4u);
+}
+
+TEST(TraceCacheT, SharesAndDropsTraces)
+{
+    TraceCache cache;
+    const Workload w = workloads::build("164.gzip");
+    const auto a = cache.get(w, 5000);
+    ASSERT_NE(a, nullptr);
+    EXPECT_GE(a->uops.size(), a->complete ? 0u : 5000u);
+    // Second request is the same recording, not a new one.
+    EXPECT_EQ(cache.get(w, 5000).get(), a.get());
+    // A longer request re-records; a dropped entry re-records too.
+    const auto b = cache.get(w, 6000);
+    ASSERT_NE(b, nullptr);
+    EXPECT_GE(b->uops.size(), b->complete ? 0u : 6000u);
+    cache.drop(w.name);
+    EXPECT_NE(cache.get(w, 5000), nullptr);
+    // Held references stay valid after drop.
+    EXPECT_GE(a->uops.size(), 1u);
+}
+
+TEST(Artifact, JsonRoundTripsAndCsvAgrees)
+{
+    const ExperimentPlan plan = tinyPlan();
+    const PlanResult res = runPlan(plan);
+
+    std::stringstream json;
+    writeJsonArtifact(json, res);
+    const PlanResult back = readJsonArtifact(json);
+
+    EXPECT_EQ(back.plan, res.plan);
+    EXPECT_EQ(back.seed, res.seed);
+    EXPECT_EQ(back.warmup, res.warmup);
+    EXPECT_EQ(back.measure, res.measure);
+    ASSERT_EQ(back.cells.size(), res.cells.size());
+    for (std::size_t i = 0; i < res.cells.size(); ++i) {
+        EXPECT_EQ(back.cells[i].config, res.cells[i].config);
+        EXPECT_EQ(back.cells[i].seed, res.cells[i].seed);
+        ASSERT_EQ(back.cells[i].stats.all().size(),
+                  res.cells[i].stats.all().size());
+        // %.17g round-trips doubles exactly.
+        for (const auto &[name, value] : res.cells[i].stats.all())
+            EXPECT_EQ(back.cells[i].stats.get(name), value) << name;
+    }
+
+    // Round-tripping again produces identical bytes.
+    EXPECT_EQ(jsonArtifactString(back), jsonArtifactString(res));
+
+    std::stringstream csv;
+    writeCsvArtifact(csv, res);
+    std::string header;
+    std::getline(csv, header);
+    EXPECT_EQ(header, "plan,config,workload,seed,stat,value");
+}
+
+TEST(Artifact, DiffDetectsDivergence)
+{
+    const ExperimentPlan plan = tinyPlan();
+    PlanResult a = runPlan(plan);
+    PlanResult b = a;
+
+    std::ostringstream sink;
+    EXPECT_EQ(diffArtifacts(a, b, DiffOptions{}, sink), 0u);
+
+    // Perturb one stat: exact diff catches it, a loose tolerance
+    // forgives it.
+    ASSERT_FALSE(b.cells.empty());
+    StatRecord tweaked;
+    for (const auto &[name, value] : b.cells[0].stats.all())
+        tweaked.add(name, name == "ipc" ? value * 1.0001 : value);
+    b.cells[0].stats = tweaked;
+    EXPECT_EQ(diffArtifacts(a, b, DiffOptions{}, sink), 1u);
+    DiffOptions loose;
+    loose.relTol = 0.01;
+    EXPECT_EQ(diffArtifacts(a, b, loose, sink), 0u);
+
+    // A missing cell is a difference in both directions.
+    b.cells.pop_back();
+    EXPECT_GE(diffArtifacts(a, b, loose, sink), 1u);
 }
 
 TEST(Experiment, DeterministicAcrossRuns)
