@@ -5,13 +5,23 @@
 # tests that pin golden values use their own explicit run lengths and
 # are unaffected.
 #
-# Usage: scripts/check.sh [--with-bench] [--tsan]
+# Usage: scripts/check.sh [--with-bench] [--tsan] [--sample]
 #   --with-bench   also run the fig13 modularity bench (stage-swap
 #                  self-check + the EOLE/OLE/EOE grid) on the short
 #                  run lengths.
 #   --tsan         additionally build with ThreadSanitizer
 #                  (-DEOLE_TSAN=ON, build-tsan/) and run the sweep
-#                  engine + torture suites under it.
+#                  engine + torture + sampling suites under it.
+#   --sample       additionally run the sampled-vs-full validation
+#                  lane: the sample_validation bench at a 1M-µop
+#                  measure with the speedup target relaxed to 2x
+#                  (short runs cannot amortize trace recording;
+#                  paper-grade 5M-µop runs demonstrate >= 5x), plus
+#                  the checkpoint round-trip suite under
+#                  AddressSanitizer (-DEOLE_ASAN=ON, build-asan/).
+#                  The test_sample suite itself runs in the default
+#                  ctest pass with the same per-suite timeout as
+#                  every other suite.
 #
 # Every ctest invocation runs with --timeout (EOLE_TEST_TIMEOUT,
 # default 600 s per suite) so a hung worker thread fails CI instead of
@@ -29,10 +39,12 @@ TEST_TIMEOUT="${EOLE_TEST_TIMEOUT:-600}"
 
 WITH_BENCH=0
 WITH_TSAN=0
+WITH_SAMPLE=0
 for arg in "$@"; do
     case "$arg" in
       --with-bench) WITH_BENCH=1 ;;
       --tsan) WITH_TSAN=1 ;;
+      --sample) WITH_SAMPLE=1 ;;
       *)
         echo "check.sh: unknown option '$arg'" >&2
         exit 2
@@ -62,13 +74,32 @@ if [[ "$WITH_BENCH" == 1 ]]; then
     ./build/fig13_modularity
 fi
 
+if [[ "$WITH_SAMPLE" == 1 ]]; then
+    echo "check.sh: sampled-vs-full validation lane"
+    # 1M µ-ops, 2x target: long enough to amortize trace recording so
+    # the wall-clock check means something, short enough for CI. The
+    # bench requires at least one workload that is simultaneously
+    # within its sampled CI and >= 2x faster sampled.
+    if ! EOLE_WARMUP=50000 EOLE_INSTS=1000000 \
+         EOLE_SAMPLE_MIN_SPEEDUP=2 ./build/sample_validation; then
+        echo "check.sh: sample_validation FAILED" >&2
+        exit 1
+    fi
+
+    echo "check.sh: AddressSanitizer pass (checkpoint round trip)"
+    cmake -B build-asan -S . -DEOLE_ASAN=ON \
+          -DEOLE_TEST_TIMEOUT="$TEST_TIMEOUT"
+    cmake --build build-asan -j "$JOBS" --target test_sample
+    run_ctest build-asan -R '^test_sample$'
+fi
+
 if [[ "$WITH_TSAN" == 1 ]]; then
     echo "check.sh: ThreadSanitizer pass (sweep engine + torture)"
     cmake -B build-tsan -S . -DEOLE_TSAN=ON \
           -DEOLE_TEST_TIMEOUT="$TEST_TIMEOUT"
     cmake --build build-tsan -j "$JOBS" \
-          --target test_experiment test_torture
-    run_ctest build-tsan -R '^(test_experiment|test_torture)$'
+          --target test_experiment test_torture test_sample
+    run_ctest build-tsan -R '^(test_experiment|test_torture|test_sample)$'
 fi
 
 echo "check.sh: OK (warmup=$EOLE_WARMUP, insts=$EOLE_INSTS," \

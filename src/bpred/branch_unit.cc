@@ -124,6 +124,30 @@ BranchUnit::restoreTo(const SnapshotPtr &snap)
 }
 
 void
+BranchUnit::warmUpdate(const TraceUop &uop)
+{
+    if (!uop.isBranch())
+        return;
+    // State-equivalent to predictBranch + repair-on-mispredict +
+    // commitBranch (pinned by tests/test_sample.cc) without the
+    // snapshot machinery: in this trace-driven front end, fetch never
+    // advances past an unrepaired mispredict, so the net speculative
+    // effect of predict-then-repair is always "apply the actual
+    // outcome".
+    BranchPrediction bp;
+    if (uop.isCondBr()) {
+        bp.predTaken = tage.predict(uop.pc, hist, 0, bp.tage);
+        hist.push(uop.taken);
+    }
+    commitBranch(uop, bp);  // TAGE + JRS confidence + BTB training
+    if (uop.isCall())
+        ras.push(uop.pc + uopBytes);
+    else if (uop.isRet())
+        (void)ras.pop();
+    cached.reset();
+}
+
+void
 BranchUnit::commitBranch(const TraceUop &uop, const BranchPrediction &bp)
 {
     if (uop.isCondBr()) {

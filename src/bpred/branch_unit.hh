@@ -20,6 +20,7 @@
 #include "bpred/history.hh"
 #include "bpred/tage.hh"
 #include "isa/trace.hh"
+#include "isa/warmable.hh"
 
 namespace eole {
 
@@ -63,7 +64,7 @@ struct BranchPrediction
  * speculatively updates history/RAS; snapshots allow exact repair on
  * squashes.
  */
-class BranchUnit
+class BranchUnit : public WarmableComponent
 {
   public:
     /** Combined front-end speculative state checkpoint. */
@@ -119,6 +120,17 @@ class BranchUnit
 
     /** Commit-time training (call in retirement order). */
     void commitBranch(const TraceUop &uop, const BranchPrediction &bp);
+
+    /**
+     * Functional warming (isa/warmable.hh): predict the branch, repair
+     * the speculative state on a wrong prediction (exactly what the
+     * pipeline does at resolution) and train immediately. Predict ->
+     * train collapses the pipeline's fetch-to-commit window to zero;
+     * histories and the RAS evolve identically to a detailed run of
+     * the same stream, TAGE/BTB tables see commit-order updates
+     * without in-flight overlap (see DESIGN.md §8).
+     */
+    void warmUpdate(const TraceUop &uop) override;
 
   private:
     /** Apply the architectural effect of @p uop with outcome @p taken. */

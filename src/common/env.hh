@@ -3,6 +3,18 @@
  * Environment-variable parsing helpers shared by the run-length knobs
  * (EOLE_WARMUP / EOLE_INSTS / EOLE_THREADS), the trace-cache budget
  * and the torture harness.
+ *
+ * Run-length precedence (single source of truth — the experiment,
+ * sweep and sampling layers all resolve through resolveRunLength):
+ *
+ *   explicit value (CLI flag / SweepOptions field)
+ *     > plan field (ExperimentPlan::warmup / ::measure)
+ *       > environment (EOLE_WARMUP / EOLE_INSTS)
+ *         > built-in default (defaultWarmupUops / defaultMeasureUops)
+ *
+ * Zero means "unset" at every level above the built-in default, which
+ * is why the defaults live here as named constants instead of being
+ * re-spelled at each call site.
  */
 
 #ifndef EOLE_COMMON_ENV_HH
@@ -13,6 +25,11 @@
 
 namespace eole {
 
+/** DESIGN.md §5 run lengths: warm all structures for 1M µ-ops, then
+ *  measure 5M µ-ops. */
+constexpr std::uint64_t defaultWarmupUops = 1000000;
+constexpr std::uint64_t defaultMeasureUops = 5000000;
+
 /** @p name parsed as u64 (base auto-detected), or @p fallback when
  *  unset/empty. */
 inline std::uint64_t
@@ -22,6 +39,19 @@ envU64(const char *name, std::uint64_t fallback)
     if (v == nullptr || *v == '\0')
         return fallback;
     return std::strtoull(v, nullptr, 0);
+}
+
+/** Resolve a run-length knob with the precedence documented in the
+ *  file header: explicit option > plan field > environment > default. */
+inline std::uint64_t
+resolveRunLength(std::uint64_t option_value, std::uint64_t plan_value,
+                 const char *env_name, std::uint64_t fallback)
+{
+    if (option_value)
+        return option_value;
+    if (plan_value)
+        return plan_value;
+    return envU64(env_name, fallback);
 }
 
 } // namespace eole

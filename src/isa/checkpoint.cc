@@ -1,0 +1,136 @@
+#include "isa/checkpoint.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/kernel_vm.hh"
+
+namespace eole {
+
+Checkpoint
+captureAt(const FrozenTrace &trace, const std::string &workload_name,
+          std::uint64_t uop_index)
+{
+    fatal_if(uop_index > trace.uops.size(),
+             "checkpoint at µ-op %llu but the trace only covers %zu",
+             (unsigned long long)uop_index, trace.uops.size());
+
+    Checkpoint ckpt;
+    ckpt.workload = workload_name;
+    ckpt.uopIndex = uop_index;
+    for (int r = 0; r < numArchIntRegs; ++r)
+        ckpt.intRegs[r] = trace.initIntRegs[r];
+    for (int r = 0; r < numArchFpRegs; ++r)
+        ckpt.fpRegs[r] = trace.initFpRegs[r];
+
+    // Replay destination writes. TraceUop::result is the architectural
+    // post-write value (already 0 for writes to the int zero register),
+    // so a scalar copy per µ-op reproduces the VM state exactly.
+    for (std::uint64_t i = 0; i < uop_index; ++i) {
+        const TraceUop &u = trace.uops[i];
+        if (u.dst == invalidReg)
+            continue;
+        if (u.dstClass == RegClass::Fp)
+            ckpt.fpRegs[u.dst] = u.result;
+        else
+            ckpt.intRegs[u.dst] = u.result;
+    }
+    return ckpt;
+}
+
+Checkpoint
+captureFromVM(const KernelVM &vm, const std::string &workload_name)
+{
+    Checkpoint ckpt;
+    ckpt.workload = workload_name;
+    ckpt.uopIndex = vm.executedUops();
+    for (int r = 0; r < numArchIntRegs; ++r)
+        ckpt.intRegs[r] = vm.readIntReg(static_cast<RegIndex>(r));
+    for (int r = 0; r < numArchFpRegs; ++r)
+        ckpt.fpRegs[r] = vm.readFpReg(static_cast<RegIndex>(r));
+    return ckpt;
+}
+
+void
+serializeCheckpoint(std::ostream &os, const Checkpoint &ckpt)
+{
+    // Canonical line-oriented text; register values in hex (exact for
+    // bit-punned FP). The workload name is length-prefixed so names
+    // with spaces survive the round trip.
+    os << "eole-ckpt-v1\n";
+    os << "workload " << ckpt.workload.size() << ' ' << ckpt.workload
+       << '\n';
+    os << "uop " << ckpt.uopIndex << '\n';
+    os << std::hex;
+    os << "int";
+    for (int r = 0; r < numArchIntRegs; ++r)
+        os << ' ' << ckpt.intRegs[r];
+    os << "\nfp";
+    for (int r = 0; r < numArchFpRegs; ++r)
+        os << ' ' << ckpt.fpRegs[r];
+    os << '\n' << std::dec;
+}
+
+Checkpoint
+deserializeCheckpoint(std::istream &is)
+{
+    Checkpoint ckpt;
+    std::string token;
+
+    is >> token;
+    fatal_if(token != "eole-ckpt-v1",
+             "unsupported checkpoint schema \"%s\"", token.c_str());
+
+    is >> token;
+    fatal_if(token != "workload", "checkpoint: expected 'workload'");
+    std::size_t name_len = 0;
+    is >> name_len;
+    // Bound before resize: a corrupt length must be the documented
+    // fatal diagnostic, not an uncaught length_error/bad_alloc.
+    fatal_if(is.fail() || name_len > 4096,
+             "checkpoint: implausible workload-name length %zu",
+             name_len);
+    is.get();  // the single separating space
+    ckpt.workload.resize(name_len);
+    is.read(ckpt.workload.data(),
+            static_cast<std::streamsize>(name_len));
+    fatal_if(static_cast<std::size_t>(is.gcount()) != name_len,
+             "checkpoint: truncated workload name");
+
+    is >> token;
+    fatal_if(token != "uop", "checkpoint: expected 'uop'");
+    is >> ckpt.uopIndex;
+
+    is >> token;
+    fatal_if(token != "int", "checkpoint: expected 'int'");
+    is >> std::hex;
+    for (int r = 0; r < numArchIntRegs; ++r)
+        is >> ckpt.intRegs[r];
+
+    is >> token;
+    fatal_if(token != "fp", "checkpoint: expected 'fp'");
+    for (int r = 0; r < numArchFpRegs; ++r)
+        is >> ckpt.fpRegs[r];
+    is >> std::dec;
+
+    fatal_if(is.fail(), "checkpoint: truncated or malformed document");
+    return ckpt;
+}
+
+std::string
+checkpointString(const Checkpoint &ckpt)
+{
+    std::ostringstream oss;
+    serializeCheckpoint(oss, ckpt);
+    return oss.str();
+}
+
+Checkpoint
+checkpointFromString(const std::string &text)
+{
+    std::istringstream iss(text);
+    return deserializeCheckpoint(iss);
+}
+
+} // namespace eole

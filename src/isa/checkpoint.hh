@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Checkpoint: a resumable simulation start point inside a workload's
+ * dynamic µ-op stream.
+ *
+ * A checkpoint pins (a) the position in the functional stream — the
+ * FrozenTrace cursor, as a count of µ-ops already executed — and (b)
+ * the architectural register state at that boundary, i.e. exactly what
+ * a live KernelVM would hold after stepping that many µ-ops. Because
+ * the timing core is trace-driven (load values and branch outcomes
+ * travel in the TraceUop records), registers + cursor are the complete
+ * architectural restart state: simulated data memory never needs to be
+ * serialized.
+ *
+ * Checkpoints come from two equivalent sources (pinned equal by
+ * tests/test_sample.cc):
+ *  - captureFromVM: snapshot a live KernelVM mid-run, and
+ *  - captureAt: reconstruct the register state at any index of a
+ *    FrozenTrace by scalar-replaying its destination writes — no VM
+ *    re-execution, one linear scan.
+ *
+ * The serialized form ("eole-ckpt-v1") is canonical text: writing the
+ * same checkpoint twice yields identical bytes, and a serialize ->
+ * deserialize -> run equals a straight-through run commit-for-commit
+ * (the sampling subsystem's correctness anchor).
+ */
+
+#ifndef EOLE_ISA_CHECKPOINT_HH
+#define EOLE_ISA_CHECKPOINT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/frozen_trace.hh"
+
+namespace eole {
+
+class KernelVM;
+
+/** Architectural restart state at a µ-op boundary. */
+struct Checkpoint
+{
+    std::string workload;        //!< registry name (provenance only)
+    std::uint64_t uopIndex = 0;  //!< µ-ops executed before this point
+    RegVal intRegs[numArchIntRegs] = {};
+    RegVal fpRegs[numArchFpRegs] = {};
+
+    bool
+    operator==(const Checkpoint &o) const
+    {
+        if (workload != o.workload || uopIndex != o.uopIndex)
+            return false;
+        for (int r = 0; r < numArchIntRegs; ++r) {
+            if (intRegs[r] != o.intRegs[r])
+                return false;
+        }
+        for (int r = 0; r < numArchFpRegs; ++r) {
+            if (fpRegs[r] != o.fpRegs[r])
+                return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Reconstruct the architectural state after the first @p uop_index
+ * µ-ops of @p trace by replaying destination writes over the trace's
+ * post-init register image. Exact: bit-identical to stepping a live
+ * VM the same distance.
+ *
+ * @param trace the recorded stream (must cover uop_index µ-ops)
+ * @param workload_name provenance tag stored in the checkpoint
+ * @param uop_index boundary (0 = the trace's own start state)
+ */
+Checkpoint captureAt(const FrozenTrace &trace,
+                     const std::string &workload_name,
+                     std::uint64_t uop_index);
+
+/** Snapshot a live VM mid-run (uopIndex = vm.executedUops()). */
+Checkpoint captureFromVM(const KernelVM &vm,
+                         const std::string &workload_name);
+
+/** Canonical text serialization (schema "eole-ckpt-v1"). */
+void serializeCheckpoint(std::ostream &os, const Checkpoint &ckpt);
+
+/** Parse a serialized checkpoint (fatal on malformed input). */
+Checkpoint deserializeCheckpoint(std::istream &is);
+
+/** Convenience: serialize to / parse from a string. */
+std::string checkpointString(const Checkpoint &ckpt);
+Checkpoint checkpointFromString(const std::string &text);
+
+} // namespace eole
+
+#endif // EOLE_ISA_CHECKPOINT_HH

@@ -61,6 +61,18 @@ struct TraceUop
      */
     bool vpEligible() const { return hasDst(); }
 
+    /**
+     * Does the pipeline actually predict this µ-op? Eligible, minus
+     * writes to the int zero register (architecturally dropped). The
+     * fetch stage and every functional-warming path share this
+     * predicate — warming fidelity depends on them never diverging.
+     */
+    bool
+    vpPredictable() const
+    {
+        return vpEligible() && !(dstClass == RegClass::Int && dst == 0);
+    }
+
     /** Number of register source operands actually used. */
     int
     numSrcs() const

@@ -26,6 +26,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "isa/checkpoint.hh"
 #include "isa/frozen_trace.hh"
 #include "isa/kernel_vm.hh"
 #include "isa/trace.hh"
@@ -61,6 +62,35 @@ class TraceSource
         : frozen(std::move(trace))
     {
         panic_if(!frozen, "null frozen trace");
+        for (int r = 0; r < numArchIntRegs; ++r)
+            startIntRegs[r] = frozen->initIntRegs[r];
+        for (int r = 0; r < numArchFpRegs; ++r)
+            startFpRegs[r] = frozen->initFpRegs[r];
+    }
+
+    /**
+     * Replay backing resuming mid-stream at @p ckpt: the first fetch
+     * returns µ-op ckpt.uopIndex (sequence number uopIndex + 1), and
+     * the initial-register accessors return the checkpoint's
+     * architectural state instead of the trace's start state. The
+     * skipped prefix stays out of the replay window (it can never be
+     * rewound into).
+     */
+    TraceSource(std::shared_ptr<const FrozenTrace> trace,
+                const Checkpoint &ckpt)
+        : frozen(std::move(trace))
+    {
+        panic_if(!frozen, "null frozen trace");
+        panic_if(ckpt.uopIndex > frozen->uops.size(),
+                 "checkpoint at µ-op %llu outside the %zu-µ-op trace",
+                 (unsigned long long)ckpt.uopIndex, frozen->uops.size());
+        cursor = static_cast<std::size_t>(ckpt.uopIndex);
+        highWater = cursor;
+        retiredSeq = ckpt.uopIndex;
+        for (int r = 0; r < numArchIntRegs; ++r)
+            startIntRegs[r] = ckpt.intRegs[r];
+        for (int r = 0; r < numArchFpRegs; ++r)
+            startFpRegs[r] = ckpt.fpRegs[r];
     }
 
     bool replaying() const { return frozen != nullptr; }
@@ -166,17 +196,19 @@ class TraceSource
         return *vm;
     }
 
-    /** Post-init architectural state (valid for both backings). */
+    /** Architectural state at the stream's start point — post-init
+     *  state, or the checkpoint state for a resumed replay (valid for
+     *  both backings). */
     RegVal
     initialIntReg(RegIndex r) const
     {
-        return frozen ? frozen->initIntRegs[r] : vm->readIntReg(r);
+        return frozen ? startIntRegs[r] : vm->readIntReg(r);
     }
 
     RegVal
     initialFpReg(RegIndex r) const
     {
-        return frozen ? frozen->initFpRegs[r] : vm->readFpReg(r);
+        return frozen ? startFpRegs[r] : vm->readFpReg(r);
     }
 
   private:
@@ -202,6 +234,11 @@ class TraceSource
     std::size_t cursor = 0;
     std::size_t highWater = 0;  //!< replay: max cursor ever reached
     SeqNum retiredSeq = 0;      //!< replay: all seq <= this retired
+
+    // Replay mode: register state at the start point (trace init state,
+    // or the checkpoint's image for a mid-stream resume).
+    RegVal startIntRegs[numArchIntRegs] = {};
+    RegVal startFpRegs[numArchFpRegs] = {};
 };
 
 } // namespace eole

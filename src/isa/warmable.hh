@@ -1,0 +1,43 @@
+/**
+ * @file
+ * WarmableComponent: the update-only interface behind functional
+ * warming (SMARTS-style sampling, sim/sample/).
+ *
+ * A warmable component consumes the architecturally-correct committed
+ * µ-op stream in order and updates its *predictive* state — predictor
+ * tables, histories, cache tags/LRU — without any timing simulation.
+ * Streaming a trace prefix through the warmable components of a core
+ * puts its substrate close to where a full detailed run would have
+ * left it, at a small fraction of the cost; a short detailed warmup
+ * then absorbs the residual transient (pipeline occupancy, in-flight
+ * predictor instances). See DESIGN.md §8 for the exact fidelity
+ * contract of each implementor.
+ *
+ * Implementors: BranchUnit (bpred/), ValuePredictor (vpred/),
+ * MemHierarchy (mem/).
+ */
+
+#ifndef EOLE_ISA_WARMABLE_HH
+#define EOLE_ISA_WARMABLE_HH
+
+#include "isa/trace.hh"
+
+namespace eole {
+
+class WarmableComponent
+{
+  public:
+    virtual ~WarmableComponent() = default;
+
+    /**
+     * Observe one µ-op of the committed stream (called in program
+     * order) and update internal predictive state only. Must be
+     * deterministic: warming the same stream twice from the same
+     * initial state yields identical component state.
+     */
+    virtual void warmUpdate(const TraceUop &uop) = 0;
+};
+
+} // namespace eole
+
+#endif // EOLE_ISA_WARMABLE_HH

@@ -71,6 +71,16 @@ class Cache
     std::uint64_t hits() const { return statHits; }
     std::uint64_t misses() const { return statMisses; }
 
+    /** Zero the statistic counters; tags/LRU/MSHR state is kept (used
+     *  by Core::resetTiming to open a measurement window on a warmed
+     *  cache). */
+    void
+    resetStats()
+    {
+        statHits = statMisses = statMshrMerges = 0;
+        statMshrStalls = statWritebacks = statPrefetches = 0;
+    }
+
   private:
     struct Line
     {

@@ -83,6 +83,9 @@ class Dram
     std::uint64_t readCount() const { return reads; }
     std::uint64_t writeCount() const { return writes; }
 
+    /** Zero the access counters (bank/bus state is kept). */
+    void resetStats() { reads = writes = 0; }
+
   private:
     struct Bank
     {

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "common/stats.hh"
+#include "isa/warmable.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/prefetcher.hh"
@@ -26,7 +27,7 @@ struct MemConfig
     bool prefetchEnabled = true;
 };
 
-class MemHierarchy
+class MemHierarchy : public WarmableComponent
 {
   public:
     explicit MemHierarchy(const MemConfig &config = MemConfig{})
@@ -46,11 +47,16 @@ class MemHierarchy
               [this](Addr a, bool w, Cycle t) {
                   return l2->access(a, w, t);
               })),
-          prefetcher(config.prefetch)
+          prefetcher(config.prefetch),
+          fetchLineMask(~static_cast<Addr>(config.l1i.lineBytes - 1))
     {
         if (config.prefetchEnabled)
             prefetcher.attach(l2.get());
     }
+
+    /** I-cache line mask; the fetch stage and the warming path must
+     *  use the same line granularity (fetch one access per line). */
+    Addr fetchLine(Addr pc) const { return pc & fetchLineMask; }
 
     // The level-linking lambdas capture `this`; relocation would leave
     // them dangling.
@@ -90,6 +96,53 @@ class MemHierarchy
     Cache &l2Cache() { return *l2; }
     Dram &dramCtrl() { return *dram; }
 
+    /**
+     * Functional warming (isa/warmable.hh): touch the I-cache once per
+     * fetched line (as the fetch stage does) and the D-side for every
+     * load/store, on an internal pseudo-clock that advances one cycle
+     * per µ-op. Tags, LRU, prefetcher training and DRAM row state warm
+     * up; latencies are discarded.
+     */
+    void
+    warmUpdate(const TraceUop &uop) override
+    {
+        ++warmClock;
+        const Addr line = uop.pc & fetchLineMask;
+        if (line != warmFetchLine) {
+            warmFetchLine = line;
+            (void)fetchAccess(uop.pc, warmClock);
+        }
+        if (uop.isLoad())
+            (void)loadAccess(uop.pc, uop.effAddr, warmClock);
+        else if (uop.isStore())
+            (void)storeAccess(uop.pc, uop.effAddr, warmClock);
+    }
+
+    /** Advance the warming pseudo-clock past @p now so a detailed run
+     *  following a warming pass never observes fills scheduled in its
+     *  future (Core::functionalWarm aligns the clocks). */
+    void
+    syncWarmClock(Cycle now)
+    {
+        warmClock = std::max(warmClock, now);
+    }
+
+    /** Current warming pseudo-clock (Core::functionalWarm re-aligns
+     *  the core clock to it after a warming pass). */
+    Cycle warmClockNow() const { return warmClock; }
+
+    /** Zero every statistic counter in the hierarchy; cache tags, LRU,
+     *  MSHR, DRAM row and prefetcher training state are all kept. */
+    void
+    resetStats()
+    {
+        l1i->resetStats();
+        l1d->resetStats();
+        l2->resetStats();
+        dram->resetStats();
+        prefetcher.resetStats();
+    }
+
     StatRecord
     record() const
     {
@@ -110,6 +163,9 @@ class MemHierarchy
     std::unique_ptr<Cache> l1i;
     std::unique_ptr<Cache> l1d;
     StridePrefetcher prefetcher;
+    Addr fetchLineMask;
+    Cycle warmClock = 0;
+    Addr warmFetchLine = ~0ULL;
 };
 
 } // namespace eole

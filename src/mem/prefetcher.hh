@@ -83,6 +83,9 @@ class StridePrefetcher
 
     std::uint64_t issuedCount() const { return issued; }
 
+    /** Zero the issue counter (stride table state is kept). */
+    void resetStats() { issued = 0; }
+
   private:
     struct Entry
     {

@@ -1,5 +1,9 @@
 #include "pipeline/core.hh"
 
+#include <algorithm>
+
+#include "common/logging.hh"
+
 namespace eole {
 
 Core::Core(const SimConfig &config, const Workload &workload)
@@ -49,6 +53,35 @@ Core::resetStats()
     state->resetStats();
     for (const auto &stage : pipe.stages)
         stage->resetStats();
+}
+
+void
+Core::resetTiming()
+{
+    resetStats();
+    state->mem->resetStats();
+}
+
+void
+Core::functionalWarm(const FrozenTrace &trace, std::uint64_t begin,
+                     std::uint64_t end)
+{
+    fatal_if(begin > end || end > trace.uops.size(),
+             "functionalWarm [%llu, %llu) outside the %zu-µ-op trace",
+             (unsigned long long)begin, (unsigned long long)end,
+             trace.uops.size());
+
+    state->mem->syncWarmClock(state->now);
+    for (std::uint64_t i = begin; i < end; ++i) {
+        const TraceUop &u = trace.uops[i];
+        state->bu->warmUpdate(u);
+        if (state->vp)
+            state->vp->warmUpdate(u);
+        state->mem->warmUpdate(u);
+    }
+    // Detailed simulation resumes after the warming pseudo-cycles so
+    // every warmed fill/busy time is already in the past.
+    state->now = std::max(state->now, state->mem->warmClockNow());
 }
 
 const CoreStats &

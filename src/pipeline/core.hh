@@ -73,6 +73,29 @@ class Core
      *  in-flight pipeline state are preserved. */
     void resetStats();
 
+    /**
+     * Open a clean measurement window on the warmed substrate: zero
+     * every statistic including the memory-hierarchy counters (which
+     * resetStats leaves accumulating, a behaviour the full-run golden
+     * records pin). Predictor/cache/pipeline state is preserved. Used
+     * by the sampling subsystem between detailed warmup and the
+     * measured interval (sim/sample/).
+     */
+    void resetTiming();
+
+    /**
+     * Functional warming (SMARTS-style): stream trace µ-ops
+     * [@p begin, @p end) through the warmable components only — branch
+     * unit, value predictor, memory hierarchy (isa/warmable.hh) — with
+     * no timing simulation. The core clock advances to cover the
+     * warming pseudo-cycles so warmed cache fills are in the past when
+     * detailed simulation resumes. Call before any detailed run()
+     * whose start point is at µ-op @p end (the checkpointed-start
+     * path, see sim/sample/).
+     */
+    void functionalWarm(const FrozenTrace &trace, std::uint64_t begin,
+                        std::uint64_t end);
+
     /** Aggregate of every stage's counters (rebuilt on each call). */
     const CoreStats &stats() const;
 

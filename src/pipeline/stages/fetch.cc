@@ -26,7 +26,7 @@ FetchStage::tick(PipelineState &st)
     while (fetched < fetchWidth && st.ts.hasNext()
            && st.frontPipe.canPush(st.now)) {
         const TraceUop &peek = st.ts.peek();
-        const Addr line = peek.pc & ~static_cast<Addr>(63);
+        const Addr line = st.mem->fetchLine(peek.pc);
         if (line != cur_line) {
             const Cycle ready = st.mem->fetchAccess(peek.pc, st.now);
             const Cycle hit_time = st.now + l1iHitLatency;
@@ -45,9 +45,7 @@ FetchStage::tick(PipelineState &st)
 
         // Value prediction at fetch (§4.2). Writes to the int zero
         // register are architecturally dropped and not predicted.
-        const bool real_dst = di->uop.vpEligible()
-            && !(di->uop.dstClass == RegClass::Int && di->uop.dst == 0);
-        if (st.vp && real_dst) {
+        if (st.vp && di->uop.vpPredictable()) {
             di->vp = st.vp->predict(di->uop.pc);
             di->vpLookupValid = true;
             if (di->vp.confident) {

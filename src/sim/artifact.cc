@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -250,6 +251,10 @@ writeJsonArtifact(std::ostream &os, const PlanResult &result)
     os << "  \"filter\": ";
     writeEscaped(os, result.filter);
     os << ",\n";
+    os << "  \"sample\": {\"intervals\": " << result.sample.intervals
+       << ", \"interval_uops\": " << result.sample.intervalUops
+       << ", \"detail_uops\": " << result.sample.detailUops
+       << ", \"warm_bound\": " << result.sample.warmBound << "},\n";
     os << "  \"cells\": [";
     for (std::size_t i = 0; i < result.cells.size(); ++i) {
         const RunResult &cell = result.cells[i];
@@ -324,6 +329,25 @@ readJsonArtifact(std::istream &is)
             result.measure = p.parseU64();
         } else if (key == "filter") {
             result.filter = p.parseString();
+        } else if (key == "sample") {
+            p.expect('{');
+            if (!p.tryConsume('}')) {
+                do {
+                    const std::string sk = p.parseString();
+                    p.expect(':');
+                    if (sk == "intervals")
+                        result.sample.intervals = p.parseU64();
+                    else if (sk == "interval_uops")
+                        result.sample.intervalUops = p.parseU64();
+                    else if (sk == "detail_uops")
+                        result.sample.detailUops = p.parseU64();
+                    else if (sk == "warm_bound")
+                        result.sample.warmBound = p.parseU64();
+                    else
+                        p.skipValue();
+                } while (p.tryConsume(','));
+                p.expect('}');
+            }
         } else if (key == "cells") {
             p.expect('[');
             if (!p.tryConsume(']')) {
@@ -376,6 +400,20 @@ diffArtifacts(const PlanResult &a, const PlanResult &b,
         return std::fabs(x - y) <= options.absTol + options.relTol * scale;
     };
 
+    auto isCiMetadata = [&](const std::string &stat) {
+        if (!options.ciOverlap)
+            return false;
+        auto endsWith = [&](const char *suffix) {
+            const std::size_t n = std::strlen(suffix);
+            return stat.size() >= n
+                && stat.compare(stat.size() - n, n, suffix) == 0;
+        };
+        // sample_* stats describe the sampling run itself (interval
+        // placement, warming volume), not the measured quantity.
+        return endsWith("_ci95") || endsWith("_stddev")
+            || stat.rfind("sample_", 0) == 0;
+    };
+
     for (const RunResult &ca : a.cells) {
         const RunResult *cb = b.find(ca.config, ca.workload);
         const std::string id = ca.config + "/" + ca.workload;
@@ -385,12 +423,38 @@ diffArtifacts(const PlanResult &a, const PlanResult &b,
         }
         for (const auto &[stat, va] : ca.stats.all()) {
             if (!cb->stats.has(stat)) {
+                // Missing keys are always a difference — even under
+                // tolerance, even in CI mode (schema drift is never
+                // "equal"; regression-pinned in test_experiment.cc).
                 report(id + ": stat " + stat + " missing from b");
-            } else if (const double vb = cb->stats.get(stat);
-                       !close(va, vb)) {
+                continue;
+            }
+            if (isCiMetadata(stat))
+                continue;
+            const double vb = cb->stats.get(stat);
+            const std::string ciKey = stat + "_ci95";
+            if (options.ciOverlap && ca.stats.has(ciKey)
+                && cb->stats.has(ciKey)) {
+                const double spread =
+                    ca.stats.get(ciKey) + cb->stats.get(ciKey);
+                if (std::fabs(va - vb) <= spread + options.absTol)
+                    continue;
+                report(id + ": " + stat + " a=" + std::to_string(va)
+                       + " b=" + std::to_string(vb)
+                       + " beyond CI overlap (" + std::to_string(spread)
+                       + ")");
+                continue;
+            }
+            if (!close(va, vb)) {
                 report(id + ": " + stat + " " + std::string("a=")
                        + std::to_string(va) + " b=" + std::to_string(vb));
             }
+        }
+        // Keys only b has are differences too (see header comment).
+        for (const auto &[stat, vb] : cb->stats.all()) {
+            (void)vb;
+            if (!ca.stats.has(stat))
+                report(id + ": stat " + stat + " missing from a");
         }
     }
     for (const RunResult &cb : b.cells) {

@@ -41,13 +41,27 @@ struct DiffOptions
 {
     double relTol = 0.0;   //!< per-stat relative tolerance
     double absTol = 0.0;   //!< per-stat absolute tolerance
+
+    /**
+     * CI-overlap mode for sampled artifacts: a stat X that carries a
+     * companion "X_ci95" stat on both sides compares equal when the
+     * two confidence intervals overlap (|a-b| <= ci_a + ci_b). The
+     * companion "_ci95"/"_stddev" stats and the "sample_*"
+     * bookkeeping stats are then treated as measurement metadata and
+     * skipped (they differ across seeds by construction). Stats
+     * without a CI companion still use relTol/absTol.
+     */
+    bool ciOverlap = false;
+
     int maxPrint = 25;     //!< differences to print before eliding
 };
 
 /**
  * Compare two artifacts cell-by-cell and stat-by-stat, reporting to
- * @p os. Returns the number of differences (missing cells/stats count
- * as differences); 0 means the artifacts agree within tolerance.
+ * @p os. Returns the number of differences; 0 means the artifacts
+ * agree within tolerance. A cell or stat key present on only one side
+ * is always a reported difference, on both sides and under any
+ * tolerance (a silently-absent stat is a schema drift, not agreement).
  */
 std::size_t diffArtifacts(const PlanResult &a, const PlanResult &b,
                           const DiffOptions &options, std::ostream &os);

@@ -14,13 +14,13 @@ namespace eole {
 std::uint64_t
 warmupUops()
 {
-    return envU64("EOLE_WARMUP", 1000000);
+    return envU64("EOLE_WARMUP", defaultWarmupUops);
 }
 
 std::uint64_t
 measureUops()
 {
-    return envU64("EOLE_INSTS", 5000000);
+    return envU64("EOLE_INSTS", defaultMeasureUops);
 }
 
 int

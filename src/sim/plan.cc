@@ -1,6 +1,9 @@
 #include "sim/plan.hh"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
 
 namespace eole {
 
@@ -26,6 +29,61 @@ hashString(std::uint64_t h, const std::string &s)
 }
 
 } // namespace
+
+SampleSpec
+parseSampleSpec(const std::string &text)
+{
+    SampleSpec spec;
+    // strtoull silently wraps negative input to huge values; reject
+    // signs up front so "4:-100:50" is a diagnostic, not a 2^64 run.
+    fatal_if(text.find_first_of("+-") != std::string::npos,
+             "bad sample spec \"%s\" (want N:W[:D[:B]])", text.c_str());
+    const char *p = text.c_str();
+    char *end = nullptr;
+    spec.intervals = std::strtoull(p, &end, 0);
+    fatal_if(end == p || *end != ':',
+             "bad sample spec \"%s\" (want N:W[:D])", text.c_str());
+    p = end + 1;
+    spec.intervalUops = std::strtoull(p, &end, 0);
+    fatal_if(end == p, "bad sample spec \"%s\" (want N:W[:D])",
+             text.c_str());
+    if (*end == ':') {
+        p = end + 1;
+        spec.detailUops = std::strtoull(p, &end, 0);
+        fatal_if(end == p,
+                 "bad sample spec \"%s\" (want N:W[:D[:B]])",
+                 text.c_str());
+        if (*end == ':') {
+            p = end + 1;
+            spec.warmBound = std::strtoull(p, &end, 0);
+            fatal_if(end == p || *end != '\0',
+                     "bad sample spec \"%s\" (want N:W[:D[:B]])",
+                     text.c_str());
+        } else {
+            fatal_if(*end != '\0',
+                     "bad sample spec \"%s\" (want N:W[:D[:B]])",
+                     text.c_str());
+        }
+    } else {
+        fatal_if(*end != '\0',
+                 "bad sample spec \"%s\" (want N:W[:D[:B]])",
+                 text.c_str());
+        spec.detailUops = spec.intervalUops / 2;
+    }
+    fatal_if(spec.intervals == 0 || spec.intervalUops == 0,
+             "sample spec \"%s\": N and W must be positive",
+             text.c_str());
+    return spec;
+}
+
+std::string
+sampleSpecString(const SampleSpec &spec)
+{
+    return std::to_string(spec.intervals) + ":"
+        + std::to_string(spec.intervalUops) + ":"
+        + std::to_string(spec.detailUops) + ":"
+        + std::to_string(spec.warmBound);
+}
 
 std::uint64_t
 jobSeed(std::uint64_t plan_seed, std::uint64_t config_seed,

@@ -27,6 +27,39 @@
 
 namespace eole {
 
+/**
+ * Systematic-sampling parameters (SMARTS-style; see DESIGN.md §8 and
+ * sim/sample/sample.hh): N measurement intervals of W µops, each
+ * preceded by D µops of detailed warmup, carved out of a plan cell's
+ * measured region. Functional warming covers the stream between the
+ * warming-window start and the detailed warmup — the whole skipped
+ * prefix when warmBound is 0 (the default: classic SMARTS continuous
+ * warming, the reference-fidelity mode the validation suite pins),
+ * else at most warmBound µ-ops before each interval (a bounded
+ * MRRL-style refinement that caps per-interval cost; accurate only
+ * for workloads whose predictor state has short memory — see
+ * DESIGN.md §8). The zero value (disabled()) means "full run".
+ */
+struct SampleSpec
+{
+    std::uint64_t intervals = 0;     //!< N: measurement intervals
+    std::uint64_t intervalUops = 0;  //!< W: measured µ-ops per interval
+    std::uint64_t detailUops = 0;    //!< D: detailed-warmup µ-ops each
+    std::uint64_t warmBound = 0;     //!< B: warming window (0 = all)
+
+    bool enabled() const { return intervals > 0 && intervalUops > 0; }
+};
+
+/**
+ * Parse "N:W:D[:B]" (or "N:W", D defaulting to W/2) into a
+ * SampleSpec. B defaults to 0 = unbounded (full-prefix) functional
+ * warming. Fatal on malformed input or N == 0 / W == 0.
+ */
+SampleSpec parseSampleSpec(const std::string &text);
+
+/** Canonical "N:W:D:B" form (inverse of parseSampleSpec). */
+std::string sampleSpecString(const SampleSpec &spec);
+
 /** One paper-style table over the grid (see printPlanTables). */
 struct TableSpec
 {

@@ -1,0 +1,329 @@
+#include "sim/sample/sample.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "isa/checkpoint.hh"
+#include "pipeline/core.hh"
+#include "sim/trace_cache.hh"
+#include "workloads/workload.hh"
+
+namespace eole {
+
+namespace {
+
+/** Two-sided 97.5th-percentile Student-t critical values, df 1..30;
+ *  beyond that the normal 1.96 is within ~1%. */
+constexpr double tCrit[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048,  2.045, 2.042,
+};
+
+double
+tCritical(std::size_t df)
+{
+    if (df == 0)
+        return 0.0;
+    if (df <= std::size(tCrit))
+        return tCrit[df - 1];
+    return 1.96;
+}
+
+/** One interval's measurement. */
+struct IntervalResult
+{
+    std::uint64_t start = 0;      //!< measured-interval start µ-op
+    std::uint64_t warmedUops = 0; //!< functionally warmed prefix
+    std::uint64_t committed = 0;  //!< measured µ-ops
+    std::uint64_t cycles = 0;     //!< measured cycles
+};
+
+} // namespace
+
+std::uint64_t
+intervalSeed(std::uint64_t cell_seed, std::uint64_t interval_index)
+{
+    // Reuse the jobSeed mixing discipline: pure function of the cell
+    // seed and the interval index, stable across platforms/scheduling.
+    return jobSeed(cell_seed, interval_index, "interval", "");
+}
+
+std::vector<std::uint64_t>
+placeIntervals(std::uint64_t warmup, std::uint64_t measure,
+               const SampleSpec &spec, std::uint64_t cell_seed)
+{
+    std::vector<std::uint64_t> starts;
+    if (!spec.enabled() || measure == 0)
+        return starts;
+
+    const std::uint64_t w = spec.intervalUops;
+    const std::uint64_t region_end = warmup + measure;
+    // The region must hold n disjoint intervals: clamp n.
+    std::uint64_t n = std::min(spec.intervals, measure / w);
+    if (n == 0)
+        n = 1;  // degenerate region: one (short) interval at the start
+    const std::uint64_t period = measure / n;
+
+    // Deterministic phase within one period (leaving room for W when
+    // the period allows it), same for every interval: systematic
+    // sampling with a seeded offset.
+    const std::uint64_t slack = period > w ? period - w : 0;
+    const std::uint64_t phase =
+        slack ? intervalSeed(cell_seed, ~0ULL) % (slack + 1) : 0;
+
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t start = warmup + i * period + phase;
+        // The detailed-warmup prefix [start - D, start) must exist,
+        // and intervals must stay disjoint after that clamp (a D
+        // larger than the early systematic positions would otherwise
+        // collapse them onto one point, biasing the CI narrow).
+        start = std::max<std::uint64_t>(start, spec.detailUops);
+        if (!starts.empty())
+            start = std::max<std::uint64_t>(start, starts.back() + w);
+        // Drop intervals pushed past the region by the clamps — the
+        // contract is "fewer than N when the region cannot hold N
+        // disjoint intervals", except the guaranteed first (short)
+        // interval of a degenerate region.
+        if (start + w > region_end && !starts.empty())
+            break;
+        starts.push_back(start);
+    }
+    return starts;
+}
+
+MeanCi
+meanCi95(const std::vector<double> &xs)
+{
+    MeanCi out;
+    if (xs.empty())
+        return out;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    out.mean = sum / static_cast<double>(xs.size());
+    if (xs.size() < 2)
+        return out;
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - out.mean) * (x - out.mean);
+    out.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+    out.ci95 = tCritical(xs.size() - 1) * out.stddev
+        / std::sqrt(static_cast<double>(xs.size()));
+    return out;
+}
+
+PlanResult
+runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
+               const SweepOptions &options)
+{
+    fatal_if(!spec.enabled(), "runSampledPlan: spec is disabled");
+    validatePlanConfigs(plan);
+
+    PlanResult out;
+    out.plan = plan.name;
+    out.seed = plan.seed;
+    out.warmup = resolveRunLength(options.warmup, plan.warmup,
+                                  "EOLE_WARMUP", defaultWarmupUops);
+    out.measure = resolveRunLength(options.measure, plan.measure,
+                                   "EOLE_INSTS", defaultMeasureUops);
+    out.filter = options.filter;
+    out.sample = spec;
+
+    // Expand matched cells (config-major artifact order) and place
+    // each cell's intervals up front — the placement depends only on
+    // run lengths and the cell seed, never on the recorded trace.
+    struct Cell
+    {
+        std::size_t cfg;
+        std::size_t wl;
+        std::vector<std::uint64_t> starts;
+        std::vector<IntervalResult> intervals;  //!< pre-assigned slots
+    };
+    std::vector<Cell> cells;
+    for (std::size_t c = 0; c < plan.configs.size(); ++c) {
+        for (std::size_t w = 0; w < plan.workloads.size(); ++w) {
+            if (!cellMatches(options.filter, plan.configs[c].name,
+                             plan.workloads[w]))
+                continue;
+            Cell cell;
+            cell.cfg = c;
+            cell.wl = w;
+            cells.push_back(std::move(cell));
+        }
+    }
+    out.cells.resize(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        RunResult &rr = out.cells[i];
+        rr.config = plan.configs[cells[i].cfg].name;
+        rr.workload = plan.workloads[cells[i].wl];
+        rr.seed = jobSeed(plan.seed, plan.configs[cells[i].cfg].seed,
+                          rr.config, rr.workload);
+        cells[i].starts =
+            placeIntervals(out.warmup, out.measure, spec, rr.seed);
+        cells[i].intervals.resize(cells[i].starts.size());
+    }
+
+    // Flatten (cell, interval) into the job list, workload-major like
+    // the full-run engine so trace sharing clusters per workload.
+    struct Job
+    {
+        std::size_t cell;
+        std::size_t interval;
+    };
+    std::vector<Job> jobs;
+    std::vector<std::size_t> jobsPerWorkload(plan.workloads.size(), 0);
+    for (std::size_t w = 0; w < plan.workloads.size(); ++w) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].wl != w)
+                continue;
+            for (std::size_t k = 0; k < cells[i].starts.size(); ++k) {
+                jobs.push_back(Job{i, k});
+                ++jobsPerWorkload[w];
+            }
+        }
+    }
+    if (jobs.empty())
+        return out;
+
+    // The degenerate single interval of a too-short region may run
+    // past warmup+measure; size recordings for the furthest fetch any
+    // interval can reach.
+    std::uint64_t furthest = out.warmup + out.measure;
+    for (const Cell &cell : cells) {
+        for (const std::uint64_t s : cell.starts) {
+            furthest =
+                std::max(furthest, s + spec.intervalUops);
+        }
+    }
+    const std::uint64_t traceUopsNeeded =
+        furthest + maxInflightUops(plan);
+
+    TraceCache cache;
+    std::vector<std::atomic<std::size_t>> remaining(plan.workloads.size());
+    for (std::size_t w = 0; w < plan.workloads.size(); ++w)
+        remaining[w].store(jobsPerWorkload[w], std::memory_order_relaxed);
+
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMu;
+
+    runOnWorkerPool(jobs.size(), options.jobs, [&](std::size_t j) {
+        const Job &job = jobs[j];
+        Cell &cell = cells[job.cell];
+        const RunResult &rr = out.cells[job.cell];
+        IntervalResult &iv = cell.intervals[job.interval];
+
+        SimConfig cfg = plan.configs[cell.cfg];
+        cfg.seed = intervalSeed(rr.seed, job.interval);
+
+        Workload w = workloads::build(rr.workload);
+        std::shared_ptr<const FrozenTrace> trace;
+        if (options.useTraceCache)
+            trace = cache.get(w, traceUopsNeeded);
+        if (!trace) {
+            // Budget pressure / cache disabled: a private
+            // recording (checkpointed starts need a frozen
+            // trace), bounded to this interval's own fetch
+            // horizon so residency stays proportional to the job
+            // instead of the whole run.
+            const std::uint64_t jobNeeded =
+                std::min(traceUopsNeeded,
+                         cell.starts[job.interval]
+                             + spec.intervalUops
+                             + maxInflightUops(plan));
+            trace = w.freeze(jobNeeded);
+        }
+        const std::uint64_t len = trace->uops.size();
+
+        const std::uint64_t start =
+            std::min<std::uint64_t>(cell.starts[job.interval], len);
+        const std::uint64_t ckptIdx =
+            start >= spec.detailUops ? start - spec.detailUops : 0;
+        const std::uint64_t detail = start - ckptIdx;
+
+        auto ckpt = std::make_shared<Checkpoint>(
+            captureAt(*trace, rr.workload, ckptIdx));
+        Workload wc = w;
+        wc.frozen = trace;
+        wc.start = ckpt;
+
+        // Bounded warming (spec.warmBound != 0) caps the
+        // functionally-warmed window before each interval; 0 keeps
+        // classic SMARTS continuous warming over the whole prefix.
+        const std::uint64_t warmBegin =
+            spec.warmBound && ckptIdx > spec.warmBound
+                ? ckptIdx - spec.warmBound
+                : 0;
+
+        iv.start = start;
+        iv.warmedUops = ckptIdx - warmBegin;
+        {
+            Core core(cfg, wc);
+            core.functionalWarm(*trace, warmBegin, ckptIdx);
+            if (detail) {
+                core.run(detail, detail * 60 + 1000000);
+            }
+            core.resetTiming();
+            iv.committed = core.run(spec.intervalUops,
+                                    spec.intervalUops * 60 + 1000000);
+            iv.cycles = core.pipelineState().cycles;
+        }
+        wc.frozen.reset();
+        trace.reset();
+        if (remaining[cell.wl].fetch_sub(1) == 1)
+            cache.drop(rr.workload);
+
+        const std::size_t finished = done.fetch_add(1) + 1;
+        if (options.progress) {
+            RunResult partial;
+            partial.config = rr.config;
+            partial.workload = rr.workload;
+            partial.seed = cfg.seed;
+            partial.stats.add("interval_start",
+                              static_cast<double>(iv.start));
+            partial.stats.add("ipc",
+                              ratio(static_cast<double>(iv.committed),
+                                    static_cast<double>(iv.cycles)));
+            std::lock_guard<std::mutex> lock(progressMu);
+            options.progress(finished, jobs.size(), partial);
+        }
+    });
+
+    // Reduce each cell in slot order (deterministic float order).
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        RunResult &rr = out.cells[i];
+        std::vector<double> ipcs;
+        std::uint64_t cycles = 0, committed = 0, warmed = 0;
+        for (const IntervalResult &iv : cells[i].intervals) {
+            warmed += iv.warmedUops;
+            if (iv.committed == 0 || iv.cycles == 0)
+                continue;  // interval past the end of a short workload
+            ipcs.push_back(ratio(static_cast<double>(iv.committed),
+                                 static_cast<double>(iv.cycles)));
+            cycles += iv.cycles;
+            committed += iv.committed;
+        }
+        const MeanCi ci = meanCi95(ipcs);
+        rr.stats.add("ipc", ci.mean);
+        rr.stats.add("ipc_ci95", ci.ci95);
+        rr.stats.add("ipc_stddev", ci.stddev);
+        rr.stats.add("cycles", static_cast<double>(cycles));
+        rr.stats.add("committed_uops", static_cast<double>(committed));
+        rr.stats.add("sample_intervals",
+                     static_cast<double>(ipcs.size()));
+        rr.stats.add("sample_interval_uops",
+                     static_cast<double>(spec.intervalUops));
+        rr.stats.add("sample_detail_uops",
+                     static_cast<double>(spec.detailUops));
+        rr.stats.add("sample_warm_uops", static_cast<double>(warmed));
+    }
+    return out;
+}
+
+} // namespace eole

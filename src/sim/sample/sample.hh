@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Checkpointed statistical sampling: run every ExperimentPlan in a
+ * SMARTS-style sampled mode (systematic interval selection, functional
+ * warming, detailed warmup, confidence intervals).
+ *
+ * A full run of one plan cell pays detailed (cycle-level) simulation
+ * for warmup + measure µ-ops. Sampled mode instead measures N short
+ * intervals of W µops placed systematically across the measured
+ * region, each preceded by D µops of detailed warmup; everything
+ * before an interval is covered by *functional warming* — the skipped
+ * stream is replayed through the branch predictor, value predictor and
+ * caches only (isa/warmable.hh), with no ROB/IQ timing — starting from
+ * a Checkpoint (isa/checkpoint.hh) that seeds the architectural
+ * register state without re-executing the prefix in the timing model.
+ *
+ * Each interval is an independent job on the PR 2 worker pool: all the
+ * intervals of all the cells run concurrently, sharing each workload's
+ * frozen trace through the sweep engine's trace cache. Per-interval
+ * seeds follow the jobSeed discipline (pure function of the cell seed
+ * and the interval index), results land in pre-assigned slots, and the
+ * reduction walks them in slot order — so sampled artifacts are
+ * byte-identical regardless of --jobs, exactly like full runs.
+ *
+ * The reduction records, per cell:
+ *   ipc                 mean of the per-interval IPCs
+ *   ipc_ci95            95% confidence half-width (Student-t)
+ *   ipc_stddev          sample standard deviation
+ *   cycles              total measured cycles across intervals
+ *   committed_uops      total measured µ-ops across intervals
+ *   sample_intervals    intervals that actually measured µ-ops
+ *   sample_interval_uops / sample_detail_uops     W and D
+ *   sample_warm_uops    µ-ops functionally warmed (cost accounting)
+ *
+ * See DESIGN.md §8 for the methodology (placement math, warming
+ * fidelity contract, CI computation, determinism rules).
+ */
+
+#ifndef EOLE_SIM_SAMPLE_SAMPLE_HH
+#define EOLE_SIM_SAMPLE_SAMPLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace eole {
+
+/**
+ * Systematic interval placement over the measured region
+ * [@p warmup, @p warmup + @p measure): one interval per period
+ * (period = measure / N), offset by a deterministic phase derived
+ * from @p cell_seed via the jobSeed mix. Guarantees every start is
+ * >= spec.detailUops (the detailed-warmup prefix must exist) and the
+ * placements are pairwise disjoint. Returns the measured-interval
+ * start indices (µ-op position of the first measured µ-op), fewer
+ * than N when the region cannot hold N disjoint intervals — except
+ * that one interval is always emitted, and that guaranteed first
+ * interval MAY extend past the region when measure < W or the
+ * detail-clamp pushes it late: size trace recordings from the placed
+ * starts (max(start) + W + inflight), not from warmup + measure
+ * alone (runSampledPlan's `furthest` computation).
+ */
+std::vector<std::uint64_t> placeIntervals(std::uint64_t warmup,
+                                          std::uint64_t measure,
+                                          const SampleSpec &spec,
+                                          std::uint64_t cell_seed);
+
+/** Deterministic per-interval seed (jobSeed discipline: pure function
+ *  of the cell seed and the interval index). */
+std::uint64_t intervalSeed(std::uint64_t cell_seed,
+                           std::uint64_t interval_index);
+
+/** Mean and 95% confidence half-width (Student-t, n-1 df; half-width
+ *  0 when fewer than two samples) of @p xs. */
+struct MeanCi
+{
+    double mean = 0.0;
+    double ci95 = 0.0;
+    double stddev = 0.0;
+};
+MeanCi meanCi95(const std::vector<double> &xs);
+
+/**
+ * Execute @p plan in sampled mode: every matched cell expands into
+ * spec.intervals per-interval jobs on the worker pool and reduces to
+ * mean IPC + CI stats (file header). Determinism guarantees match
+ * runPlan: artifacts are byte-identical across --jobs and cache
+ * settings.
+ */
+PlanResult runSampledPlan(const ExperimentPlan &plan,
+                          const SampleSpec &spec,
+                          const SweepOptions &options = {});
+
+} // namespace eole
+
+#endif // EOLE_SIM_SAMPLE_SAMPLE_HH

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "pipeline/core.hh"
 #include "sim/trace_cache.hh"
@@ -23,8 +24,8 @@ PlanResult::find(const std::string &config, const std::string &workload) const
     return nullptr;
 }
 
-PlanResult
-runPlan(const ExperimentPlan &plan, const SweepOptions &options)
+void
+validatePlanConfigs(const ExperimentPlan &plan)
 {
     for (std::size_t i = 0; i < plan.configs.size(); ++i) {
         for (std::size_t j = i + 1; j < plan.configs.size(); ++j) {
@@ -33,15 +34,49 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
                      plan.configs[i].name.c_str());
         }
     }
+}
+
+void
+runOnWorkerPool(std::size_t num_jobs, int jobs_option,
+                const std::function<void(std::size_t)> &body)
+{
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t j = next.fetch_add(1);
+            if (j >= num_jobs)
+                return;
+            body(j);
+        }
+    };
+    const std::size_t nthreads = std::min<std::size_t>(
+        jobs_option > 0 ? jobs_option : runnerThreads(), num_jobs);
+    if (nthreads <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+}
+
+PlanResult
+runPlan(const ExperimentPlan &plan, const SweepOptions &options)
+{
+    validatePlanConfigs(plan);
 
     PlanResult out;
     out.plan = plan.name;
     out.seed = plan.seed;
-    out.warmup = options.warmup ? options.warmup
-                                : (plan.warmup ? plan.warmup : warmupUops());
-    out.measure = options.measure
-        ? options.measure
-        : (plan.measure ? plan.measure : measureUops());
+    // Precedence documented in common/env.hh: option > plan > env >
+    // default.
+    out.warmup = resolveRunLength(options.warmup, plan.warmup,
+                                  "EOLE_WARMUP", defaultWarmupUops);
+    out.measure = resolveRunLength(options.measure, plan.measure,
+                                   "EOLE_INSTS", defaultMeasureUops);
     out.filter = options.filter;
 
     // Expand matched cells. Result slots are config-major (the artifact
@@ -102,55 +137,36 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
     for (std::size_t w = 0; w < plan.workloads.size(); ++w)
         remaining[w].store(jobsPerWorkload[w], std::memory_order_relaxed);
 
-    std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex progressMu;
 
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t j = next.fetch_add(1);
-            if (j >= jobs.size())
-                return;
-            const Job &job = jobs[j];
-            SimConfig cfg = plan.configs[job.cfg];
-            RunResult &cell = out.cells[job.slot];
-            cfg.seed = cell.seed;
+    runOnWorkerPool(jobs.size(), options.jobs, [&](std::size_t j) {
+        const Job &job = jobs[j];
+        SimConfig cfg = plan.configs[job.cfg];
+        RunResult &cell = out.cells[job.slot];
+        cfg.seed = cell.seed;
 
-            Workload w = workloads::build(cell.workload);
-            if (options.useTraceCache)
-                w.frozen = cache.get(w, traceUopsNeeded);
+        Workload w = workloads::build(cell.workload);
+        if (options.useTraceCache)
+            w.frozen = cache.get(w, traceUopsNeeded);
 
-            {
-                Core core(cfg, w);
-                core.run(out.warmup, maxCycles);
-                core.resetStats();
-                core.run(out.measure, maxCycles);
-                cell.stats = core.record();
-            }
-            w.frozen.reset();
-            if (remaining[job.wl].fetch_sub(1) == 1)
-                cache.drop(cell.workload);
-
-            const std::size_t finished = done.fetch_add(1) + 1;
-            if (options.progress) {
-                std::lock_guard<std::mutex> lock(progressMu);
-                options.progress(finished, jobs.size(), cell);
-            }
+        {
+            Core core(cfg, w);
+            core.run(out.warmup, maxCycles);
+            core.resetStats();
+            core.run(out.measure, maxCycles);
+            cell.stats = core.record();
         }
-    };
+        w.frozen.reset();
+        if (remaining[job.wl].fetch_sub(1) == 1)
+            cache.drop(cell.workload);
 
-    const std::size_t nthreads = std::min<std::size_t>(
-        options.jobs > 0 ? options.jobs : runnerThreads(), jobs.size());
-    if (nthreads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(nthreads);
-        for (std::size_t t = 0; t < nthreads; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
-    }
+        const std::size_t finished = done.fetch_add(1) + 1;
+        if (options.progress) {
+            std::lock_guard<std::mutex> lock(progressMu);
+            options.progress(finished, jobs.size(), cell);
+        }
+    });
     return out;
 }
 

@@ -52,6 +52,7 @@ struct PlanResult
     std::uint64_t warmup = 0;   //!< resolved µ-ops actually run
     std::uint64_t measure = 0;
     std::string filter;
+    SampleSpec sample;          //!< disabled for full (unsampled) runs
     std::vector<RunResult> cells;  //!< config-major over matched cells
 
     const RunResult *find(const std::string &config,
@@ -62,6 +63,21 @@ struct PlanResult
  *  determinism guarantees. */
 PlanResult runPlan(const ExperimentPlan &plan,
                    const SweepOptions &options = {});
+
+/** Fatal when two of @p plan's configs share a name (cells would be
+ *  indistinguishable in artifacts). Both the full-run and sampling
+ *  engines validate through this. */
+void validatePlanConfigs(const ExperimentPlan &plan);
+
+/**
+ * The engine's worker pool: run @p body(job_index) once for every
+ * index in [0, num_jobs), dispatched dynamically over
+ * min(jobs_option ? jobs_option : runnerThreads(), num_jobs) threads
+ * (inline when that is one). Bodies must write only to pre-assigned
+ * slots — the determinism contract both engines build on.
+ */
+void runOnWorkerPool(std::size_t num_jobs, int jobs_option,
+                     const std::function<void(std::size_t)> &body);
 
 /** Print the plan's paper-style tables from a sweep's results. Tables
  *  whose cells were filtered away are skipped with a note. */

@@ -2,17 +2,19 @@
  * @file
  * `eole` — the unified sweep driver.
  *
- *   eole list                         show every registered plan
+ *   eole list [--workloads]           show plans (or workloads)
  *   eole run <plan> [options]         execute a plan on a worker pool
  *   eole diff <a.json> <b.json>       compare two artifacts
  *
  * Each figure of the paper is a named plan (sim/plans.hh); `eole run`
  * subsumes the per-figure bench binaries, adding parallel execution
  * (--jobs), cell filtering (--filter), structured artifacts (--out /
- * --csv) and reproducible seeding (--seed). Artifacts are byte-stable:
- * the same plan at the same run lengths and seed produces the same
- * JSON regardless of --jobs, so `eole diff` against a prior artifact
- * is an exact regression check.
+ * --csv), reproducible seeding (--seed) and checkpointed statistical
+ * sampling (--sample N:W:D, sim/sample/). Artifacts are byte-stable:
+ * the same plan at the same run lengths, seed and sample spec produces
+ * the same JSON regardless of --jobs, so `eole diff` against a prior
+ * artifact is an exact regression check; `eole diff --ci` compares
+ * sampled artifacts by confidence-interval overlap instead.
  */
 
 #include <cstdio>
@@ -26,8 +28,11 @@
 #include "common/logging.hh"
 #include "sim/artifact.hh"
 #include "sim/experiment.hh"
+#include "sim/plan.hh"
 #include "sim/plans.hh"
+#include "sim/sample/sample.hh"
 #include "sim/sweep.hh"
+#include "workloads/workload.hh"
 
 using namespace eole;
 
@@ -40,8 +45,10 @@ usage(FILE *to, int exit_code)
         "eole — EOLE sweep driver\n"
         "\n"
         "usage:\n"
-        "  eole list\n"
-        "      List every registered experiment plan.\n"
+        "  eole list [--workloads]\n"
+        "      List every registered experiment plan, or with\n"
+        "      --workloads the registered workloads and their µ-op\n"
+        "      counts (counted up to the current run-length horizon).\n"
         "\n"
         "  eole run <plan> [options]\n"
         "      --jobs N      worker threads (default: EOLE_THREADS or\n"
@@ -53,13 +60,26 @@ usage(FILE *to, int exit_code)
         "      --warmup N    warmup µ-ops (default: EOLE_WARMUP or 1M)\n"
         "      --insts N     measured µ-ops (default: EOLE_INSTS or 5M)\n"
         "      --seed N      plan base seed (default 1)\n"
+        "      --sample N:W:D[:B]  checkpointed statistical sampling:\n"
+        "                    N intervals of W measured µ-ops, each\n"
+        "                    after D µ-ops of detailed warmup (D\n"
+        "                    defaults to W/2); functional warming\n"
+        "                    covers up to B µ-ops before each interval\n"
+        "                    (default 0 = the whole skipped prefix).\n"
+        "                    Cells report mean ipc + ipc_ci95.\n"
         "      --no-cache    disable the shared functional-trace cache\n"
         "      --no-tables   skip the paper-style tables\n"
         "      --quiet       no per-job progress on stderr\n"
         "\n"
         "  eole diff <a.json> <b.json> [--rel-tol X] [--abs-tol X]\n"
+        "            [--ci]\n"
         "      Compare two artifacts; exit 1 if they differ beyond\n"
-        "      tolerance (default: exact).\n");
+        "      tolerance (default: exact). --ci compares stats that\n"
+        "      carry *_ci95 companions by confidence-interval overlap\n"
+        "      and skips sample_* bookkeeping stats (for sampled\n"
+        "      artifacts; combine with --rel-tol for raw totals). A\n"
+        "      stat key present on only one side is always a\n"
+        "      difference.\n");
     return exit_code;
 }
 
@@ -89,8 +109,51 @@ parseU64(const std::string &s, const char *what)
 }
 
 int
-cmdList()
+cmdListWorkloads()
 {
+    // µ-op counts are only meaningful up to the horizon a run would
+    // consume; count up to warmup + measure + slack and report longer
+    // workloads as lower bounds. Step a VM and discard the µ-ops —
+    // counting needs O(1) memory, not a materialized trace.
+    const std::uint64_t horizon = warmupUops() + measureUops() + 1024;
+    std::printf("%-14s %5s %12s\n", "workload", "suite", "µ-ops");
+    for (const std::string &name : workloads::allNames()) {
+        const Workload w = workloads::build(name);
+        KernelVM vm(w.program, w.memBytes);
+        if (w.init)
+            w.init(vm);
+        TraceUop u;
+        while (vm.executedUops() < horizon && vm.step(u)) {
+        }
+        if (vm.halted()) {
+            std::printf("%-14s %5s %12llu\n", name.c_str(),
+                        w.isFp ? "FP" : "INT",
+                        (unsigned long long)vm.executedUops());
+        } else {
+            std::printf("%-14s %5s %11llu+\n", name.c_str(),
+                        w.isFp ? "FP" : "INT",
+                        (unsigned long long)vm.executedUops());
+        }
+    }
+    std::printf("\ncounts capped at the current run-length horizon "
+                "(%llu µ-ops = EOLE_WARMUP + EOLE_INSTS + slack); "
+                "\"+\" marks workloads still running at the cap\n",
+                (unsigned long long)horizon);
+    return 0;
+}
+
+int
+cmdList(int argc, char **argv)
+{
+    if (argc > 1 || (argc == 1 && std::strcmp(argv[0], "--workloads"))) {
+        // Name the first argument that is not the one accepted flag.
+        const char *bad =
+            std::strcmp(argv[0], "--workloads") ? argv[0] : argv[1];
+        std::fprintf(stderr, "eole: unknown option %s\n", bad);
+        return usage(stderr, 2);
+    }
+    if (argc == 1)
+        return cmdListWorkloads();
     std::printf("%-16s %5s  %s\n", "plan", "cells", "description");
     for (const std::string &name : plans::allNames()) {
         const ExperimentPlan p = plans::get(name);
@@ -118,6 +181,7 @@ cmdRun(int argc, char **argv)
 
     ExperimentPlan plan = plans::get(plan_name);
     SweepOptions opt;
+    SampleSpec sample;
     std::string out_path, csv_path, value;
     bool tables = true, quiet = false;
     for (int i = 1; i < argc; ++i) {
@@ -135,6 +199,8 @@ cmdRun(int argc, char **argv)
             opt.measure = parseU64(value, "--insts");
         } else if (takeValue(argc, argv, i, "--seed", value)) {
             plan.seed = parseU64(value, "--seed");
+        } else if (takeValue(argc, argv, i, "--sample", value)) {
+            sample = parseSampleSpec(value);
         } else if (std::strcmp(argv[i], "--no-cache") == 0) {
             opt.useTraceCache = false;
         } else if (std::strcmp(argv[i], "--no-tables") == 0) {
@@ -147,6 +213,29 @@ cmdRun(int argc, char **argv)
         }
     }
 
+    // A filter that matches nothing is an operator mistake (typo'd
+    // config or workload); fail loudly with the valid names.
+    if (!opt.filter.empty()) {
+        bool any = false;
+        for (const SimConfig &c : plan.configs) {
+            for (const std::string &w : plan.workloads)
+                any = any || cellMatches(opt.filter, c.name, w);
+        }
+        if (!any) {
+            std::fprintf(stderr,
+                         "eole: --filter \"%s\" matches no cell of plan "
+                         "%s\n  valid configs:",
+                         opt.filter.c_str(), plan_name.c_str());
+            for (const SimConfig &c : plan.configs)
+                std::fprintf(stderr, " %s", c.name.c_str());
+            std::fprintf(stderr, "\n  valid workloads:");
+            for (const std::string &w : plan.workloads)
+                std::fprintf(stderr, " %s", w.c_str());
+            std::fprintf(stderr, "\n");
+            return 2;
+        }
+    }
+
     if (!quiet) {
         opt.progress = [](std::size_t done, std::size_t total,
                           const RunResult &cell) {
@@ -154,16 +243,25 @@ cmdRun(int argc, char **argv)
                          total, cell.config.c_str(),
                          cell.workload.c_str(), cell.ipc());
         };
-        std::fprintf(stderr, "eole run %s: %zu cells, %d jobs\n",
-                     plan_name.c_str(), plan.gridSize(),
-                     opt.jobs > 0 ? opt.jobs : runnerThreads());
+        if (sample.enabled()) {
+            std::fprintf(stderr,
+                         "eole run %s: %zu cells x %llu intervals "
+                         "(sample %s), %d jobs\n",
+                         plan_name.c_str(), plan.gridSize(),
+                         (unsigned long long)sample.intervals,
+                         sampleSpecString(sample).c_str(),
+                         opt.jobs > 0 ? opt.jobs : runnerThreads());
+        } else {
+            std::fprintf(stderr, "eole run %s: %zu cells, %d jobs\n",
+                         plan_name.c_str(), plan.gridSize(),
+                         opt.jobs > 0 ? opt.jobs : runnerThreads());
+        }
     }
 
-    const PlanResult result = runPlan(plan, opt);
+    const PlanResult result = sample.enabled()
+        ? runSampledPlan(plan, sample, opt)
+        : runPlan(plan, opt);
 
-    if (result.cells.empty())
-        std::fprintf(stderr, "eole: no cells matched --filter \"%s\"\n",
-                     opt.filter.c_str());
     if (tables)
         printPlanTables(plan, result);
 
@@ -196,6 +294,8 @@ cmdDiff(int argc, char **argv)
             opt.relTol = std::strtod(value.c_str(), nullptr);
         } else if (takeValue(argc, argv, i, "--abs-tol", value)) {
             opt.absTol = std::strtod(value.c_str(), nullptr);
+        } else if (std::strcmp(argv[i], "--ci") == 0) {
+            opt.ciOverlap = true;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "eole: unknown option %s\n", argv[i]);
             return usage(stderr, 2);
@@ -228,7 +328,7 @@ main(int argc, char **argv)
         return usage(stderr, 2);
     const std::string cmd = argv[1];
     if (cmd == "list")
-        return cmdList();
+        return cmdList(argc - 2, argv + 2);
     if (cmd == "run")
         return cmdRun(argc - 2, argv + 2);
     if (cmd == "diff")

@@ -70,4 +70,15 @@ HybridVtage2DStride::squash(Addr pc, const VpLookup &lookup)
     sp->squash(pc, *lookup.sub[1]);
 }
 
+void
+HybridVtage2DStride::warmUpdate(const TraceUop &uop)
+{
+    if (!uop.vpPredictable())
+        return;
+    const VpLookup vtl = vt->predict(uop.pc);
+    const VpLookup spl = sp->predict(uop.pc);
+    vt->commit(uop.pc, uop.result, vtl);
+    sp->commit(uop.pc, uop.result, spl);
+}
+
 } // namespace eole

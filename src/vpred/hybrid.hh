@@ -35,6 +35,12 @@ class HybridVtage2DStride : public ValuePredictor
     void squash(Addr pc, const VpLookup &lookup) override;
     const char *name() const override { return "VTAGE-2DStride"; }
 
+    /** Functional-warming fast path: both components predict and
+     *  train directly, skipping the pipeline path's per-lookup
+     *  sub-record heap allocations (the arbitration chooser is
+     *  stateless, so component state evolves identically). */
+    void warmUpdate(const TraceUop &uop) override;
+
     Vtage &vtage() { return *vt; }
     StridePredictor &stride() { return *sp; }
 

@@ -26,6 +26,8 @@
 
 #include "common/types.hh"
 #include "bpred/history.hh"
+#include "isa/trace.hh"
+#include "isa/warmable.hh"
 
 namespace eole {
 
@@ -65,7 +67,7 @@ enum class VpKind
 const char *vpKindName(VpKind kind);
 
 /** Abstract value predictor. */
-class ValuePredictor
+class ValuePredictor : public WarmableComponent
 {
   public:
     virtual ~ValuePredictor() = default;
@@ -95,6 +97,23 @@ class ValuePredictor
     {
         (void)pc;
         (void)lookup;
+    }
+
+    /**
+     * Functional warming (isa/warmable.hh): run the predict -> commit
+     * lifecycle back-to-back for every predictable µ-op, mirroring the
+     * fetch-stage eligibility rules (writes to the int zero register
+     * are architecturally dropped and not predicted). Confidence and
+     * tables evolve as in a detailed run of the same stream with one
+     * in-flight instance per static µ-op (see DESIGN.md §8).
+     */
+    void
+    warmUpdate(const TraceUop &uop) override
+    {
+        if (!uop.vpPredictable())
+            return;
+        const VpLookup lookup = predict(uop.pc);
+        commit(uop.pc, uop.result, lookup);
     }
 
     virtual const char *name() const = 0;

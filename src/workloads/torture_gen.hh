@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Seeded random-but-always-terminating program generator, shared by
+ * the differential torture harness (tests/test_torture.cc) and the
+ * checkpoint round-trip suite (tests/test_sample.cc).
+ *
+ * Programs mix ALU/memory/FP work, data-dependent forward branches,
+ * calls/returns and indirect jumps inside a bounded counted outer
+ * loop, so every generated program halts. All memory accesses stay
+ * inside tortureMemBytes by construction (masked bases, bounded
+ * offsets).
+ */
+
+#ifndef EOLE_WORKLOADS_TORTURE_GEN_HH
+#define EOLE_WORKLOADS_TORTURE_GEN_HH
+
+#include <cstdint>
+
+#include "isa/static_inst.hh"
+
+namespace eole {
+namespace workloads {
+
+/** VM data-memory size every generated program assumes. */
+constexpr std::size_t tortureMemBytes = 8192;
+
+/**
+ * Generate a random terminating program.
+ *
+ * Register conventions: r1..r15 data, r16..r18 masked address
+ * scratch, r27 jump-target scratch, r28 outer-loop counter, r31 link.
+ * All memory addresses are masked into [0, 4095] with offsets
+ * <= 4088, so every architectural access stays inside
+ * tortureMemBytes. Every intra-loop branch is forward; the only back
+ * edge is the counted outer loop, so the program always halts.
+ */
+Program generateTortureProgram(std::uint64_t seed);
+
+} // namespace workloads
+} // namespace eole
+
+#endif // EOLE_WORKLOADS_TORTURE_GEN_HH

@@ -37,12 +37,24 @@ struct Workload
      *  two backings are bit-identical. */
     std::shared_ptr<const FrozenTrace> frozen;
 
+    /** Optional resume point inside `frozen` (isa/checkpoint.hh): the
+     *  run starts at the checkpoint's µ-op with its architectural
+     *  register state. Requires `frozen`; used by the sampling
+     *  subsystem (sim/sample/) to start measurement intervals
+     *  mid-workload. */
+    std::shared_ptr<const Checkpoint> start;
+
     /** Construct a fresh trace source for one simulation run. */
     TraceSource
     makeTrace() const
     {
-        if (frozen)
-            return TraceSource(frozen);
+        if (frozen) {
+            return start ? TraceSource(frozen, *start)
+                         : TraceSource(frozen);
+        }
+        panic_if(start != nullptr,
+                 "workload %s: a checkpointed start requires a frozen "
+                 "trace", name.c_str());
         return TraceSource(program, memBytes, init);
     }
 

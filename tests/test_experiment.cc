@@ -228,6 +228,69 @@ TEST(Sweep, ProgressReportsEveryJob)
     EXPECT_EQ(last_total, 4u);
 }
 
+TEST(TraceCacheT, ByteBudgetEnforcedUnderPressure)
+{
+    // PR 2 added the per-trace byte budget; pin its enforcement. A
+    // request whose recording cannot fit must be declined (the caller
+    // falls back to live-VM execution), while requests within budget
+    // still cache.
+    setenv("EOLE_TRACE_CACHE_MB", "1", 1);  // 1 MB budget
+    TraceCache cache;
+    const Workload w = workloads::build("164.gzip");
+
+    const std::uint64_t fits = (512 * 1024) / sizeof(TraceUop);
+    const std::uint64_t toobig = (2 * 1024 * 1024) / sizeof(TraceUop);
+    EXPECT_EQ(cache.get(w, toobig), nullptr);
+    const auto small = cache.get(w, fits);
+    ASSERT_NE(small, nullptr);
+    EXPECT_LE(small->bytes(), TraceCache::byteBudget());
+
+    // The sweep engine under the same pressure: every job falls back
+    // to the live VM, and the artifact bytes must not move (the cache
+    // is a pure accelerator even when it declines).
+    const ExperimentPlan plan = tinyPlan();
+    const std::string pressured =
+        jsonArtifactString(runPlan(plan, SweepOptions{}));
+    unsetenv("EOLE_TRACE_CACHE_MB");
+    const std::string cached =
+        jsonArtifactString(runPlan(plan, SweepOptions{}));
+    EXPECT_EQ(pressured, cached);
+}
+
+TEST(TraceCacheT, RefcountedEvictionOrder)
+{
+    // drop() is refcounted eviction: the map entry clears immediately,
+    // but holders keep the recording alive until their job finishes —
+    // and a later get() re-records instead of resurrecting the
+    // dropped stream.
+    TraceCache cache;
+    const Workload w = workloads::build("164.gzip");
+
+    const auto held = cache.get(w, 4000);
+    ASSERT_NE(held, nullptr);
+    const FrozenTrace *held_raw = held.get();
+    EXPECT_EQ(cache.get(w, 4000).get(), held_raw);  // shared, not re-made
+
+    cache.drop(w.name);
+    // The held reference survives eviction (jobs in flight).
+    EXPECT_GE(held->uops.size(), 4000u);
+    // A new request is a fresh recording, not the dropped pointer.
+    const auto fresh = cache.get(w, 4000);
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_NE(fresh.get(), held_raw);
+    // Both recordings replay the same functional stream.
+    ASSERT_GE(fresh->uops.size(), 4000u);
+    for (std::size_t i = 0; i < 4000; ++i) {
+        ASSERT_EQ(fresh->uops[i].pc, held->uops[i].pc);
+        ASSERT_EQ(fresh->uops[i].result, held->uops[i].result);
+    }
+
+    // Dropping with no trace present is a no-op, as is dropping twice.
+    cache.drop(w.name);
+    cache.drop("never-cached");
+    EXPECT_NE(cache.get(w, 4000), nullptr);
+}
+
 TEST(TraceCacheT, SharesAndDropsTraces)
 {
     TraceCache cache;
@@ -305,6 +368,81 @@ TEST(Artifact, DiffDetectsDivergence)
     // A missing cell is a difference in both directions.
     b.cells.pop_back();
     EXPECT_GE(diffArtifacts(a, b, loose, sink), 1u);
+}
+
+TEST(Artifact, MissingStatKeysAreAlwaysADifference)
+{
+    // Regression: a stat key present on only one side used to slip
+    // through unreported when it was only b that had it, so a loose
+    // tolerance could pass artifacts with drifted schemas. Missing
+    // keys must be reported in both directions, under any tolerance
+    // and in CI-overlap mode.
+    const ExperimentPlan plan = tinyPlan();
+    const PlanResult a = runPlan(plan);
+    PlanResult b = a;
+
+    ASSERT_FALSE(b.cells.empty());
+    ASSERT_FALSE(b.cells[0].stats.all().empty());
+    // Drop one stat from b and add a novel one only b has.
+    const std::string dropped = b.cells[0].stats.all().front().first;
+    StatRecord tweaked;
+    for (const auto &[name, value] : b.cells[0].stats.all()) {
+        if (name != dropped)
+            tweaked.add(name, value);
+    }
+    tweaked.add("novel_stat_only_in_b", 1.0);
+    b.cells[0].stats = tweaked;
+
+    DiffOptions loose;
+    loose.relTol = 1e9;  // forgives any numeric divergence
+    loose.absTol = 1e9;
+    std::ostringstream out;
+    EXPECT_EQ(diffArtifacts(a, b, loose, out), 2u);
+    EXPECT_NE(out.str().find(dropped + " missing from b"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("novel_stat_only_in_b missing from a"),
+              std::string::npos);
+
+    DiffOptions ci = loose;
+    ci.ciOverlap = true;
+    std::ostringstream out2;
+    EXPECT_EQ(diffArtifacts(a, b, ci, out2), 2u);
+}
+
+TEST(Artifact, CiOverlapComparesSampledStats)
+{
+    // Two sampled artifacts whose mean IPCs differ but whose CIs
+    // overlap must agree under --ci and disagree without it.
+    PlanResult a;
+    a.plan = "ci";
+    RunResult cell;
+    cell.config = "C";
+    cell.workload = "W";
+    cell.stats.add("ipc", 1.00);
+    cell.stats.add("ipc_ci95", 0.05);
+    cell.stats.add("ipc_stddev", 0.04);
+    a.cells.push_back(cell);
+
+    PlanResult b = a;
+    StatRecord other;
+    other.add("ipc", 1.07);       // |Δ| = 0.07 <= 0.05 + 0.05
+    other.add("ipc_ci95", 0.05);
+    other.add("ipc_stddev", 0.09);  // metadata: skipped under --ci
+    b.cells[0].stats = other;
+
+    std::ostringstream sink;
+    EXPECT_GE(diffArtifacts(a, b, DiffOptions{}, sink), 1u);
+    DiffOptions ci;
+    ci.ciOverlap = true;
+    EXPECT_EQ(diffArtifacts(a, b, ci, sink), 0u);
+
+    // Beyond the overlap it is a difference again.
+    StatRecord far;
+    far.add("ipc", 1.20);
+    far.add("ipc_ci95", 0.05);
+    far.add("ipc_stddev", 0.04);
+    b.cells[0].stats = far;
+    EXPECT_EQ(diffArtifacts(a, b, ci, sink), 1u);
 }
 
 TEST(Experiment, DeterministicAcrossRuns)

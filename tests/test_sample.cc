@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Tests for the checkpointed statistical-sampling subsystem
+ * (isa/checkpoint.hh, isa/warmable.hh, sim/sample/).
+ *
+ * The correctness anchor is exactness of the checkpoint round trip:
+ * serialize -> restore -> run must commit exactly the same µ-op
+ * stream as a straight-through run, pinned here with the torture-test
+ * program generator across random programs and split points. On top
+ * of that, the statistical layer is held to the engine's determinism
+ * contract (byte-identical artifacts across --jobs and cache
+ * settings) and to a validation suite: sampled mean IPC must fall
+ * within its own reported 95% confidence interval of the full-run
+ * IPC for every (workload x config) cell it runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "isa/checkpoint.hh"
+#include "isa/kernel_vm.hh"
+#include "pipeline/core.hh"
+#include "sim/artifact.hh"
+#include "sim/configs.hh"
+#include "sim/plans.hh"
+#include "sim/sample/sample.hh"
+#include "workloads/torture_gen.hh"
+#include "workloads/workload.hh"
+
+using namespace eole;
+using workloads::generateTortureProgram;
+using workloads::tortureMemBytes;
+
+namespace {
+
+/** The commit-stream fields we hold a restored run to. */
+struct CommitRecord
+{
+    SeqNum seq;
+    Addr pc;
+    Opcode opc;
+    RegVal result;
+    Addr effAddr;
+    bool taken;
+
+    bool
+    operator==(const CommitRecord &o) const
+    {
+        return seq == o.seq && pc == o.pc && opc == o.opc
+            && result == o.result && effAddr == o.effAddr
+            && taken == o.taken;
+    }
+};
+
+CommitRecord
+recordOf(const DynInst &di)
+{
+    CommitRecord r{};
+    r.seq = di.seq;
+    r.pc = di.uop.pc;
+    r.opc = di.uop.opc;
+    r.result = di.uop.hasDst() ? di.computedValue
+                               : (di.uop.isStore() ? di.uop.result : 0);
+    r.effAddr =
+        (di.uop.isLoad() || di.uop.isStore()) ? di.uop.effAddr : 0;
+    r.taken = di.uop.isBranch() ? di.uop.taken : false;
+    return r;
+}
+
+/** Run @p w under @p cfg to completion, capturing the commit stream. */
+std::vector<CommitRecord>
+commitStream(const SimConfig &cfg, const Workload &w, std::size_t cap)
+{
+    std::vector<CommitRecord> got;
+    Core core(cfg, w);
+    core.setCommitHook(
+        [&](const DynInst &di) { got.push_back(recordOf(di)); });
+    core.run(cap + 64, cap * 300 + 200000);
+    return got;
+}
+
+std::string
+reproLine(std::uint64_t seed)
+{
+    return "repro: EOLE_SAMPLE_SEED=" + std::to_string(seed)
+        + " ./build/test_sample";
+}
+
+/** The 2x2 smoke plan at explicit run lengths (env-independent). */
+ExperimentPlan
+sampledTinyPlan()
+{
+    ExperimentPlan p = plans::get("smoke");
+    p.warmup = 4000;
+    p.measure = 30000;
+    return p;
+}
+
+} // namespace
+
+// ============================ Checkpoints ================================
+
+TEST(Checkpoint, CaptureAtMatchesLiveVM)
+{
+    const std::uint64_t base = envU64("EOLE_SAMPLE_SEED", 0x5A3);
+    for (std::uint64_t r = 0; r < 8; ++r) {
+        const std::uint64_t seed = base + r;
+        Workload w;
+        w.name = "torture-" + std::to_string(seed);
+        w.memBytes = tortureMemBytes;
+        w.program = generateTortureProgram(seed);
+
+        const auto trace = w.freeze(1u << 21);
+        ASSERT_TRUE(trace->complete) << reproLine(seed);
+        const std::uint64_t len = trace->uops.size();
+
+        KernelVM vm(w.program, w.memBytes);
+        TraceUop u;
+        for (const std::uint64_t split :
+             {std::uint64_t(0), len / 3, len / 2, len}) {
+            while (vm.executedUops() < split)
+                ASSERT_TRUE(vm.step(u)) << reproLine(seed);
+            const Checkpoint fromVm = captureFromVM(vm, w.name);
+            const Checkpoint fromTrace = captureAt(*trace, w.name, split);
+            EXPECT_TRUE(fromVm == fromTrace)
+                << "split " << split << "; " << reproLine(seed);
+        }
+    }
+}
+
+TEST(Checkpoint, SerializationRoundTripsByteStable)
+{
+    Workload w;
+    w.name = "torture with spaces";  // exercise the length prefix
+    w.memBytes = tortureMemBytes;
+    w.program = generateTortureProgram(0xC0FFEE);
+    const auto trace = w.freeze(1u << 21);
+    ASSERT_TRUE(trace->complete);
+
+    const Checkpoint ckpt =
+        captureAt(*trace, w.name, trace->uops.size() / 2);
+    const std::string bytes = checkpointString(ckpt);
+    const Checkpoint back = checkpointFromString(bytes);
+    EXPECT_TRUE(back == ckpt);
+    // Canonical: re-serializing produces identical bytes.
+    EXPECT_EQ(checkpointString(back), bytes);
+    EXPECT_NE(bytes.find("eole-ckpt-v1"), std::string::npos);
+}
+
+TEST(Checkpoint, RejectsMalformedDocuments)
+{
+    EXPECT_DEATH((void)checkpointFromString("bogus"), "schema");
+    EXPECT_DEATH((void)checkpointFromString("eole-ckpt-v1\nworkload"),
+                 "");
+    // A corrupt length must be a diagnostic, not a bad_alloc.
+    EXPECT_DEATH((void)checkpointFromString(
+                     "eole-ckpt-v1\nworkload 18446744073709551615 x"),
+                 "implausible");
+    EXPECT_DEATH((void)checkpointFromString(
+                     "eole-ckpt-v1\nworkload 9 abc"),
+                 "truncated");
+}
+
+TEST(Checkpoint, RoundTripIsExactCommitForCommit)
+{
+    // The acceptance anchor: serialize -> restore -> run equals the
+    // straight-through run commit-for-commit, across random torture
+    // programs, split points and configurations (including EOLE with
+    // value prediction, whose squash machinery must cope with a
+    // mid-stream start).
+    const std::uint64_t base = envU64("EOLE_SAMPLE_SEED", 0x5A3);
+    const SimConfig cfgs[] = {
+        configs::baseline(6, 64),
+        configs::eole(4, 64),
+    };
+
+    for (std::uint64_t r = 0; r < 6; ++r) {
+        const std::uint64_t seed = base + 100 + r;
+        Workload w;
+        w.name = "torture-" + std::to_string(seed);
+        w.memBytes = tortureMemBytes;
+        w.program = generateTortureProgram(seed);
+        w.frozen = w.freeze(1u << 21);
+        ASSERT_TRUE(w.frozen->complete) << reproLine(seed);
+        const std::uint64_t len = w.frozen->uops.size();
+
+        for (const SimConfig &cfg : cfgs) {
+            const auto ref = commitStream(cfg, w, len);
+            ASSERT_EQ(ref.size(), len) << cfg.name << "; "
+                                       << reproLine(seed);
+
+            for (const std::uint64_t split :
+                 {len / 4, len / 2, (3 * len) / 4}) {
+                // Serialize and restore through the canonical text
+                // form — the restored object, not the original, seeds
+                // the run.
+                const Checkpoint ckpt =
+                    captureAt(*w.frozen, w.name, split);
+                const Checkpoint restored =
+                    checkpointFromString(checkpointString(ckpt));
+
+                Workload resumed = w;
+                resumed.start = std::make_shared<Checkpoint>(restored);
+                const auto got =
+                    commitStream(cfg, resumed, len - split);
+                ASSERT_EQ(got.size(), len - split)
+                    << cfg.name << " split " << split << "; "
+                    << reproLine(seed);
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    ASSERT_TRUE(got[i] == ref[split + i])
+                        << cfg.name << " split " << split
+                        << ": commit #" << i << " diverges; "
+                        << reproLine(seed);
+                }
+            }
+        }
+    }
+}
+
+TEST(Checkpoint, FunctionalWarmDoesNotPerturbArchitecture)
+{
+    // Warming the predictors/caches before a checkpointed run must not
+    // change a single committed value — it only moves timing.
+    const std::uint64_t seed = envU64("EOLE_SAMPLE_SEED", 0x5A3) + 500;
+    Workload w;
+    w.name = "torture-" + std::to_string(seed);
+    w.memBytes = tortureMemBytes;
+    w.program = generateTortureProgram(seed);
+    w.frozen = w.freeze(1u << 21);
+    ASSERT_TRUE(w.frozen->complete);
+    const std::uint64_t len = w.frozen->uops.size();
+    const std::uint64_t split = len / 2;
+
+    const SimConfig cfg = configs::eole(4, 64);
+    const auto ref = commitStream(cfg, w, len);
+    ASSERT_EQ(ref.size(), len);
+
+    Workload resumed = w;
+    resumed.start = std::make_shared<Checkpoint>(
+        captureAt(*w.frozen, w.name, split));
+
+    std::vector<CommitRecord> got;
+    Core core(cfg, resumed);
+    core.functionalWarm(*w.frozen, 0, split);
+    core.setCommitHook(
+        [&](const DynInst &di) { got.push_back(recordOf(di)); });
+    core.run(len - split + 64, len * 300 + 200000);
+    ASSERT_EQ(got.size(), len - split) << reproLine(seed);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_TRUE(got[i] == ref[split + i])
+            << "commit #" << i << " diverges after warming; "
+            << reproLine(seed);
+    }
+}
+
+TEST(Warming, ResetTimingOpensACleanMeasurementWindow)
+{
+    // resetTiming must zero the memory-hierarchy counters (so a
+    // sampled interval's record() covers only the measured window),
+    // while plain resetStats leaves them accumulating — the full-run
+    // golden records pin that accumulation.
+    const Workload w = workloads::build("164.gzip");
+    const SimConfig cfg = configs::eole(6, 64);
+
+    Core a(cfg, w);
+    a.run(5000, 2000000);
+    a.resetStats();
+    const double accumulating = a.record().get("mem.l1d.hits");
+    EXPECT_GT(accumulating, 0.0);  // warmup traffic still visible
+
+    Core b(cfg, w);
+    b.run(5000, 2000000);
+    b.resetTiming();
+    EXPECT_EQ(b.record().get("mem.l1d.hits"), 0.0);
+    EXPECT_EQ(b.record().get("mem.dram.reads"), 0.0);
+    EXPECT_EQ(b.record().get("cycles"), 0.0);
+    // The window then accumulates only its own traffic.
+    b.run(5000, 2000000);
+    EXPECT_GT(b.record().get("mem.l1d.hits"), 0.0);
+    EXPECT_LT(b.record().get("mem.l1d.hits"), accumulating);
+}
+
+TEST(Warming, BranchWarmUpdateMatchesPredictRepairCommit)
+{
+    // BranchUnit::warmUpdate is a snapshot-free fast path; pin its
+    // state-equivalence to the literal predict -> repair-on-mispredict
+    // -> commit sequence by warming two identically-seeded units over
+    // the same stream and requiring identical predictions afterwards.
+    const std::uint64_t base = envU64("EOLE_SAMPLE_SEED", 0x5A3) + 900;
+    std::size_t branches = 0;
+    for (std::uint64_t r = 0; r < 12; ++r) {
+        Workload w;
+        w.memBytes = tortureMemBytes;
+        w.program = generateTortureProgram(base + r);
+        const auto trace = w.freeze(1u << 21);
+        ASSERT_TRUE(trace->complete);
+
+        const BpConfig bp;
+        BranchUnit fast(bp, {}, 0x1234);
+        BranchUnit ref(bp, {}, 0x1234);
+
+        const std::size_t warm_len = trace->uops.size() / 2;
+        for (std::size_t i = 0; i < warm_len; ++i) {
+            const TraceUop &u = trace->uops[i];
+            fast.warmUpdate(u);
+            if (!u.isBranch())
+                continue;
+            BranchUnit::SnapshotPtr pre;
+            const BranchPrediction p = ref.predictBranch(u, pre);
+            if (p.mispredict)
+                ref.repairAfterBranch(u, pre);
+            ref.commitBranch(u, p);
+        }
+
+        // Both units must now predict the tail identically.
+        for (std::size_t i = warm_len; i < trace->uops.size(); ++i) {
+            const TraceUop &u = trace->uops[i];
+            if (!u.isBranch())
+                continue;
+            ++branches;
+            BranchUnit::SnapshotPtr pf, pr;
+            const BranchPrediction a = fast.predictBranch(u, pf);
+            const BranchPrediction b = ref.predictBranch(u, pr);
+            ASSERT_EQ(a.predTaken, b.predTaken) << "µ-op " << i;
+            ASSERT_EQ(a.predTarget, b.predTarget) << "µ-op " << i;
+            ASSERT_EQ(a.highConf, b.highConf) << "µ-op " << i;
+            ASSERT_EQ(a.mispredict, b.mispredict) << "µ-op " << i;
+            if (a.mispredict) {
+                fast.repairAfterBranch(u, pf);
+                ref.repairAfterBranch(u, pr);
+            }
+            fast.commitBranch(u, a);
+            ref.commitBranch(u, b);
+        }
+    }
+    EXPECT_GT(branches, 200u);
+}
+
+// ======================= Interval placement ==============================
+
+TEST(Sampling, PlacementIsSystematicDeterministicAndBounded)
+{
+    SampleSpec spec;
+    spec.intervals = 10;
+    spec.intervalUops = 1000;
+    spec.detailUops = 500;
+
+    const std::uint64_t warmup = 50000, measure = 200000;
+    const auto a = placeIntervals(warmup, measure, spec, 42);
+    const auto b = placeIntervals(warmup, measure, spec, 42);
+    EXPECT_EQ(a, b);  // deterministic
+    ASSERT_EQ(a.size(), 10u);
+
+    const std::uint64_t period = measure / spec.intervals;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_GE(a[i], warmup);
+        EXPECT_GE(a[i], spec.detailUops);
+        EXPECT_LE(a[i] + spec.intervalUops, warmup + measure);
+        if (i > 0)
+            EXPECT_EQ(a[i] - a[i - 1], period);  // systematic spacing
+    }
+
+    // The phase depends on the cell seed.
+    const auto c = placeIntervals(warmup, measure, spec, 43);
+    EXPECT_NE(a, c);
+
+    // Region too small for N intervals: clamped, never overlapping the
+    // region end.
+    const auto d = placeIntervals(1000, 2500, spec, 7);
+    ASSERT_EQ(d.size(), 2u);
+    for (const std::uint64_t s : d)
+        EXPECT_LE(s + spec.intervalUops, 3500u);
+}
+
+TEST(Sampling, PlacementStaysDisjointWhenDetailClampBites)
+{
+    // Regression: a D larger than the early systematic positions used
+    // to clamp several intervals onto the same start, double-counting
+    // one measurement and biasing the CI narrow. Clamped placements
+    // must stay pairwise disjoint (and may shrink below N instead).
+    SampleSpec spec;
+    spec.intervals = 4;
+    spec.intervalUops = 2000;
+    spec.detailUops = 10000;  // > warmup + early periods
+
+    for (std::uint64_t seed : {1ULL, 42ULL, 0xE01EULL}) {
+        const auto s = placeIntervals(2000, 20000, spec, seed);
+        ASSERT_GE(s.size(), 1u);
+        for (std::size_t i = 1; i < s.size(); ++i)
+            EXPECT_GE(s[i], s[i - 1] + spec.intervalUops)
+                << "seed " << seed << " interval " << i;
+        // All but the guaranteed first interval stay inside the region.
+        for (std::size_t i = 1; i < s.size(); ++i)
+            EXPECT_LE(s[i] + spec.intervalUops, 22000u);
+        for (const std::uint64_t start : s)
+            EXPECT_GE(start, spec.detailUops);
+    }
+}
+
+TEST(Sampling, MeanCi95MatchesHandComputation)
+{
+    const MeanCi ci = meanCi95({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+    EXPECT_DOUBLE_EQ(ci.stddev, 1.0);
+    // t(df=2, 97.5%) = 4.303; half-width = 4.303 / sqrt(3).
+    EXPECT_NEAR(ci.ci95, 4.303 / std::sqrt(3.0), 1e-9);
+
+    EXPECT_DOUBLE_EQ(meanCi95({}).mean, 0.0);
+    const MeanCi one = meanCi95({1.5});
+    EXPECT_DOUBLE_EQ(one.mean, 1.5);
+    EXPECT_DOUBLE_EQ(one.ci95, 0.0);
+}
+
+// ========================= Sampled sweeps ================================
+
+TEST(Sampling, JobCountAndCacheDoNotChangeTheArtifactBytes)
+{
+    const ExperimentPlan plan = sampledTinyPlan();
+    SampleSpec spec;
+    spec.intervals = 5;
+    spec.intervalUops = 2000;
+    spec.detailUops = 1000;
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    SweepOptions wide;
+    wide.jobs = 8;
+    SweepOptions live;
+    live.useTraceCache = false;
+
+    const std::string a =
+        jsonArtifactString(runSampledPlan(plan, spec, serial));
+    const std::string b =
+        jsonArtifactString(runSampledPlan(plan, spec, wide));
+    const std::string c =
+        jsonArtifactString(runSampledPlan(plan, spec, live));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    EXPECT_NE(a.find("\"sample\": {\"intervals\": 5"), std::string::npos);
+}
+
+TEST(Sampling, ArtifactRoundTripsSampleFields)
+{
+    const ExperimentPlan plan = sampledTinyPlan();
+    SampleSpec spec;
+    spec.intervals = 3;
+    spec.intervalUops = 1500;
+    spec.detailUops = 700;
+    const PlanResult res = runSampledPlan(plan, spec);
+
+    std::stringstream json;
+    writeJsonArtifact(json, res);
+    const PlanResult back = readJsonArtifact(json);
+    EXPECT_EQ(back.sample.intervals, spec.intervals);
+    EXPECT_EQ(back.sample.intervalUops, spec.intervalUops);
+    EXPECT_EQ(back.sample.detailUops, spec.detailUops);
+    EXPECT_EQ(jsonArtifactString(back), jsonArtifactString(res));
+
+    ASSERT_FALSE(res.cells.empty());
+    for (const RunResult &cell : res.cells) {
+        EXPECT_GT(cell.stats.get("ipc"), 0.0);
+        EXPECT_TRUE(cell.stats.has("ipc_ci95"));
+        EXPECT_EQ(cell.stats.get("sample_interval_uops"),
+                  double(spec.intervalUops));
+        EXPECT_EQ(cell.stats.get("sample_detail_uops"),
+                  double(spec.detailUops));
+        EXPECT_GT(cell.stats.get("sample_intervals"), 0.0);
+    }
+}
+
+TEST(Sampling, SampleSpecParsesAndRejects)
+{
+    const SampleSpec s = parseSampleSpec("20:10000:5000");
+    EXPECT_EQ(s.intervals, 20u);
+    EXPECT_EQ(s.intervalUops, 10000u);
+    EXPECT_EQ(s.detailUops, 5000u);
+    EXPECT_EQ(s.warmBound, 0u);  // default: full-prefix warming
+    EXPECT_EQ(sampleSpecString(s), "20:10000:5000:0");
+
+    const SampleSpec d = parseSampleSpec("8:6000");
+    EXPECT_EQ(d.detailUops, 3000u);  // D defaults to W/2
+
+    const SampleSpec b = parseSampleSpec("8:6000:3000:0");
+    EXPECT_EQ(b.warmBound, 0u);  // explicit 0 = unbounded warming
+    const SampleSpec b2 = parseSampleSpec("8:6000:3000:75000");
+    EXPECT_EQ(b2.warmBound, 75000u);
+
+    EXPECT_DEATH((void)parseSampleSpec("oops"), "sample spec");
+    EXPECT_DEATH((void)parseSampleSpec("8"), "sample spec");
+    EXPECT_DEATH((void)parseSampleSpec("0:100:10"), "positive");
+    EXPECT_DEATH((void)parseSampleSpec("8:100:10:9:4"), "sample spec");
+    // strtoull would wrap negatives to ~2^64; they must be rejected.
+    EXPECT_DEATH((void)parseSampleSpec("4:-100:50"), "sample spec");
+    EXPECT_DEATH((void)parseSampleSpec("-4:100"), "sample spec");
+    EXPECT_DEATH((void)parseSampleSpec("4:100:+10"), "sample spec");
+}
+
+TEST(Sampling, SampledIpcFallsWithinItsCiOfTheFullRun)
+{
+    // The validation suite of the acceptance criteria: for 4 workloads
+    // x 2 configurations (VP baseline and EOLE), the sampled mean IPC
+    // must land within its own reported 95% CI of the full-run IPC.
+    // Deterministic: fixed seeds, fixed lengths — once green, always
+    // green.
+    ExperimentPlan plan;
+    plan.name = "sample_validation";
+    plan.configs = {configs::baselineVp(6, 64), configs::eole(6, 64)};
+    plan.workloads = {"164.gzip", "186.crafty", "458.sjeng",
+                      "444.namd"};
+    plan.warmup = 10000;
+    plan.measure = 120000;
+
+    SampleSpec spec;
+    spec.intervals = 12;
+    spec.intervalUops = 3000;
+    spec.detailUops = 2000;
+
+    const PlanResult full = runPlan(plan);
+    const PlanResult sampled = runSampledPlan(plan, spec);
+
+    for (const RunResult &cell : sampled.cells) {
+        const RunResult *ref = full.find(cell.config, cell.workload);
+        ASSERT_NE(ref, nullptr);
+        const double full_ipc = ref->ipc();
+        const double mean = cell.stats.get("ipc");
+        const double ci = cell.stats.get("ipc_ci95");
+        EXPECT_GT(ci, 0.0) << cell.config << "/" << cell.workload;
+        EXPECT_LE(std::fabs(mean - full_ipc), ci)
+            << cell.config << "/" << cell.workload << ": sampled "
+            << mean << " +/- " << ci << " vs full " << full_ipc;
+    }
+}

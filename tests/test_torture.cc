@@ -2,8 +2,9 @@
  * @file
  * Randomized differential torture test.
  *
- * A seeded generator assembles random-but-always-terminating µ-op
- * programs (random ALU/memory/FP mixes, data-dependent forward
+ * A seeded generator (src/workloads/torture_gen.hh, shared with the
+ * sampling checkpoint suite) assembles random-but-always-terminating
+ * µ-op programs (random ALU/memory/FP mixes, data-dependent forward
  * branches, calls/returns, indirect jumps, a bounded outer loop) with
  * src/isa/assembler.hh. Each program is executed:
  *
@@ -31,213 +32,18 @@
 #include <vector>
 
 #include "common/env.hh"
-#include "common/random.hh"
-#include "isa/assembler.hh"
 #include "isa/kernel_vm.hh"
 #include "pipeline/core.hh"
 #include "sim/configs.hh"
+#include "workloads/torture_gen.hh"
 #include "workloads/workload.hh"
 
 using namespace eole;
+using workloads::generateTortureProgram;
+using workloads::tortureMemBytes;
 
 namespace {
 
-constexpr std::size_t tortureMemBytes = 8192;
-
-/**
- * Generate a random terminating program.
- *
- * Register conventions: r1..r15 data, r16..r18 masked address
- * scratch, r27 jump-target scratch, r28 outer-loop counter, r31 link.
- * All memory addresses are masked into [0, 4095] with offsets
- * <= 4088, so every architectural access stays inside
- * tortureMemBytes. Every intra-loop branch is forward; the only back
- * edge is the counted outer loop, so the program always halts.
- */
-Program
-generateProgram(std::uint64_t seed)
-{
-    Rng rng(seed);
-    Assembler a;
-
-    const IntReg data_lo = 1;
-    const int data_count = 15;
-    auto dataReg = [&] {
-        return IntReg(static_cast<int>(
-            data_lo.idx + rng.below(data_count)));
-    };
-    auto fpReg = [&] { return FpReg(static_cast<int>(1 + rng.below(8))); };
-    const IntReg counter = 28;
-
-    // Optional straight-line subroutines (bodies emitted after halt).
-    const int num_subs = static_cast<int>(rng.below(3));
-    std::vector<Label> subs;
-    for (int s = 0; s < num_subs; ++s)
-        subs.push_back(a.newLabel());
-
-    // Preamble: random architectural state without an init hook.
-    for (int r = 0; r < data_count; ++r) {
-        const std::int64_t v = rng.chance(0.5)
-            ? rng.range(-4096, 4096)
-            : static_cast<std::int64_t>(rng.next());
-        a.movi(IntReg(data_lo.idx + r), v);
-    }
-    for (int f = 1; f <= 8; ++f)
-        a.fcvtif(FpReg(f), IntReg(data_lo.idx + (f - 1)));
-    a.movi(counter, rng.range(8, 24));
-
-    const Label loop = a.newLabel();
-    a.bind(loop);
-
-    const int num_blocks = static_cast<int>(2 + rng.below(5));
-    std::vector<Label> blocks;
-    for (int b = 0; b < num_blocks; ++b)
-        blocks.push_back(a.newLabel());
-    const Label loop_end = a.newLabel();
-
-    auto forwardTarget = [&](int cur_block) {
-        // A label strictly after the current block (or the loop end).
-        const std::uint64_t span = num_blocks - cur_block;  // >= 1
-        const std::uint64_t pick = rng.below(span);
-        return pick + cur_block + 1 >= (std::uint64_t)num_blocks
-            ? loop_end
-            : blocks[cur_block + 1 + pick];
-    };
-
-    auto emitMaskedAddr = [&](IntReg scratch) {
-        a.andi(scratch, dataReg(), 0xFFF);
-        return scratch;
-    };
-
-    for (int b = 0; b < num_blocks; ++b) {
-        a.bind(blocks[b]);
-        const int len = static_cast<int>(4 + rng.below(13));
-        for (int i = 0; i < len; ++i) {
-            const std::uint64_t kind = rng.below(100);
-            if (kind < 30) {
-                static const Opcode rrr[] = {
-                    Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or,
-                    Opcode::Xor, Opcode::Shl, Opcode::Shr, Opcode::Sar,
-                    Opcode::Slt, Opcode::Sltu,
-                };
-                const Opcode op = rrr[rng.below(std::size(rrr))];
-                const IntReg d = dataReg(), s1 = dataReg(),
-                             s2 = dataReg();
-                switch (op) {
-                  case Opcode::Add: a.add(d, s1, s2); break;
-                  case Opcode::Sub: a.sub(d, s1, s2); break;
-                  case Opcode::And: a.and_(d, s1, s2); break;
-                  case Opcode::Or: a.or_(d, s1, s2); break;
-                  case Opcode::Xor: a.xor_(d, s1, s2); break;
-                  case Opcode::Shl: a.shl(d, s1, s2); break;
-                  case Opcode::Shr: a.shr(d, s1, s2); break;
-                  case Opcode::Sar: a.sar(d, s1, s2); break;
-                  case Opcode::Slt: a.slt(d, s1, s2); break;
-                  default: a.sltu(d, s1, s2); break;
-                }
-            } else if (kind < 45) {
-                const std::int64_t imm = rng.range(-2048, 2048);
-                switch (rng.below(5)) {
-                  case 0: a.addi(dataReg(), dataReg(), imm); break;
-                  case 1: a.andi(dataReg(), dataReg(), imm); break;
-                  case 2: a.xori(dataReg(), dataReg(), imm); break;
-                  case 3:
-                    a.shli(dataReg(), dataReg(), rng.below(64));
-                    break;
-                  default: a.slti(dataReg(), dataReg(), imm); break;
-                }
-            } else if (kind < 57) {
-                // Load: masked base + bounded offset, random width.
-                static const std::uint8_t widths[] = {1, 2, 4, 8};
-                const IntReg base = emitMaskedAddr(IntReg(16));
-                a.ld(dataReg(), base, rng.range(0, 4088),
-                     widths[rng.below(4)]);
-            } else if (kind < 66) {
-                static const std::uint8_t widths[] = {1, 2, 4, 8};
-                const IntReg base = emitMaskedAddr(IntReg(17));
-                a.st(dataReg(), base, rng.range(0, 4088),
-                     widths[rng.below(4)]);
-            } else if (kind < 72) {
-                const IntReg d = dataReg();
-                if (rng.chance(0.5))
-                    a.mul(d, dataReg(), dataReg());
-                else if (rng.chance(0.5))
-                    a.div(d, dataReg(), dataReg());  // /0 defined -> 0
-                else
-                    a.rem(d, dataReg(), dataReg());
-            } else if (kind < 84) {
-                const FpReg d = fpReg(), s1 = fpReg(), s2 = fpReg();
-                switch (rng.below(6)) {
-                  case 0: a.fadd(d, s1, s2); break;
-                  case 1: a.fsub(d, s1, s2); break;
-                  case 2: a.fmul(d, s1, s2); break;
-                  case 3: a.fdiv(d, s1, s2); break;
-                  case 4: a.fmin(d, s1, s2); break;
-                  default: a.fmax(d, s1, s2); break;
-                }
-            } else if (kind < 90) {
-                if (rng.chance(0.5))
-                    a.fcvtif(fpReg(), dataReg());
-                else
-                    a.fcvtfi(dataReg(), fpReg());
-            } else if (kind < 96) {
-                const IntReg base = emitMaskedAddr(IntReg(18));
-                if (rng.chance(0.5))
-                    a.lfd(fpReg(), base, rng.range(0, 4088));
-                else
-                    a.sfd(fpReg(), base, rng.range(0, 4088));
-            } else if (num_subs > 0 && kind < 98) {
-                a.call(subs[rng.below(num_subs)]);
-            } else {
-                a.movi(dataReg(), rng.range(-100000, 100000));
-            }
-        }
-
-        // Block exit: mostly fall through; sometimes a data-dependent
-        // forward branch, a direct jump or an indirect jump.
-        const std::uint64_t exit_kind = rng.below(100);
-        if (exit_kind < 45) {
-            const Label t = forwardTarget(b);
-            switch (rng.below(6)) {
-              case 0: a.beq(dataReg(), dataReg(), t); break;
-              case 1: a.bne(dataReg(), dataReg(), t); break;
-              case 2: a.blt(dataReg(), dataReg(), t); break;
-              case 3: a.bge(dataReg(), dataReg(), t); break;
-              case 4: a.bltu(dataReg(), dataReg(), t); break;
-              default: a.bgeu(dataReg(), dataReg(), t); break;
-            }
-        } else if (exit_kind < 50) {
-            a.jmp(forwardTarget(b));
-        } else if (exit_kind < 55) {
-            a.lea(IntReg(27), forwardTarget(b));
-            a.jr(IntReg(27));
-        }
-    }
-
-    a.bind(loop_end);
-    a.addi(counter, counter, -1);
-    a.bne(counter, IntReg(0), loop);
-    a.halt();
-
-    // Leaf subroutine bodies (straight-line; never touch the counter
-    // or the link register).
-    for (int s = 0; s < num_subs; ++s) {
-        a.bind(subs[s]);
-        const int len = static_cast<int>(2 + rng.below(6));
-        for (int i = 0; i < len; ++i) {
-            switch (rng.below(3)) {
-              case 0: a.add(dataReg(), dataReg(), dataReg()); break;
-              case 1: a.xor_(dataReg(), dataReg(), dataReg()); break;
-              default:
-                a.addi(dataReg(), dataReg(), rng.range(-64, 64));
-                break;
-            }
-        }
-        a.ret();
-    }
-
-    return a.finish();
-}
 
 /** The commit-stream fields we hold every configuration to. */
 struct CommitRecord
@@ -351,7 +157,7 @@ TEST(Torture, RandomProgramsMatchFunctionalOracle)
         Workload w;
         w.name = "torture-" + std::to_string(seed);
         w.memBytes = tortureMemBytes;
-        w.program = generateProgram(seed);
+        w.program = generateTortureProgram(seed);
 
         const auto ref = oracleStream(w.program, seed);
         ASSERT_FALSE(ref.empty()) << reproLine(seed);
