@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI entrypoint: tier-1 verify (configure + build + ctest) with short
-# run lengths so the experiment grids finish in CI time. The run-length
+# run lengths so the experiment grids finish in CI time, plus a
+# plan-file smoke lane (a tiny grid via `--plan` + `--set`, verified
+# byte-identical to the equivalent compiled-in plan). The run-length
 # env overrides are honoured by the sweep engine (see DESIGN.md §5/§7);
 # tests that pin golden values use their own explicit run lengths and
 # are unaffected.
@@ -69,6 +71,34 @@ run_ctest() {
 cmake -B build -S . -DEOLE_TEST_TIMEOUT="$TEST_TIMEOUT"
 cmake --build build -j "$JOBS"
 run_ctest build
+
+# Plan-file smoke lane: a tiny grid driven through `--plan` + `--set`
+# must be byte-identical to the equivalent compiled-in plan with the
+# same `--set` — the reflective-registry contract (DESIGN.md §9) that
+# plan files and ad-hoc overrides are the same configs as compiled C++.
+echo "check.sh: plan-file smoke lane"
+cat > build/smoke.plan <<'EOF'
+# The compiled-in smoke plan, expressed as data (examples/README.md).
+plan = smoke
+description = tiny 2x2 grid for CI, demos and determinism tests
+configs = Baseline_6_64, EOLE_4_64
+workloads = 164.gzip, 186.crafty
+EOF
+if ! ./build/eole run --plan build/smoke.plan --set bp.rasEntries=16 \
+         --quiet --no-tables --out build/smoke.planfile.json; then
+    echo "check.sh: plan-file run FAILED" >&2
+    exit 1
+fi
+if ! ./build/eole run smoke --set bp.rasEntries=16 \
+         --quiet --no-tables --out build/smoke.compiled.json; then
+    echo "check.sh: compiled smoke run FAILED" >&2
+    exit 1
+fi
+if ! cmp build/smoke.planfile.json build/smoke.compiled.json; then
+    echo "check.sh: plan-file artifact differs from compiled plan" >&2
+    exit 1
+fi
+echo "check.sh: plan-file artifact byte-identical to compiled plan"
 
 if [[ "$WITH_BENCH" == 1 ]]; then
     ./build/fig13_modularity

@@ -24,7 +24,9 @@
 
 namespace eole {
 
-/** Branch-prediction related configuration (Table 1 defaults). */
+/** Branch-prediction related configuration (Table 1 defaults).
+ *  String-addressable as "bp.*" via the parameter registry
+ *  (sim/params.hh); new fields must be registered there. */
 struct BpConfig
 {
     TageConfig tage;

@@ -24,7 +24,9 @@
 
 namespace eole {
 
-/** TAGE geometry. Defaults follow the paper's 1+12 / 15K-entry setup. */
+/** TAGE geometry. Defaults follow the paper's 1+12 / 15K-entry setup.
+ *  String-addressable as "bp.tage.*" via the parameter registry
+ *  (sim/params.hh); new fields must be registered there. */
 struct TageConfig
 {
     int numTagged = 12;

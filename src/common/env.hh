@@ -22,8 +22,25 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 
 namespace eole {
+
+/**
+ * Strict unsigned-integer parse (base auto-detected, so 0x... works):
+ * rejects empty strings, signs (strtoull silently wraps "-1" to
+ * 2^64-1) and trailing garbage. The one spelling of this check shared
+ * by the parameter registry, plan files and the `eole` CLI.
+ */
+inline bool
+parseU64Strict(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty() || s.find_first_of("+-") != std::string::npos)
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(s.c_str(), &end, 0);
+    return end == s.c_str() + s.size();
+}
 
 /** DESIGN.md §5 run lengths: warm all structures for 1M µ-ops, then
  *  measure 5M µ-ops. */

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fuzzy string matching for loud-exit diagnostics: when an operator
+ * typos a parameter key, config name or plan directive, the error
+ * message should name the nearest valid spellings instead of leaving
+ * them to grep. Used by the parameter registry (sim/params.hh), the
+ * plan-file parser (sim/planfile.hh) and the `eole` CLI.
+ */
+
+#ifndef EOLE_COMMON_FUZZY_HH
+#define EOLE_COMMON_FUZZY_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eole {
+
+/** Levenshtein edit distance (insert/delete/substitute, all cost 1). */
+inline std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<std::size_t> row(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[m];
+}
+
+/**
+ * The up-to-@p n candidates closest to @p query by edit distance,
+ * nearest first (ties broken by candidate order). Candidates further
+ * than half their own length are dropped — suggesting "fetchWidth" for
+ * "xyzzy" would be noise, not help. A query that is a substring of a
+ * candidate (or vice versa) always qualifies: truncated dotted keys
+ * like "vp.vtage" should still surface "vp.vtage.tagBits".
+ */
+inline std::vector<std::string>
+closestMatches(const std::string &query,
+               const std::vector<std::string> &candidates,
+               std::size_t n = 3)
+{
+    std::vector<std::pair<std::size_t, std::string>> scored;
+    for (const std::string &c : candidates) {
+        const std::size_t d = editDistance(query, c);
+        const bool related = c.find(query) != std::string::npos
+            || query.find(c) != std::string::npos;
+        if (!related && d > std::max<std::size_t>(2, c.size() / 2))
+            continue;
+        scored.emplace_back(d, c);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto &x, const auto &y) {
+                         return x.first < y.first;
+                     });
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < scored.size() && i < n; ++i)
+        out.push_back(scored[i].second);
+    return out;
+}
+
+/** Render suggestions as " (did you mean: a, b?)" or "". */
+inline std::string
+didYouMean(const std::vector<std::string> &suggestions)
+{
+    if (suggestions.empty())
+        return "";
+    std::string out = " (did you mean: ";
+    for (std::size_t i = 0; i < suggestions.size(); ++i)
+        out += (i ? ", " : "") + suggestions[i];
+    return out + "?)";
+}
+
+} // namespace eole
+
+#endif // EOLE_COMMON_FUZZY_HH

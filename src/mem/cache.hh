@@ -22,7 +22,10 @@
 
 namespace eole {
 
-/** One cache level's geometry (Table 1 defaults belong to the caller). */
+/** One cache level's geometry (Table 1 defaults belong to the caller).
+ *  String-addressable per level ("mem.l1d.sizeBytes", ...) via the
+ *  parameter registry (sim/params.hh); new fields must be registered
+ *  there, once per level prefix. */
 struct CacheConfig
 {
     std::string name = "cache";

@@ -19,7 +19,9 @@
 
 namespace eole {
 
-/** DRAM geometry/timing knobs (CPU cycles at 4 GHz). */
+/** DRAM geometry/timing knobs (CPU cycles at 4 GHz).
+ *  String-addressable as "mem.dram.*" via the parameter registry
+ *  (sim/params.hh); new fields must be registered there. */
 struct DramConfig
 {
     int ranks = 2;

@@ -17,6 +17,10 @@
 
 namespace eole {
 
+/** Memory-hierarchy geometry (Table 1 defaults). String-addressable
+ *  as "mem.*" ("mem.l1i.*"/"mem.l1d.*"/"mem.l2.*"/"mem.dram.*"/
+ *  "mem.prefetch.*") via the parameter registry (sim/params.hh); new
+ *  fields must be registered there. */
 struct MemConfig
 {
     CacheConfig l1i{"l1i", 32 * 1024, 4, 64, 2, 64};

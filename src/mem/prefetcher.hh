@@ -20,6 +20,9 @@
 
 namespace eole {
 
+/** Stride-prefetcher knobs. String-addressable as "mem.prefetch.*"
+ *  via the parameter registry (sim/params.hh); new fields must be
+ *  registered there. */
 struct PrefetcherConfig
 {
     int log2Entries = 8;

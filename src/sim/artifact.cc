@@ -217,6 +217,16 @@ parseCell(JsonParser &p)
             cell.workload = p.parseString();
         } else if (key == "seed") {
             cell.seed = p.parseU64();
+        } else if (key == "params") {
+            p.expect('{');
+            if (!p.tryConsume('}')) {
+                do {
+                    const std::string pk = p.parseString();
+                    p.expect(':');
+                    cell.params.emplace_back(pk, p.parseString());
+                } while (p.tryConsume(','));
+                p.expect('}');
+            }
         } else if (key == "stats") {
             p.expect('{');
             if (!p.tryConsume('}')) {
@@ -241,7 +251,7 @@ void
 writeJsonArtifact(std::ostream &os, const PlanResult &result)
 {
     os << "{\n";
-    os << "  \"schema\": \"eole-sweep-v1\",\n";
+    os << "  \"schema\": \"eole-sweep-v2\",\n";
     os << "  \"plan\": ";
     writeEscaped(os, result.plan);
     os << ",\n";
@@ -267,6 +277,15 @@ writeJsonArtifact(std::ostream &os, const PlanResult &result)
         writeEscaped(os, cell.workload);
         os << ",\n";
         os << "      \"seed\": " << cell.seed << ",\n";
+        os << "      \"params\": {";
+        for (std::size_t k = 0; k < cell.params.size(); ++k) {
+            os << (k ? ",\n" : "\n");
+            os << "        ";
+            writeEscaped(os, cell.params[k].first);
+            os << ": ";
+            writeEscaped(os, cell.params[k].second);
+        }
+        os << (cell.params.empty() ? "}" : "\n      }") << ",\n";
         os << "      \"stats\": {";
         const auto &stats = cell.stats.all();
         for (std::size_t k = 0; k < stats.size(); ++k) {
@@ -363,7 +382,10 @@ readJsonArtifact(std::istream &is)
     p.expect('}');
     p.finish();
 
-    fatal_if(schema != "eole-sweep-v1",
+    // v1 artifacts predate embedded config maps; their cells read back
+    // with empty params (diff treats a wholly-absent map as one
+    // difference per cell, not one per key).
+    fatal_if(schema != "eole-sweep-v2" && schema != "eole-sweep-v1",
              "unsupported artifact schema \"%s\"", schema.c_str());
     return result;
 }
@@ -414,12 +436,48 @@ diffArtifacts(const PlanResult &a, const PlanResult &b,
             || stat.rfind("sample_", 0) == 0;
     };
 
+    // Config drift: the embedded canonical maps must agree exactly —
+    // two cells sharing a name but not a configuration are different
+    // experiments, whatever their stats say.
+    auto paramOf = [](const RunResult &cell, const std::string &key)
+        -> const std::string * {
+        for (const auto &[k, v] : cell.params) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    };
+
     for (const RunResult &ca : a.cells) {
         const RunResult *cb = b.find(ca.config, ca.workload);
         const std::string id = ca.config + "/" + ca.workload;
         if (!cb) {
             report("cell " + id + " missing from b");
             continue;
+        }
+        if (ca.params.empty() != cb->params.empty()) {
+            // One side is a legacy v1 artifact: one difference per
+            // cell, not one per key.
+            report(id + ": config map missing from "
+                   + (ca.params.empty() ? "a" : "b"));
+        } else {
+            for (const auto &[key, va] : ca.params) {
+                const std::string *vb = paramOf(*cb, key);
+                if (!vb) {
+                    report(id + ": config key " + key
+                           + " missing from b");
+                } else if (*vb != va) {
+                    report(id + ": config drift: " + key + " a=" + va
+                           + " b=" + *vb);
+                }
+            }
+            for (const auto &[key, vb] : cb->params) {
+                (void)vb;
+                if (!paramOf(ca, key)) {
+                    report(id + ": config key " + key
+                           + " missing from a");
+                }
+            }
         }
         for (const auto &[stat, va] : ca.stats.all()) {
             if (!cb->stats.has(stat)) {

@@ -9,6 +9,12 @@
  * equality check and is exactly how the engine's `--jobs` invariance
  * is pinned (tests/test_experiment.cc). No timestamps or host
  * information are recorded for the same reason.
+ *
+ * Schema v2 embeds each cell's complete canonical configuration map
+ * ("params": registry keys -> canonical value text, sim/params.hh), so
+ * an artifact records what a config *was*, not just its name, and
+ * diffArtifacts reports config drift alongside stat drift. v1
+ * artifacts (no params) still read; their cells carry empty maps.
  */
 
 #ifndef EOLE_SIM_ARTIFACT_HH
@@ -21,7 +27,7 @@
 
 namespace eole {
 
-/** Canonical JSON artifact (schema "eole-sweep-v1"). */
+/** Canonical JSON artifact (schema "eole-sweep-v2"). */
 void writeJsonArtifact(std::ostream &os, const PlanResult &result);
 
 /** The same artifact as a string (byte-comparison in tests). */

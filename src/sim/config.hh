@@ -3,6 +3,11 @@
  * Complete simulator configuration. Defaults reproduce the paper's
  * Baseline_6_64 (Table 1); named configurations for every experiment
  * are in sim/configs.hh.
+ *
+ * Every field here (and in the nested BpConfig/VpConfig/MemConfig) is
+ * string-addressable through the parameter registry (sim/params.hh):
+ * a new field must be registered there — with key, range and doc — or
+ * the golden default-map test in tests/test_params.cc fails.
  */
 
 #ifndef EOLE_SIM_CONFIG_HH

@@ -1,6 +1,10 @@
 #include "sim/configs.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
+#include "sim/params.hh"
+#include "sim/plans.hh"
 
 namespace eole {
 namespace configs {
@@ -13,14 +17,23 @@ nameOf(const char *kind, int issue_width, int iq_entries)
     return csprintf("%s_%d_%d", kind, issue_width, iq_entries);
 }
 
+/** Set-by-key through the parameter registry. Every named config is
+ *  built this way, so the string API provably carries the paper's
+ *  whole figure set (the golden-artifact regression pins it). */
+void
+set(SimConfig &c, const char *key, const std::string &value)
+{
+    ParamRegistry::instance().set(c, key, value);
+}
+
 void
 setWidth(SimConfig &c, int issue_width, int iq_entries)
 {
-    c.issueWidth = issue_width;
-    c.iqEntries = iq_entries;
+    set(c, "issueWidth", std::to_string(issue_width));
+    set(c, "iqEntries", std::to_string(iq_entries));
     // The ALU rank tracks issue width (a narrower OoO engine has fewer
     // ALUs and a smaller bypass, §6.1); other FU pools are unchanged.
-    c.numAlu = issue_width;
+    set(c, "numAlu", std::to_string(issue_width));
 }
 
 } // namespace
@@ -30,7 +43,7 @@ baseline(int issue_width, int iq_entries)
 {
     SimConfig c;
     setWidth(c, issue_width, iq_entries);
-    c.name = nameOf("Baseline", issue_width, iq_entries);
+    set(c, "name", nameOf("Baseline", issue_width, iq_entries));
     return c;
 }
 
@@ -38,8 +51,8 @@ SimConfig
 baselineVp(int issue_width, int iq_entries)
 {
     SimConfig c = baseline(issue_width, iq_entries);
-    c.name = nameOf("Baseline_VP", issue_width, iq_entries);
-    c.vp.kind = VpKind::HybridVtage2DStride;
+    set(c, "name", nameOf("Baseline_VP", issue_width, iq_entries));
+    set(c, "vp.kind", "VTAGE-2DStride");
     return c;
 }
 
@@ -47,9 +60,9 @@ SimConfig
 eole(int issue_width, int iq_entries)
 {
     SimConfig c = baselineVp(issue_width, iq_entries);
-    c.name = nameOf("EOLE", issue_width, iq_entries);
-    c.earlyExec = true;
-    c.lateExec = true;
+    set(c, "name", nameOf("EOLE", issue_width, iq_entries));
+    set(c, "earlyExec", "true");
+    set(c, "lateExec", "true");
     return c;
 }
 
@@ -57,8 +70,8 @@ SimConfig
 eoleBanked(int issue_width, int iq_entries, int banks)
 {
     SimConfig c = eole(issue_width, iq_entries);
-    c.name += csprintf("_%dbanks", banks);
-    c.prfBanks = banks;
+    set(c, "name", c.name + csprintf("_%dbanks", banks));
+    set(c, "prfBanks", std::to_string(banks));
     return c;
 }
 
@@ -67,10 +80,10 @@ eoleConstrained(int issue_width, int iq_entries, int banks,
                 int levt_read_ports, int ee_write_ports)
 {
     SimConfig c = eoleBanked(issue_width, iq_entries, banks);
-    c.name = nameOf("EOLE", issue_width, iq_entries)
-        + csprintf("_%dports_%dbanks", levt_read_ports, banks);
-    c.levtReadPortsPerBank = levt_read_ports;
-    c.eeWritePortsPerBank = ee_write_ports;
+    set(c, "name", nameOf("EOLE", issue_width, iq_entries)
+        + csprintf("_%dports_%dbanks", levt_read_ports, banks));
+    set(c, "levtReadPortsPerBank", std::to_string(levt_read_ports));
+    set(c, "eeWritePortsPerBank", std::to_string(ee_write_ports));
     return c;
 }
 
@@ -79,9 +92,9 @@ ole(int issue_width, int iq_entries, int banks, int levt_read_ports)
 {
     SimConfig c = eoleConstrained(issue_width, iq_entries, banks,
                                   levt_read_ports);
-    c.name = nameOf("OLE", issue_width, iq_entries)
-        + csprintf("_%dports_%dbanks", levt_read_ports, banks);
-    c.earlyExec = false;
+    set(c, "name", nameOf("OLE", issue_width, iq_entries)
+        + csprintf("_%dports_%dbanks", levt_read_ports, banks));
+    set(c, "earlyExec", "false");
     return c;
 }
 
@@ -90,10 +103,137 @@ eoe(int issue_width, int iq_entries, int banks, int levt_read_ports)
 {
     SimConfig c = eoleConstrained(issue_width, iq_entries, banks,
                                   levt_read_ports);
-    c.name = nameOf("EOE", issue_width, iq_entries)
-        + csprintf("_%dports_%dbanks", levt_read_ports, banks);
-    c.lateExec = false;
+    set(c, "name", nameOf("EOE", issue_width, iq_entries)
+        + csprintf("_%dports_%dbanks", levt_read_ports, banks));
+    set(c, "lateExec", "false");
     return c;
+}
+
+// ---------------------- name -> config resolution ------------------------
+
+namespace {
+
+/** Parse a strictly positive int from @p tok; 0 on failure. */
+int
+intToken(const std::string &tok)
+{
+    if (tok.empty())
+        return 0;
+    char *end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size() || v <= 0 || v > 1 << 20)
+        return 0;
+    return static_cast<int>(v);
+}
+
+/** Parse "<n><suffix>" (e.g. "4ports", "2banks"); 0 on failure. */
+int
+suffixedToken(const std::string &tok, const char *suffix)
+{
+    const std::string suf = suffix;
+    if (tok.size() <= suf.size()
+        || tok.compare(tok.size() - suf.size(), suf.size(), suf) != 0)
+        return 0;
+    return intToken(tok.substr(0, tok.size() - suf.size()));
+}
+
+/** The paper naming scheme, <kind>_<issue>_<iq>[_constraints]. */
+bool
+parseSchemeName(const std::string &name, SimConfig *out)
+{
+    std::vector<std::string> tok;
+    std::size_t pos = 0;
+    while (pos <= name.size()) {
+        std::size_t us = name.find('_', pos);
+        if (us == std::string::npos)
+            us = name.size();
+        tok.push_back(name.substr(pos, us - pos));
+        pos = us + 1;
+    }
+
+    std::size_t i = 0;
+    const std::string kind = tok[i++];
+    const bool vp = i < tok.size() && tok[i] == "VP";
+    if (vp)
+        ++i;
+    if (i + 1 >= tok.size())
+        return false;
+    const int width = intToken(tok[i]);
+    const int iq = intToken(tok[i + 1]);
+    if (width == 0 || iq == 0)
+        return false;
+    i += 2;
+
+    if (kind == "Baseline" && i == tok.size()) {
+        *out = vp ? baselineVp(width, iq) : baseline(width, iq);
+        return true;
+    }
+    if (vp || (kind != "EOLE" && kind != "OLE" && kind != "EOE"))
+        return false;
+    if (i == tok.size()) {
+        // Plain OLE_/EOE_ without constraints is not a paper config.
+        if (kind != "EOLE")
+            return false;
+        *out = eole(width, iq);
+        return true;
+    }
+    if (i + 1 == tok.size() && kind == "EOLE") {
+        const int banks = suffixedToken(tok[i], "banks");
+        if (banks == 0)
+            return false;
+        *out = eoleBanked(width, iq, banks);
+        return true;
+    }
+    if (i + 2 == tok.size()) {
+        const int ports = suffixedToken(tok[i], "ports");
+        const int banks = suffixedToken(tok[i + 1], "banks");
+        if (ports == 0 || banks == 0)
+            return false;
+        if (kind == "EOLE")
+            *out = eoleConstrained(width, iq, banks, ports);
+        else if (kind == "OLE")
+            *out = ole(width, iq, banks, ports);
+        else
+            *out = eoe(width, iq, banks, ports);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+findNamed(const std::string &name, SimConfig *out)
+{
+    if (parseSchemeName(name, out))
+        return true;
+    for (const std::string &plan_name : plans::allNames()) {
+        const ExperimentPlan plan = plans::get(plan_name);
+        for (const SimConfig &c : plan.configs) {
+            if (c.name == name) {
+                *out = c;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+knownNames()
+{
+    std::vector<std::string> out;
+    for (const std::string &plan_name : plans::allNames()) {
+        const ExperimentPlan plan = plans::get(plan_name);
+        for (const SimConfig &c : plan.configs) {
+            bool seen = false;
+            for (const std::string &n : out)
+                seen = seen || n == c.name;
+            if (!seen)
+                out.push_back(c.name);
+        }
+    }
+    return out;
 }
 
 } // namespace configs

@@ -7,6 +7,9 @@
 #ifndef EOLE_SIM_CONFIGS_HH
 #define EOLE_SIM_CONFIGS_HH
 
+#include <string>
+#include <vector>
+
 #include "sim/config.hh"
 
 namespace eole {
@@ -41,6 +44,23 @@ SimConfig ole(int issue_width, int iq_entries, int banks,
 /** EOE: Early Execution only, constrained as eoleConstrained (Fig 13). */
 SimConfig eoe(int issue_width, int iq_entries, int banks,
               int levt_read_ports);
+
+/**
+ * Resolve a configuration by name: first the paper naming scheme
+ * (Baseline_6_64, Baseline_VP_4_64, EOLE_4_64, EOLE_4_64_2banks,
+ * EOLE_4_64_4ports_4banks, OLE_/EOE_...), then any config declared by
+ * a registered plan (EE_2stages, FPC_paper, VP_Stride, ...). This is
+ * what `eole describe <config>` and plan files' `base =` / `configs =`
+ * directives resolve through. Returns false when nothing matches.
+ */
+bool findNamed(const std::string &name, SimConfig *out);
+
+/**
+ * Every finite name findNamed can resolve: the configs of all
+ * registered plans, deduplicated (the naming scheme itself is
+ * unbounded and not enumerated). Used for did-you-mean diagnostics.
+ */
+std::vector<std::string> knownNames();
 
 } // namespace configs
 } // namespace eole

@@ -27,6 +27,17 @@ struct RunResult
     std::string config;
     std::string workload;
     std::uint64_t seed = 0;  //!< per-job seed the cell ran with
+
+    /**
+     * The cell's complete canonical configuration map
+     * (sim/params.hh configKeyValues of the plan's config, before the
+     * per-job seed override), embedded so artifacts record what a
+     * config *was*, not just its name — `eole diff` reports config
+     * drift from it. Empty only for artifacts read from the legacy
+     * v1 schema.
+     */
+    std::vector<std::pair<std::string, std::string>> params;
+
     StatRecord stats;
 
     double ipc() const { return stats.get("ipc"); }

@@ -1,0 +1,646 @@
+#include "sim/params.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+#include "common/env.hh"
+#include "common/fuzzy.hh"
+#include "common/logging.hh"
+
+namespace eole {
+
+namespace {
+
+// ------------------------- value text helpers ----------------------------
+
+/** %.17g round-trips an IEEE double exactly (same policy as the
+ *  artifact writer, sim/artifact.cc). */
+std::string
+doubleText(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** parseU64Strict (common/env.hh) with a diagnostic; "" on success. */
+std::string
+parseU64Text(const std::string &v, std::uint64_t *out)
+{
+    if (!parseU64Strict(v, out))
+        return "\"" + v + "\" is not an unsigned integer";
+    return "";
+}
+
+std::string
+rangeText(std::uint64_t lo, std::uint64_t hi)
+{
+    return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+// --------------------------- param factories -----------------------------
+
+/**
+ * Numeric parameter over any unsigned-assignable field. @p ref maps a
+ * SimConfig to the field lvalue; the stored accessors close over it.
+ * @p pow2 additionally requires a power of two (line/row sizes feed
+ * mask arithmetic).
+ */
+template <typename RefFn>
+ParamInfo
+numParam(const char *key, const char *type, RefFn ref, std::uint64_t lo,
+         std::uint64_t hi, const char *doc, bool pow2 = false)
+{
+    ParamInfo p;
+    p.key = key;
+    p.type = type;
+    p.doc = doc;
+    p.minValue = lo;
+    p.maxValue = hi;
+    p.get = [ref](const SimConfig &c) {
+        return std::to_string(static_cast<std::uint64_t>(
+            ref(const_cast<SimConfig &>(c))));
+    };
+    p.set = [key = std::string(key), ref, lo, hi,
+             pow2](SimConfig &c, const std::string &v) -> std::string {
+        std::uint64_t parsed = 0;
+        const std::string err = parseU64Text(v, &parsed);
+        if (!err.empty())
+            return key + ": " + err;
+        if (parsed < lo || parsed > hi) {
+            return key + " = " + v + " out of range "
+                + rangeText(lo, hi);
+        }
+        if (pow2 && !isPow2(parsed))
+            return key + " = " + v + " must be a power of two";
+        using Field = std::decay_t<decltype(ref(c))>;
+        ref(c) = static_cast<Field>(parsed);
+        return "";
+    };
+    return p;
+}
+
+template <typename RefFn>
+ParamInfo
+boolParam(const char *key, RefFn ref, const char *doc)
+{
+    ParamInfo p;
+    p.key = key;
+    p.type = "bool";
+    p.doc = doc;
+    p.maxValue = 1;
+    p.get = [ref](const SimConfig &c) -> std::string {
+        return ref(const_cast<SimConfig &>(c)) ? "true" : "false";
+    };
+    p.set = [key = std::string(key),
+             ref](SimConfig &c, const std::string &v) -> std::string {
+        if (v == "true" || v == "1") {
+            ref(c) = true;
+        } else if (v == "false" || v == "0") {
+            ref(c) = false;
+        } else {
+            return key + " = " + v + " is not a bool (true/false/1/0)";
+        }
+        return "";
+    };
+    return p;
+}
+
+template <typename RefFn>
+ParamInfo
+stringParam(const char *key, RefFn ref, const char *doc)
+{
+    ParamInfo p;
+    p.key = key;
+    p.type = "string";
+    p.doc = doc;
+    p.get = [ref](const SimConfig &c) -> std::string {
+        return ref(const_cast<SimConfig &>(c));
+    };
+    p.set = [key = std::string(key),
+             ref](SimConfig &c, const std::string &v) -> std::string {
+        // Newlines, edge whitespace and '#' cannot survive the
+        // line-oriented text form (parseConfigText and plan files
+        // strip comments), so they would break the serialize ->
+        // parse -> serialize byte-stability contract.
+        if (v.find('\n') != std::string::npos)
+            return key + ": value must be a single line";
+        if (v.find('#') != std::string::npos)
+            return key + ": value must not contain '#'";
+        if (!v.empty()
+            && (std::isspace(static_cast<unsigned char>(v.front()))
+                || std::isspace(static_cast<unsigned char>(v.back()))))
+            return key + ": value must not start or end with whitespace";
+        ref(c) = v;
+        return "";
+    };
+    return p;
+}
+
+/** vp.kind: spellings follow vpKindName() so `eole describe` output,
+ *  stats headers and plan files all agree on the same names. */
+ParamInfo
+vpKindParam()
+{
+    static const std::pair<const char *, VpKind> spellings[] = {
+        {"none", VpKind::None},
+        {"LVP", VpKind::LastValue},
+        {"Stride", VpKind::Stride},
+        {"2D-Stride", VpKind::TwoDeltaStride},
+        {"VTAGE", VpKind::Vtage},
+        {"FCM", VpKind::Fcm},
+        {"VTAGE-2DStride", VpKind::HybridVtage2DStride},
+    };
+    ParamInfo p;
+    p.key = "vp.kind";
+    p.type = "enum";
+    p.doc = "value-predictor family (none disables VP)";
+    for (const auto &[name, kind] : spellings) {
+        (void)kind;
+        p.enumValues.emplace_back(name);
+    }
+    p.get = [](const SimConfig &c) -> std::string {
+        return vpKindName(c.vp.kind);
+    };
+    p.set = [](SimConfig &c, const std::string &v) -> std::string {
+        for (const auto &[name, kind] : spellings) {
+            if (v == name) {
+                c.vp.kind = kind;
+                return "";
+            }
+        }
+        std::string valid;
+        for (const auto &[name, kind] : spellings) {
+            (void)kind;
+            valid += valid.empty() ? name : std::string(", ") + name;
+        }
+        return "vp.kind = " + v + " is not a predictor kind (one of: "
+            + valid + ")";
+    };
+    return p;
+}
+
+/** vp.fpcVector: comma-separated probabilities in (0, 1]; the empty
+ *  value keeps the paper's vector (Fpc::paperVector). */
+ParamInfo
+fpcVectorParam()
+{
+    ParamInfo p;
+    p.key = "vp.fpcVector";
+    p.type = "double-list";
+    p.doc = "FPC forward-transition probabilities, comma-separated "
+            "(empty = paper vector)";
+    p.get = [](const SimConfig &c) -> std::string {
+        std::string out;
+        for (double v : c.vp.fpcVector)
+            out += (out.empty() ? "" : ",") + doubleText(v);
+        return out;
+    };
+    p.set = [](SimConfig &c, const std::string &v) -> std::string {
+        std::vector<double> parsed;
+        std::size_t pos = 0;
+        while (pos < v.size()) {
+            std::size_t comma = v.find(',', pos);
+            if (comma == std::string::npos)
+                comma = v.size();
+            const std::string item = v.substr(pos, comma - pos);
+            char *end = nullptr;
+            const double d = std::strtod(item.c_str(), &end);
+            if (end == item.c_str() || *end != '\0')
+                return "vp.fpcVector: \"" + item + "\" is not a number";
+            if (d <= 0.0 || d > 1.0) {
+                return "vp.fpcVector: probability " + item
+                    + " outside (0, 1]";
+            }
+            parsed.push_back(d);
+            pos = comma + 1;
+        }
+        if (parsed.size() > 32)
+            return "vp.fpcVector: more than 32 transitions";
+        c.vp.fpcVector = std::move(parsed);
+        return "";
+    };
+    return p;
+}
+
+} // namespace
+
+// ----------------------------- the registry ------------------------------
+
+ParamRegistry::ParamRegistry()
+{
+    // Shorthand: R(field) builds the field-reference lambda the
+    // factories close over. Keys mirror SimConfig declaration order;
+    // nested structs are grouped under their dotted prefix, with the
+    // flat vtage*/fcm*/stride* fields of VpConfig exposed as
+    // "vp.vtage.*"/"vp.fcm.*"/"vp.stride.*" sub-groups.
+#define R(field) [](SimConfig &c) -> decltype(auto) { return (c.field); }
+
+    table.push_back(stringParam(
+        "name", R(name), "configuration name (artifact/table identity)"));
+
+    // --- Pipeline widths ---
+    table.push_back(numParam("fetchWidth", "int", R(fetchWidth), 1, 64,
+                             "fetched u-ops per cycle"));
+    table.push_back(numParam("renameWidth", "int", R(renameWidth), 1, 64,
+                             "renamed u-ops per cycle"));
+    table.push_back(numParam("dispatchWidth", "int", R(dispatchWidth), 1,
+                             64, "dispatched u-ops per cycle"));
+    table.push_back(numParam("issueWidth", "int", R(issueWidth), 1, 64,
+                             "OoO issue width (paper's 4/6 axis)"));
+    table.push_back(numParam("commitWidth", "int", R(commitWidth), 1, 64,
+                             "committed u-ops per cycle"));
+    table.push_back(numParam("maxTakenBranchesPerFetch", "int",
+                             R(maxTakenBranchesPerFetch), 1, 8,
+                             "taken branches ending a fetch group"));
+
+    // --- Depths ---
+    table.push_back(numParam("frontEndCycles", "int", R(frontEndCycles),
+                             1, 100,
+                             "in-order front-end latency, fetch to "
+                             "dispatch"));
+    table.push_back(numParam("btbMissBubble", "int", R(btbMissBubble), 0,
+                             100,
+                             "decode-redirect bubble for a BTB-missing "
+                             "taken branch"));
+
+    // --- Structures ---
+    table.push_back(numParam("robEntries", "int", R(robEntries), 1, 8192,
+                             "reorder-buffer entries"));
+    table.push_back(numParam("iqEntries", "int", R(iqEntries), 1, 4096,
+                             "issue-queue entries (paper's 48/64 axis)"));
+    table.push_back(numParam("lqEntries", "int", R(lqEntries), 1, 4096,
+                             "load-queue entries"));
+    table.push_back(numParam("sqEntries", "int", R(sqEntries), 1, 4096,
+                             "store-queue entries"));
+    table.push_back(numParam("physIntRegs", "int", R(physIntRegs), 64,
+                             4096, "physical integer registers"));
+    table.push_back(numParam("physFpRegs", "int", R(physFpRegs), 64,
+                             4096, "physical FP registers"));
+
+    // --- Functional units ---
+    table.push_back(numParam("numAlu", "int", R(numAlu), 1, 64,
+                             "1-cycle int ALUs (also resolve branches)"));
+    table.push_back(numParam("numMulDiv", "int", R(numMulDiv), 1, 64,
+                             "int mul/div units"));
+    table.push_back(numParam("numFp", "int", R(numFp), 1, 64,
+                             "FP ALUs"));
+    table.push_back(numParam("numFpMulDiv", "int", R(numFpMulDiv), 1, 64,
+                             "FP mul/div units"));
+    table.push_back(numParam("numMemPorts", "int", R(numMemPorts), 1, 64,
+                             "load/store AGU ports"));
+
+    // --- Memory dependence prediction ---
+    table.push_back(numParam("ssitLog2Entries", "int", R(ssitLog2Entries),
+                             0, 24, "log2 Store-Sets SSIT entries"));
+    table.push_back(numParam("lfstEntries", "int", R(lfstEntries), 1,
+                             1 << 24, "Store-Sets LFST entries"));
+
+    // --- Branch prediction (bp.*) ---
+    table.push_back(numParam("bp.tage.numTagged", "int",
+                             R(bp.tage.numTagged), 1, TageLookup::maxComps,
+                             "TAGE tagged components"));
+    table.push_back(numParam("bp.tage.taggedLog2Entries", "int",
+                             R(bp.tage.taggedLog2Entries), 1, 24,
+                             "log2 entries per tagged component"));
+    table.push_back(numParam("bp.tage.baseLog2Entries", "int",
+                             R(bp.tage.baseLog2Entries), 1, 24,
+                             "log2 bimodal base entries"));
+    table.push_back(numParam("bp.tage.tagBits", "int", R(bp.tage.tagBits),
+                             4, 16, "tag width of tagged components"));
+    table.push_back(numParam("bp.tage.ctrBits", "int", R(bp.tage.ctrBits),
+                             1, 8, "prediction counter width"));
+    table.push_back(numParam("bp.tage.uBits", "int", R(bp.tage.uBits), 1,
+                             8, "useful counter width"));
+    table.push_back(numParam("bp.tage.minHist", "int", R(bp.tage.minHist),
+                             1, 1024, "shortest tagged history length"));
+    table.push_back(numParam("bp.tage.maxHist", "int", R(bp.tage.maxHist),
+                             1, 4096, "longest tagged history length"));
+    table.push_back(numParam("bp.tage.uResetPeriod", "u64",
+                             R(bp.tage.uResetPeriod), 1, ~0ULL,
+                             "useful-bit reset interval (branches)"));
+    table.push_back(numParam("bp.btbLog2Entries", "int",
+                             R(bp.btbLog2Entries), 1, 24,
+                             "log2 BTB entries"));
+    table.push_back(numParam("bp.btbWays", "int", R(bp.btbWays), 1, 16,
+                             "BTB associativity"));
+    table.push_back(numParam("bp.rasEntries", "int", R(bp.rasEntries), 1,
+                             1024, "return-address-stack entries"));
+    table.push_back(numParam("bp.confLog2Entries", "int",
+                             R(bp.confLog2Entries), 0, 24,
+                             "log2 JRS confidence-filter entries (0 "
+                             "disables the filter)"));
+    table.push_back(numParam("bp.confBits", "int", R(bp.confBits), 1, 8,
+                             "JRS resetting-counter width"));
+
+    // --- Value prediction (vp.*) ---
+    table.push_back(vpKindParam());
+    table.push_back(fpcVectorParam());
+    table.push_back(numParam("vp.stride.log2Entries", "int",
+                             R(vp.strideLog2Entries), 1, 24,
+                             "log2 stride/LVP table entries"));
+    table.push_back(numParam("vp.vtage.baseLog2Entries", "int",
+                             R(vp.vtageBaseLog2Entries), 1, 24,
+                             "log2 VTAGE tagless base entries"));
+    table.push_back(numParam("vp.vtage.numTagged", "int",
+                             R(vp.vtageNumTagged), 1, VpLookup::maxComps - 1,
+                             "VTAGE tagged components"));
+    table.push_back(numParam("vp.vtage.taggedLog2Entries", "int",
+                             R(vp.vtageTaggedLog2Entries), 1, 24,
+                             "log2 entries per VTAGE tagged component"));
+    table.push_back(numParam("vp.vtage.tagBits", "int", R(vp.vtageTagBits),
+                             4, 16, "VTAGE tag width (+ component rank)"));
+    table.push_back(numParam("vp.vtage.minHist", "int", R(vp.vtageMinHist),
+                             1, 1024, "shortest VTAGE history length"));
+    table.push_back(numParam("vp.vtage.maxHist", "int", R(vp.vtageMaxHist),
+                             1, 4096, "longest VTAGE history length"));
+    table.push_back(numParam("vp.fcm.histLog2Entries", "int",
+                             R(vp.fcmHistLog2Entries), 1, 24,
+                             "log2 FCM first-level (history) entries"));
+    table.push_back(numParam("vp.fcm.valueLog2Entries", "int",
+                             R(vp.fcmValueLog2Entries), 1, 24,
+                             "log2 FCM second-level (value) entries"));
+    table.push_back(numParam("vp.fcm.order", "int", R(vp.fcmOrder), 1, 8,
+                             "FCM history order"));
+
+    // --- Memory hierarchy (mem.*) ---
+    // Cache levels share one field set; register each under its prefix.
+    // CacheConfig::name is the level's stat/diagnostic label — it is
+    // structural (fixed by position in the hierarchy), but registered
+    // so the whole struct stays string-addressable.
+    auto addCacheLevel = [&](const char *prefix, auto ref) {
+        const std::string pre = prefix;
+        auto sub = [ref](auto member) {
+            return [ref, member](SimConfig &c) -> decltype(auto) {
+                return (ref(c).*member);
+            };
+        };
+        table.push_back(stringParam(
+            (pre + ".name").c_str(), sub(&CacheConfig::name),
+            "stat/diagnostic label of this level (structural)"));
+        table.push_back(numParam((pre + ".sizeBytes").c_str(), "u32",
+                                 sub(&CacheConfig::sizeBytes), 64,
+                                 1ULL << 30, "capacity in bytes"));
+        table.push_back(numParam((pre + ".ways").c_str(), "int",
+                                 sub(&CacheConfig::ways), 1, 64,
+                                 "associativity"));
+        table.push_back(numParam((pre + ".lineBytes").c_str(), "u32",
+                                 sub(&CacheConfig::lineBytes), 8, 4096,
+                                 "line size in bytes (power of two)",
+                                 true));
+        table.push_back(numParam((pre + ".latency").c_str(), "u64",
+                                 sub(&CacheConfig::latency), 0, 1000,
+                                 "hit latency in cycles"));
+        table.push_back(numParam((pre + ".mshrs").c_str(), "int",
+                                 sub(&CacheConfig::mshrs), 1, 1024,
+                                 "max outstanding misses"));
+    };
+    addCacheLevel("mem.l1i",
+                  [](SimConfig &c) -> CacheConfig & { return c.mem.l1i; });
+    addCacheLevel("mem.l1d",
+                  [](SimConfig &c) -> CacheConfig & { return c.mem.l1d; });
+    addCacheLevel("mem.l2",
+                  [](SimConfig &c) -> CacheConfig & { return c.mem.l2; });
+
+    table.push_back(numParam("mem.dram.ranks", "int", R(mem.dram.ranks),
+                             1, 16, "DRAM ranks"));
+    table.push_back(numParam("mem.dram.banksPerRank", "int",
+                             R(mem.dram.banksPerRank), 1, 64,
+                             "DRAM banks per rank"));
+    table.push_back(numParam("mem.dram.rowBytes", "u32",
+                             R(mem.dram.rowBytes), 64, 1 << 20,
+                             "row-buffer size in bytes (power of two)",
+                             true));
+    table.push_back(numParam("mem.dram.rowHitLatency", "u64",
+                             R(mem.dram.rowHitLatency), 1, 10000,
+                             "core cycles to first data on a row hit"));
+    table.push_back(numParam("mem.dram.rowMissExtra", "u64",
+                             R(mem.dram.rowMissExtra), 0, 10000,
+                             "extra cycles for precharge + activate"));
+    table.push_back(numParam("mem.dram.burstCycles", "u64",
+                             R(mem.dram.burstCycles), 1, 10000,
+                             "data-bus occupancy per line"));
+    table.push_back(numParam("mem.prefetch.log2Entries", "int",
+                             R(mem.prefetch.log2Entries), 1, 24,
+                             "log2 stride-prefetcher table entries"));
+    table.push_back(numParam("mem.prefetch.degree", "int",
+                             R(mem.prefetch.degree), 1, 64,
+                             "prefetches issued per trigger"));
+    table.push_back(numParam("mem.prefetch.distance", "int",
+                             R(mem.prefetch.distance), 0, 64,
+                             "strides ahead of the demand stream"));
+    table.push_back(numParam("mem.prefetch.lineBytes", "u32",
+                             R(mem.prefetch.lineBytes), 8, 4096,
+                             "prefetch line granularity (power of two)",
+                             true));
+    table.push_back(boolParam("mem.prefetchEnabled", R(mem.prefetchEnabled),
+                              "attach the L2 stride prefetcher"));
+
+    // --- EOLE ---
+    table.push_back(boolParam("earlyExec", R(earlyExec),
+                              "Early Execution block beside Rename"));
+    table.push_back(numParam("eeStages", "int", R(eeStages), 1, 2,
+                             "EE ALU stages (paper: 1; Fig 2 tries 2)"));
+    table.push_back(boolParam("lateExec", R(lateExec),
+                              "Late Execution in the pre-commit LE/VT "
+                              "stage"));
+    table.push_back(boolParam("lateExecBranches", R(lateExecBranches),
+                              "late-execute very-high-confidence "
+                              "branches too"));
+
+    // --- PRF banking and port constraints ---
+    table.push_back(numParam("prfBanks", "int", R(prfBanks), 1, 64,
+                             "PRF banks (rename allocation imbalance)"));
+    table.push_back(numParam("eeWritePortsPerBank", "int",
+                             R(eeWritePortsPerBank), 0, 64,
+                             "EE/prediction write ports per bank (0 = "
+                             "unconstrained)"));
+    table.push_back(numParam("levtReadPortsPerBank", "int",
+                             R(levtReadPortsPerBank), 0, 64,
+                             "LE/validation/training read ports per bank "
+                             "(0 = unconstrained)"));
+
+    table.push_back(numParam("seed", "u64", R(seed), 0, ~0ULL,
+                             "config RNG seed (folded into per-cell job "
+                             "seeds)"));
+#undef R
+
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        panic_if(index.count(table[i].key),
+                 "duplicate param key %s", table[i].key.c_str());
+        index[table[i].key] = i;
+    }
+
+    // The default column of `eole describe --params` and the base for
+    // configOverrides: canonical text in a default-constructed config.
+    const SimConfig defaults;
+    for (ParamInfo &p : table)
+        p.defaultValue = p.get(defaults);
+}
+
+const ParamRegistry &
+ParamRegistry::instance()
+{
+    static const ParamRegistry reg;
+    return reg;
+}
+
+const ParamInfo *
+ParamRegistry::find(const std::string &key) const
+{
+    const auto it = index.find(key);
+    return it == index.end() ? nullptr : &table[it->second];
+}
+
+std::vector<std::string>
+ParamRegistry::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(table.size());
+    for (const ParamInfo &p : table)
+        out.push_back(p.key);
+    return out;
+}
+
+std::vector<std::string>
+ParamRegistry::suggest(const std::string &key, std::size_t n) const
+{
+    return closestMatches(key, keys(), n);
+}
+
+std::string
+ParamRegistry::get(const SimConfig &c, const std::string &key) const
+{
+    const ParamInfo *p = find(key);
+    fatal_if(!p, "unknown parameter \"%s\"%s", key.c_str(),
+             didYouMean(suggest(key)).c_str());
+    return p->get(c);
+}
+
+void
+ParamRegistry::set(SimConfig &c, const std::string &key,
+                   const std::string &value) const
+{
+    const std::string err = trySet(c, key, value);
+    fatal_if(!err.empty(), "%s", err.c_str());
+}
+
+std::string
+ParamRegistry::trySet(SimConfig &c, const std::string &key,
+                      const std::string &value) const
+{
+    const ParamInfo *p = find(key);
+    if (!p) {
+        return "unknown parameter \"" + key + "\""
+            + didYouMean(suggest(key));
+    }
+    return p->set(c, value);
+}
+
+// --------------------------- serialization -------------------------------
+
+std::vector<std::pair<std::string, std::string>>
+configKeyValues(const SimConfig &c)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    const auto &params = ParamRegistry::instance().params();
+    out.reserve(params.size());
+    for (const ParamInfo &p : params)
+        out.emplace_back(p.key, p.get(c));
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+configOverrides(const SimConfig &c)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const ParamInfo &p : ParamRegistry::instance().params()) {
+        std::string v = p.get(c);
+        if (v != p.defaultValue)
+            out.emplace_back(p.key, std::move(v));
+    }
+    return out;
+}
+
+std::string
+configText(const SimConfig &c)
+{
+    std::string out;
+    for (const auto &[key, value] : configKeyValues(c))
+        out += key + " = " + value + "\n";
+    return out;
+}
+
+std::string
+parseConfigText(const std::string &text, SimConfig *out)
+{
+    SimConfig c;
+    const ParamRegistry &reg = ParamRegistry::instance();
+    std::size_t pos = 0;
+    int lineno = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        const std::size_t b = line.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        const std::size_t e = line.find_last_not_of(" \t");
+        line = line.substr(b, e - b + 1);
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            return "line " + std::to_string(lineno)
+                + ": expected \"key = value\", got \"" + line + "\"";
+        }
+        std::string key = line.substr(0, eq);
+        std::string value = line.substr(eq + 1);
+        while (!key.empty() && std::isspace(
+                   static_cast<unsigned char>(key.back())))
+            key.pop_back();
+        std::size_t vb = 0;
+        while (vb < value.size() && std::isspace(
+                   static_cast<unsigned char>(value[vb])))
+            ++vb;
+        value = value.substr(vb);
+        while (!value.empty() && std::isspace(
+                   static_cast<unsigned char>(value.back())))
+            value.pop_back();
+        const std::string err = reg.trySet(c, key, value);
+        if (!err.empty())
+            return "line " + std::to_string(lineno) + ": " + err;
+    }
+    *out = c;
+    return "";
+}
+
+SimConfig
+deriveConfig(const SimConfig &base, const std::string &name,
+             const std::vector<std::pair<std::string, std::string>>
+                 &overrides)
+{
+    SimConfig c = base;
+    const ParamRegistry &reg = ParamRegistry::instance();
+    // The rename goes through the registry too, so names that cannot
+    // survive the text form ('#', newlines, edge whitespace) are
+    // rejected here and not at the far end of a round trip.
+    reg.set(c, "name", name);
+    for (const auto &[key, value] : overrides)
+        reg.set(c, key, value);
+    return c;
+}
+
+} // namespace eole

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Reflective parameter registry: every field of SimConfig — including
+ * the nested BpConfig, VpConfig and MemConfig sub-structs — bound to a
+ * canonical dotted string key ("issueWidth", "vp.vtage.tagBits",
+ * "mem.l1d.sizeBytes", ...) with type, default, range/enum validation
+ * and a doc string.
+ *
+ * One declaration site (the ParamRegistry constructor in params.cc)
+ * drives everything that addresses configuration as data:
+ *  - get/set-by-key with validation (`eole run --set key=value`),
+ *  - canonical key=value serialization (configText / configKeyValues),
+ *    which is byte-stable: serialize -> parse -> serialize is the
+ *    identity (pinned in tests/test_params.cc),
+ *  - plan files (sim/planfile.hh): grids as a base config plus axes of
+ *    key = v1, v2, v3 — new sweeps without recompiling,
+ *  - artifacts (sim/artifact.hh): every cell embeds its complete
+ *    canonical config map, and `eole diff` reports config drift,
+ *  - `eole describe`: dump any named config against the defaults.
+ *
+ * Adding a field to SimConfig (or a nested config struct) without
+ * registering it here is a bug: tests/test_params.cc pins the golden
+ * default key=value map, so the reviewer sees the omission.
+ */
+
+#ifndef EOLE_SIM_PARAMS_HH
+#define EOLE_SIM_PARAMS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace eole {
+
+/** One registered parameter: key, metadata and typed accessors. */
+struct ParamInfo
+{
+    std::string key;      //!< canonical dotted key, e.g. "vp.vtage.tagBits"
+    std::string type;     //!< "int", "u64", "bool", "string", "enum",
+                          //!< "double-list"
+    std::string doc;      //!< one-line description
+    std::string defaultValue;  //!< canonical text in a default SimConfig
+
+    /** Inclusive numeric range ("int"/"u64"); unused otherwise. */
+    std::uint64_t minValue = 0;
+    std::uint64_t maxValue = 0;
+
+    /** Accepted spellings for "enum" parameters. */
+    std::vector<std::string> enumValues;
+
+    /** Canonical text of the parameter's current value in @p c. */
+    std::function<std::string(const SimConfig &c)> get;
+
+    /** Parse, validate and assign; returns "" on success, else a
+     *  diagnostic. On error the config is left untouched. */
+    std::function<std::string(SimConfig &c, const std::string &value)> set;
+};
+
+/**
+ * The registry: a singleton table of ParamInfo in canonical order
+ * (SimConfig declaration order, nested structs under their prefix).
+ * Canonical order is the serialization order, so it is part of the
+ * byte-stability contract.
+ */
+class ParamRegistry
+{
+  public:
+    static const ParamRegistry &instance();
+
+    const std::vector<ParamInfo> &params() const { return table; }
+
+    /** Look up a key; nullptr when unknown (callers own the loud-exit
+     *  formatting — see suggest()). */
+    const ParamInfo *find(const std::string &key) const;
+
+    /** All registered keys, canonical order. */
+    std::vector<std::string> keys() const;
+
+    /** Nearest registered keys to a misspelled @p key (for exit-2
+     *  diagnostics). */
+    std::vector<std::string> suggest(const std::string &key,
+                                     std::size_t n = 3) const;
+
+    /** Current canonical text of @p key in @p c (fatal on unknown). */
+    std::string get(const SimConfig &c, const std::string &key) const;
+
+    /** Validated set-by-key (fatal on unknown key or invalid value —
+     *  the API form for compiled-in configs; CLI paths wanting exit 2
+     *  use trySet). */
+    void set(SimConfig &c, const std::string &key,
+             const std::string &value) const;
+
+    /** As set(), but returns "" on success or a diagnostic (including
+     *  nearest-key suggestions for unknown keys) instead of dying. */
+    std::string trySet(SimConfig &c, const std::string &key,
+                       const std::string &value) const;
+
+  private:
+    ParamRegistry();
+
+    std::vector<ParamInfo> table;
+    std::map<std::string, std::size_t> index;
+};
+
+/** Complete (key, canonical value) map of @p c, canonical order. */
+std::vector<std::pair<std::string, std::string>>
+configKeyValues(const SimConfig &c);
+
+/** Only the entries of configKeyValues that differ from a
+ *  default-constructed SimConfig (the base+override view). */
+std::vector<std::pair<std::string, std::string>>
+configOverrides(const SimConfig &c);
+
+/** Canonical text form: one "key = value" line per parameter, in
+ *  canonical order. The inverse of parseConfigText; serialize -> parse
+ *  -> serialize is byte-stable. */
+std::string configText(const SimConfig &c);
+
+/** Apply a configText document (or any subset of "key = value" lines;
+ *  '#' comments and blank lines ignored) onto a default SimConfig.
+ *  Returns "" and fills @p out on success, else a diagnostic naming
+ *  the offending line. */
+std::string parseConfigText(const std::string &text, SimConfig *out);
+
+/**
+ * Base+override construction: copy @p base, rename it to @p name and
+ * apply the (key, value) overrides through the registry (fatal on an
+ * unknown key or invalid value — overrides here are compiled in, so a
+ * failure is a programming error). This is how sim/configs.cc and
+ * sim/plans.cc derive every hand-rolled variant, proving the string
+ * API carries the paper's full figure set.
+ */
+SimConfig deriveConfig(
+    const SimConfig &base, const std::string &name,
+    const std::vector<std::pair<std::string, std::string>> &overrides);
+
+} // namespace eole
+
+#endif // EOLE_SIM_PARAMS_HH

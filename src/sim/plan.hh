@@ -6,7 +6,10 @@
  * seed and the paper-style tables to print — expanded by the sweep
  * engine (sim/sweep.hh) into independent jobs. Every figure of the
  * paper is a named plan in sim/plans.hh; the per-figure bench binaries
- * and the `eole` CLI both drive plans through the same engine.
+ * and the `eole` CLI both drive plans through the same engine. Plans
+ * can also be authored as text (sim/planfile.hh, `eole run --plan`):
+ * a base config plus axes of registry keys (sim/params.hh) expands to
+ * the same structure without recompiling.
  *
  * Seeding discipline: each job's SimConfig::seed is derived
  * deterministically from (plan seed, config seed, config name,

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Plan files: ExperimentPlan grids as pure, serializable data — new
+ * sweeps without recompiling. `eole run --plan file.plan` parses one
+ * of these into the same ExperimentPlan the compiled-in registry
+ * (sim/plans.hh) produces, so artifacts, sampling, `--jobs`
+ * bit-identity and diffing all apply unchanged.
+ *
+ * Format: one directive per line, '#' starts a comment.
+ *
+ *   plan = my_sweep               # required; the artifact plan name
+ *   description = what it shows
+ *   base = EOLE_4_64              # named config the axes derive from
+ *   configs = Baseline_6_64, EOLE_4_64   # explicit named configs
+ *   workloads = all               # or a comma list of workload names
+ *   seed = 1                      # plan base seed
+ *   warmup = 20000                # u-ops (0/absent = env defaults)
+ *   measure = 100000
+ *   set vp.kind = VTAGE           # registry override, applied to
+ *                                 # every config (same as --set)
+ *   axis prfBanks = 1, 2, 4, 8    # grid axis over `base`
+ *   axis issueWidth = 4, 6        # axes cross-multiply (here: 8 cells)
+ *   table ipc "IPC" normalize=EOLE_4_64   # optional paper-style table
+ *
+ * Config names and axis/set keys resolve through configs::findNamed
+ * and the parameter registry (sim/params.hh); grid cells are named
+ * `<base>+key=value[+key=value...]` so every cell stays addressable
+ * in artifacts and --filter. Errors carry the line number and
+ * nearest valid spellings — the CLI exits 2 on them.
+ */
+
+#ifndef EOLE_SIM_PLANFILE_HH
+#define EOLE_SIM_PLANFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/plan.hh"
+
+namespace eole {
+
+/** One grid axis: a registry key crossed over canonical value texts. */
+struct GridAxis
+{
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/**
+ * Cross-multiply @p axes over @p base (first axis slowest). Each cell
+ * is deriveConfig(base, "<base>+k=v...", overrides); fatal on unknown
+ * keys/invalid values (callers wanting diagnostics validate first, as
+ * the plan-file parser does).
+ */
+std::vector<SimConfig> expandGrid(const SimConfig &base,
+                                  const std::vector<GridAxis> &axes);
+
+/**
+ * Parse plan-file text. Returns true and fills @p out on success;
+ * otherwise false with a diagnostic in @p err ("<origin> line N: ...",
+ * including did-you-mean suggestions for misspelled directives, keys,
+ * config and workload names).
+ */
+bool parsePlanText(const std::string &text, const std::string &origin,
+                   ExperimentPlan *out, std::string *err);
+
+/** parsePlanText over a file's contents (false + @p err when the file
+ *  is unreadable). */
+bool loadPlanFile(const std::string &path, ExperimentPlan *out,
+                  std::string *err);
+
+} // namespace eole
+
+#endif // EOLE_SIM_PLANFILE_HH

@@ -2,8 +2,10 @@
 
 #include <map>
 
+#include "common/fuzzy.hh"
 #include "common/logging.hh"
 #include "sim/configs.hh"
+#include "sim/params.hh"
 #include "workloads/workload.hh"
 
 namespace eole {
@@ -20,14 +22,19 @@ names(std::initializer_list<SimConfig> cfgs)
     return out;
 }
 
+// Every config variant below is a named base plus string-keyed
+// overrides through the parameter registry (deriveConfig,
+// sim/params.hh) — the same path `eole run --set` and plan files use,
+// so the registry provably carries the paper's whole figure set (the
+// byte-identical-artifact regression in tests/test_params.cc pins it).
+
 ExperimentPlan
 fig02()
 {
-    SimConfig one = configs::eole(6, 64);
-    one.name = "EE_1stage";
-    SimConfig two = configs::eole(6, 64);
-    two.name = "EE_2stages";
-    two.eeStages = 2;
+    const SimConfig one = deriveConfig(configs::eole(6, 64),
+                                       "EE_1stage", {});
+    const SimConfig two = deriveConfig(configs::eole(6, 64),
+                                       "EE_2stages", {{"eeStages", "2"}});
 
     ExperimentPlan p;
     p.name = "fig02";
@@ -42,8 +49,7 @@ fig02()
 ExperimentPlan
 fig04()
 {
-    SimConfig cfg = configs::eole(6, 64);
-    cfg.name = "EOLE_6_64";
+    const SimConfig cfg = configs::eole(6, 64);
 
     ExperimentPlan p;
     p.name = "fig04";
@@ -233,17 +239,20 @@ ablFpc()
 {
     const SimConfig base = configs::baseline(6, 64);
 
-    SimConfig plain = configs::baselineVp(6, 64);
-    plain.name = "FPC_plain3bit";
-    plain.vp.fpcVector = {1, 1, 1, 1, 1, 1, 1};
+    const SimConfig plain =
+        deriveConfig(configs::baselineVp(6, 64), "FPC_plain3bit",
+                     {{"vp.fpcVector", "1,1,1,1,1,1,1"}});
 
-    SimConfig paper = configs::baselineVp(6, 64);
-    paper.name = "FPC_paper";
+    const SimConfig paper =
+        deriveConfig(configs::baselineVp(6, 64), "FPC_paper", {});
 
-    SimConfig strict = configs::baselineVp(6, 64);
-    strict.name = "FPC_strict";
-    strict.vp.fpcVector = {1.0, 1.0 / 64, 1.0 / 64, 1.0 / 64,
-                           1.0 / 64, 1.0 / 128, 1.0 / 128};
+    // 1/64 = 0.015625 and 1/128 = 0.0078125 are exact binary fractions,
+    // so the decimal spellings reproduce the old doubles bit-for-bit.
+    const SimConfig strict =
+        deriveConfig(configs::baselineVp(6, 64), "FPC_strict",
+                     {{"vp.fpcVector",
+                       "1,0.015625,0.015625,0.015625,0.015625,"
+                       "0.0078125,0.0078125"}});
 
     ExperimentPlan p;
     p.name = "abl_fpc";
@@ -270,20 +279,18 @@ ablPredictors()
     p.name = "abl_predictors";
     p.description = "value-predictor family comparison";
     p.configs = {base};
-    const std::pair<VpKind, const char *> kinds[] = {
-        {VpKind::LastValue, "VP_LVP"},
-        {VpKind::Stride, "VP_Stride"},
-        {VpKind::TwoDeltaStride, "VP_2DStride"},
-        {VpKind::Fcm, "VP_FCM"},
-        {VpKind::Vtage, "VP_VTAGE"},
-        {VpKind::HybridVtage2DStride, "VP_Hybrid"},
+    const std::pair<const char *, const char *> kinds[] = {
+        {"LVP", "VP_LVP"},
+        {"Stride", "VP_Stride"},
+        {"2D-Stride", "VP_2DStride"},
+        {"FCM", "VP_FCM"},
+        {"VTAGE", "VP_VTAGE"},
+        {"VTAGE-2DStride", "VP_Hybrid"},
     };
     std::vector<std::string> cols;
     for (const auto &[kind, name] : kinds) {
-        SimConfig c = configs::baselineVp(6, 64);
-        c.name = name;
-        c.vp.kind = kind;
-        p.configs.push_back(c);
+        p.configs.push_back(deriveConfig(configs::baselineVp(6, 64),
+                                         name, {{"vp.kind", kind}}));
         cols.emplace_back(name);
     }
     p.workloads = workloads::allNames();
@@ -370,7 +377,8 @@ get(const std::string &name)
         if (n == name)
             return builder();
     }
-    fatal("unknown plan \"%s\" (try `eole list`)", name.c_str());
+    fatal("unknown plan \"%s\"%s (try `eole list`)", name.c_str(),
+          didYouMean(closestMatches(name, allNames())).c_str());
 }
 
 } // namespace plans

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "isa/checkpoint.hh"
 #include "pipeline/core.hh"
+#include "sim/params.hh"
 #include "sim/trace_cache.hh"
 #include "workloads/workload.hh"
 
@@ -165,6 +166,7 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         rr.workload = plan.workloads[cells[i].wl];
         rr.seed = jobSeed(plan.seed, plan.configs[cells[i].cfg].seed,
                           rr.config, rr.workload);
+        rr.params = configKeyValues(plan.configs[cells[i].cfg]);
         cells[i].starts =
             placeIntervals(out.warmup, out.measure, spec, rr.seed);
         cells[i].intervals.resize(cells[i].starts.size());

@@ -9,6 +9,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "pipeline/core.hh"
+#include "sim/params.hh"
 #include "sim/trace_cache.hh"
 #include "workloads/workload.hh"
 
@@ -121,6 +122,10 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
         cell.workload = plan.workloads[j.wl];
         cell.seed = jobSeed(plan.seed, plan.configs[j.cfg].seed,
                             cell.config, cell.workload);
+        // The canonical config map of the cell as declared by the plan
+        // (the per-job seed the cell actually ran with is the "seed"
+        // field above; the map records the config's own seed knob).
+        cell.params = configKeyValues(plan.configs[j.cfg]);
     }
     if (jobs.empty())
         return out;

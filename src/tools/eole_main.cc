@@ -25,10 +25,15 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
+#include "common/fuzzy.hh"
 #include "common/logging.hh"
 #include "sim/artifact.hh"
+#include "sim/configs.hh"
 #include "sim/experiment.hh"
+#include "sim/params.hh"
 #include "sim/plan.hh"
+#include "sim/planfile.hh"
 #include "sim/plans.hh"
 #include "sim/sample/sample.hh"
 #include "sim/sweep.hh"
@@ -46,11 +51,27 @@ usage(FILE *to, int exit_code)
         "\n"
         "usage:\n"
         "  eole list [--workloads]\n"
-        "      List every registered experiment plan, or with\n"
-        "      --workloads the registered workloads and their µ-op\n"
-        "      counts (counted up to the current run-length horizon).\n"
+        "      List every registered experiment plan with its grid\n"
+        "      size (configs x workloads) and default run lengths, or\n"
+        "      with --workloads the registered workloads and their\n"
+        "      µ-op counts (up to the current run-length horizon).\n"
+        "\n"
+        "  eole describe <config> | --params\n"
+        "      Dump a named configuration (Baseline_6_64,\n"
+        "      EOLE_4_64_4ports_4banks, FPC_paper, ...) as its full\n"
+        "      canonical key=value map; values differing from the\n"
+        "      defaults are marked. --params lists every registered\n"
+        "      parameter key with type, range and doc instead.\n"
         "\n"
         "  eole run <plan> [options]\n"
+        "  eole run --plan <file.plan> [options]\n"
+        "      --plan F      run a plan file (grid as data: base\n"
+        "                    config + `axis key = v1, v2` lines; see\n"
+        "                    DESIGN.md §9) instead of a registered\n"
+        "                    plan\n"
+        "      --set K=V     override parameter K on every config of\n"
+        "                    the plan (repeatable; keys as in `eole\n"
+        "                    describe --params`)\n"
         "      --jobs N      worker threads (default: EOLE_THREADS or\n"
         "                    hardware concurrency)\n"
         "      --filter S    run only cells whose \"config/workload\"\n"
@@ -74,9 +95,11 @@ usage(FILE *to, int exit_code)
         "  eole diff <a.json> <b.json> [--rel-tol X] [--abs-tol X]\n"
         "            [--ci]\n"
         "      Compare two artifacts; exit 1 if they differ beyond\n"
-        "      tolerance (default: exact). --ci compares stats that\n"
-        "      carry *_ci95 companions by confidence-interval overlap\n"
-        "      and skips sample_* bookkeeping stats (for sampled\n"
+        "      tolerance (default: exact). Cells embed their complete\n"
+        "      canonical config map, so config drift is reported\n"
+        "      alongside stat drift. --ci compares stats that carry\n"
+        "      *_ci95 companions by confidence-interval overlap and\n"
+        "      skips sample_* bookkeeping stats (for sampled\n"
         "      artifacts; combine with --rel-tol for raw totals). A\n"
         "      stat key present on only one side is always a\n"
         "      difference.\n");
@@ -99,9 +122,8 @@ takeValue(int argc, char **argv, int &i, const char *flag, std::string &out)
 std::uint64_t
 parseU64(const std::string &s, const char *what)
 {
-    char *end = nullptr;
-    const std::uint64_t v = std::strtoull(s.c_str(), &end, 0);
-    if (end == s.c_str() || *end != '\0') {
+    std::uint64_t v = 0;
+    if (!parseU64Strict(s, &v)) {
         std::fprintf(stderr, "eole: bad %s \"%s\"\n", what, s.c_str());
         std::exit(2);
     }
@@ -154,16 +176,102 @@ cmdList(int argc, char **argv)
     }
     if (argc == 1)
         return cmdListWorkloads();
-    std::printf("%-16s %5s  %s\n", "plan", "cells", "description");
+    std::printf("%-16s %10s %9s %9s  %s\n", "plan", "grid", "warmup",
+                "measure", "description");
     for (const std::string &name : plans::allNames()) {
         const ExperimentPlan p = plans::get(name);
-        std::printf("%-16s %5zu  %s\n", name.c_str(), p.gridSize(),
-                    p.description.c_str());
+        // The run lengths this plan would use today: plan fields when
+        // set, else the environment/default (common/env.hh precedence
+        // minus the CLI flags, which are per-invocation).
+        const std::uint64_t warm = resolveRunLength(
+            0, p.warmup, "EOLE_WARMUP", defaultWarmupUops);
+        const std::uint64_t meas = resolveRunLength(
+            0, p.measure, "EOLE_INSTS", defaultMeasureUops);
+        const std::string grid = std::to_string(p.configs.size()) + "x"
+            + std::to_string(p.workloads.size()) + "="
+            + std::to_string(p.gridSize());
+        std::printf("%-16s %10s %9llu %9llu  %s\n", name.c_str(),
+                    grid.c_str(), (unsigned long long)warm,
+                    (unsigned long long)meas, p.description.c_str());
     }
-    std::printf("\nrun lengths: warmup=%llu, measure=%llu µ-ops "
-                "(EOLE_WARMUP / EOLE_INSTS or --warmup / --insts)\n",
-                (unsigned long long)warmupUops(),
-                (unsigned long long)measureUops());
+    std::printf("\ngrid = configs x workloads = cells; run lengths in "
+                "µ-ops (EOLE_WARMUP / EOLE_INSTS env or --warmup / "
+                "--insts per run)\n");
+    return 0;
+}
+
+int
+cmdDescribe(int argc, char **argv)
+{
+    if (argc != 1) {
+        std::fprintf(stderr,
+                     "eole: describe needs a config name or --params\n");
+        return usage(stderr, 2);
+    }
+    const ParamRegistry &reg = ParamRegistry::instance();
+
+    if (std::strcmp(argv[0], "--params") == 0) {
+        std::printf("%-28s %-11s %-22s %s\n", "key", "type",
+                    "default", "doc");
+        for (const ParamInfo &p : reg.params()) {
+            std::string constraint;
+            if (p.type == "int" || p.type == "u64" || p.type == "u32") {
+                constraint = p.maxValue == ~0ULL
+                    ? csprintf("[%llu, 2^64)",
+                               (unsigned long long)p.minValue)
+                    : csprintf("[%llu, %llu]",
+                               (unsigned long long)p.minValue,
+                               (unsigned long long)p.maxValue);
+            } else if (p.type == "enum") {
+                for (const std::string &v : p.enumValues) {
+                    constraint +=
+                        (constraint.empty() ? "" : "|") + v;
+                }
+            }
+            std::printf("%-28s %-11s %-22s %s%s%s\n", p.key.c_str(),
+                        p.type.c_str(), p.defaultValue.c_str(),
+                        p.doc.c_str(),
+                        constraint.empty() ? "" : "; ",
+                        constraint.c_str());
+        }
+        std::printf("\n%zu parameters; set any of them with `eole run "
+                    "<plan> --set key=value` or plan-file `set`/`axis` "
+                    "directives\n", reg.params().size());
+        return 0;
+    }
+
+    const std::string name = argv[0];
+    SimConfig c;
+    if (!configs::findNamed(name, &c)) {
+        std::fprintf(stderr, "eole: unknown config \"%s\"%s\n",
+                     name.c_str(),
+                     didYouMean(closestMatches(
+                         name, configs::knownNames())).c_str());
+        std::fprintf(stderr,
+                     "  named configs of registered plans:");
+        for (const std::string &n : configs::knownNames())
+            std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr,
+                     "\n  plus the paper naming scheme "
+                     "(Baseline[_VP]_<w>_<iq>, EOLE_<w>_<iq>"
+                     "[_<p>ports_<b>banks], OLE_/EOE_...)\n");
+        return 2;
+    }
+
+    std::size_t overrides = 0;
+    for (const ParamInfo &p : reg.params()) {
+        const std::string v = p.get(c);
+        if (v == p.defaultValue) {
+            std::printf("%-28s = %s\n", p.key.c_str(), v.c_str());
+        } else {
+            std::printf("%-28s = %-22s # default: %s\n", p.key.c_str(),
+                        v.c_str(), p.defaultValue.c_str());
+            ++overrides;
+        }
+    }
+    std::printf("\n%s: %zu parameters, %zu differing from defaults "
+                "(marked '#')\n", c.name.c_str(), reg.params().size(),
+                overrides);
     return 0;
 }
 
@@ -172,20 +280,48 @@ cmdRun(int argc, char **argv)
 {
     if (argc < 1)
         return usage(stderr, 2);
-    const std::string plan_name = argv[0];
-    if (!plans::exists(plan_name)) {
-        std::fprintf(stderr, "eole: unknown plan \"%s\" (try `eole "
-                     "list`)\n", plan_name.c_str());
-        return 2;
+
+    ExperimentPlan plan;
+    bool have_plan = false;
+    int first_opt = 0;
+    if (argv[0][0] != '-') {
+        const std::string plan_name = argv[0];
+        if (!plans::exists(plan_name)) {
+            std::fprintf(stderr,
+                         "eole: unknown plan \"%s\"%s (try `eole "
+                         "list`)\n", plan_name.c_str(),
+                         didYouMean(closestMatches(
+                             plan_name, plans::allNames())).c_str());
+            return 2;
+        }
+        plan = plans::get(plan_name);
+        have_plan = true;
+        first_opt = 1;
     }
 
-    ExperimentPlan plan = plans::get(plan_name);
     SweepOptions opt;
     SampleSpec sample;
     std::string out_path, csv_path, value;
+    std::vector<std::string> sets;
+    std::uint64_t seed = 0;
+    bool have_seed = false;
     bool tables = true, quiet = false;
-    for (int i = 1; i < argc; ++i) {
-        if (takeValue(argc, argv, i, "--jobs", value)) {
+    for (int i = first_opt; i < argc; ++i) {
+        if (takeValue(argc, argv, i, "--plan", value)) {
+            if (have_plan) {
+                std::fprintf(stderr, "eole: give either a registered "
+                             "plan name or --plan, not both\n");
+                return 2;
+            }
+            std::string err;
+            if (!loadPlanFile(value, &plan, &err)) {
+                std::fprintf(stderr, "eole: %s\n", err.c_str());
+                return 2;
+            }
+            have_plan = true;
+        } else if (takeValue(argc, argv, i, "--set", value)) {
+            sets.push_back(value);
+        } else if (takeValue(argc, argv, i, "--jobs", value)) {
             opt.jobs = static_cast<int>(parseU64(value, "--jobs"));
         } else if (takeValue(argc, argv, i, "--filter", value)) {
             opt.filter = value;
@@ -198,7 +334,8 @@ cmdRun(int argc, char **argv)
         } else if (takeValue(argc, argv, i, "--insts", value)) {
             opt.measure = parseU64(value, "--insts");
         } else if (takeValue(argc, argv, i, "--seed", value)) {
-            plan.seed = parseU64(value, "--seed");
+            seed = parseU64(value, "--seed");
+            have_seed = true;
         } else if (takeValue(argc, argv, i, "--sample", value)) {
             sample = parseSampleSpec(value);
         } else if (std::strcmp(argv[i], "--no-cache") == 0) {
@@ -212,6 +349,37 @@ cmdRun(int argc, char **argv)
             return usage(stderr, 2);
         }
     }
+    if (!have_plan) {
+        std::fprintf(stderr,
+                     "eole: run needs a plan name or --plan <file>\n");
+        return usage(stderr, 2);
+    }
+    if (have_seed)
+        plan.seed = seed;
+
+    // Ad-hoc overrides: apply each --set key=value to every config of
+    // the plan through the registry. A typo'd key or bad value is an
+    // operator mistake: exit 2 with the nearest valid keys.
+    const ParamRegistry &reg = ParamRegistry::instance();
+    for (const std::string &kv : sets) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            std::fprintf(stderr,
+                         "eole: --set wants key=value, got \"%s\"\n",
+                         kv.c_str());
+            return 2;
+        }
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        for (SimConfig &c : plan.configs) {
+            const std::string err = reg.trySet(c, key, val);
+            if (!err.empty()) {
+                std::fprintf(stderr, "eole: --set: %s\n", err.c_str());
+                return 2;
+            }
+        }
+    }
+    const std::string plan_name = plan.name;
 
     // A filter that matches nothing is an operator mistake (typo'd
     // config or workload); fail loudly with the valid names.
@@ -329,6 +497,8 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     if (cmd == "list")
         return cmdList(argc - 2, argv + 2);
+    if (cmd == "describe")
+        return cmdDescribe(argc - 2, argv + 2);
     if (cmd == "run")
         return cmdRun(argc - 2, argv + 2);
     if (cmd == "diff")

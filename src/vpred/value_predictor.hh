@@ -121,7 +121,11 @@ class ValuePredictor : public WarmableComponent
 
 /** Geometry knobs (Table 2 defaults). The kind defaults to None so
  *  that a default SimConfig is the paper's VP-less baseline; named
- *  configurations opt in to the hybrid. */
+ *  configurations opt in to the hybrid.
+ *  String-addressable via the parameter registry (sim/params.hh):
+ *  "vp.kind", "vp.fpcVector", and the flat vtageX/fcmX/strideX fields
+ *  under the "vp.vtage.", "vp.fcm." and "vp.stride." prefixes; new
+ *  fields must be registered there. */
 struct VpConfig
 {
     VpKind kind = VpKind::None;

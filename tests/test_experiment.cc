@@ -179,7 +179,7 @@ TEST(Sweep, JobCountDoesNotChangeTheArtifactBytes)
     const std::string a = jsonArtifactString(runPlan(plan, serial));
     const std::string b = jsonArtifactString(runPlan(plan, wide));
     EXPECT_EQ(a, b);
-    EXPECT_NE(a.find("\"schema\": \"eole-sweep-v1\""), std::string::npos);
+    EXPECT_NE(a.find("\"schema\": \"eole-sweep-v2\""), std::string::npos);
 }
 
 TEST(Sweep, TraceCacheDoesNotChangeTheArtifactBytes)
