@@ -13,17 +13,26 @@
 #                  run lengths.
 #   --tsan         additionally build with ThreadSanitizer
 #                  (-DEOLE_TSAN=ON, build-tsan/) and run the sweep
-#                  engine + torture + sampling suites under it.
-#   --sample       additionally run the sampled-vs-full validation
-#                  lane: the sample_validation bench at a 1M-µop
-#                  measure with the speedup target relaxed to 2x
-#                  (short runs cannot amortize trace recording;
-#                  paper-grade 5M-µop runs demonstrate >= 5x), plus
-#                  the checkpoint round-trip suite under
-#                  AddressSanitizer (-DEOLE_ASAN=ON, build-asan/).
-#                  The test_sample suite itself runs in the default
-#                  ctest pass with the same per-suite timeout as
-#                  every other suite.
+#                  engine + torture + sampling suites under it, plus
+#                  a checkpoint round-trip smoke (the warm-once
+#                  differential test) exercising snapshot/restore on
+#                  the worker pool.
+#   --sample       additionally run the sampling lanes:
+#                  (1) the sample_validation bench at a 1M-µop
+#                  measure — full vs re-warm vs warm-once-restore,
+#                  requiring restore >= 2x over PR 3's B=0 re-warming
+#                  with bit-equal interval IPCs (paper-grade 5M-µop
+#                  runs demonstrate larger wins);
+#                  (2) a warm-once v2 lane: a sampled smoke run whose
+#                  artifact must carry nonzero
+#                  sample_restored_intervals (proof the restore path,
+#                  not silent re-warming, produced the numbers), plus
+#                  an `eole ckpt save`/`info` round trip;
+#                  (3) the checkpoint/state suites (test_sample,
+#                  test_ckpt_state, test_torture incl. the checkpoint
+#                  fuzzer) under AddressSanitizer (-DEOLE_ASAN=ON,
+#                  build-asan/). The suites also run in the default
+#                  ctest pass with the standard per-suite timeout.
 #
 # Every ctest invocation runs with --timeout (EOLE_TEST_TIMEOUT,
 # default 600 s per suite) so a hung worker thread fails CI instead of
@@ -109,27 +118,62 @@ if [[ "$WITH_SAMPLE" == 1 ]]; then
     # 1M µ-ops, 2x target: long enough to amortize trace recording so
     # the wall-clock check means something, short enough for CI. The
     # bench requires at least one workload that is simultaneously
-    # within its sampled CI and >= 2x faster sampled.
+    # within its sampled CI, bit-equal between the restore and re-warm
+    # paths, and >= 2x faster restored than re-warmed.
     if ! EOLE_WARMUP=50000 EOLE_INSTS=1000000 \
          EOLE_SAMPLE_MIN_SPEEDUP=2 ./build/sample_validation; then
         echo "check.sh: sample_validation FAILED" >&2
         exit 1
     fi
 
-    echo "check.sh: AddressSanitizer pass (checkpoint round trip)"
+    echo "check.sh: warm-once v2 lane (restored-interval stat + ckpt CLI)"
+    # The sampled artifact must prove the warm-once path ran: every
+    # cell carries sample_restored_intervals, and none may be zero
+    # (zero would mean the intervals silently fell back to
+    # re-warming).
+    if ! ./build/eole run smoke --sample 4:2000:1000 --quiet \
+         --no-tables --out build/sample_v2.json; then
+        echo "check.sh: sampled smoke run FAILED" >&2
+        exit 1
+    fi
+    if ! grep -q '"sample_restored_intervals"' build/sample_v2.json \
+       || grep -Eq '"sample_restored_intervals": 0(\.0+)?([,}]|$)' \
+               build/sample_v2.json; then
+        echo "check.sh: sampled artifact does not show the warm-once" \
+             "path (sample_restored_intervals missing or zero)" >&2
+        exit 1
+    fi
+    # ckpt save -> info round trip: every written v2 file must parse
+    # with its sections intact.
+    rm -rf build/ckpts
+    if ! ./build/eole ckpt save smoke --sample 2:2000:1000 \
+         --out build/ckpts --quiet; then
+        echo "check.sh: eole ckpt save FAILED" >&2
+        exit 1
+    fi
+    if ! ./build/eole ckpt info build/ckpts/*.ckpt \
+         | grep -q 'eole-ckpt-v2.*sections.*branch'; then
+        echo "check.sh: eole ckpt info round trip FAILED" >&2
+        exit 1
+    fi
+
+    echo "check.sh: AddressSanitizer pass (checkpoint/state suites)"
     cmake -B build-asan -S . -DEOLE_ASAN=ON \
           -DEOLE_TEST_TIMEOUT="$TEST_TIMEOUT"
-    cmake --build build-asan -j "$JOBS" --target test_sample
-    run_ctest build-asan -R '^test_sample$'
+    cmake --build build-asan -j "$JOBS" \
+          --target test_sample test_ckpt_state test_torture
+    run_ctest build-asan -R '^(test_sample|test_ckpt_state|test_torture)$'
 fi
 
 if [[ "$WITH_TSAN" == 1 ]]; then
-    echo "check.sh: ThreadSanitizer pass (sweep engine + torture)"
+    echo "check.sh: ThreadSanitizer pass (sweep engine + torture + ckpt)"
     cmake -B build-tsan -S . -DEOLE_TSAN=ON \
           -DEOLE_TEST_TIMEOUT="$TEST_TIMEOUT"
     cmake --build build-tsan -j "$JOBS" \
-          --target test_experiment test_torture test_sample
-    run_ctest build-tsan -R '^(test_experiment|test_torture|test_sample)$'
+          --target test_experiment test_torture test_sample \
+                   test_ckpt_state
+    run_ctest build-tsan \
+        -R '^(test_experiment|test_torture|test_sample|test_ckpt_state)$'
 fi
 
 echo "check.sh: OK (warmup=$EOLE_WARMUP, insts=$EOLE_INSTS," \

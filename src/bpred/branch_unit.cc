@@ -1,5 +1,7 @@
 #include "bpred/branch_unit.hh"
 
+#include "isa/snapshot.hh"
+
 namespace eole {
 
 namespace {
@@ -144,6 +146,47 @@ BranchUnit::warmUpdate(const TraceUop &uop)
         ras.push(uop.pc + uopBytes);
     else if (uop.isRet())
         (void)ras.pop();
+    cached.reset();
+}
+
+void
+BranchUnit::snapshotState(std::ostream &os) const
+{
+    SnapshotWriter w(os);
+    w.tag("branch-unit").u64(1);
+    w.end();
+    tage.snapshotState(os);
+    hist.snapshotState(os);
+    btb.snapshotState(os);
+    ras.snapshotState(os);
+    w.tag("conf").u64(confTable.size());
+    w.end();
+    w.tag("conf.t");
+    for (const std::uint8_t c : confTable)
+        w.u64(c);
+    w.end();
+}
+
+void
+BranchUnit::restoreState(std::istream &is)
+{
+    SnapshotReader r(is, "branch-unit");
+    r.line("branch-unit");
+    r.fatalIf(r.u64("version") != 1, "unsupported version");
+    r.endLine();
+    tage.restoreState(r);
+    hist.restoreState(r);
+    btb.restoreState(r);
+    ras.restoreState(r);
+    r.line("conf");
+    r.fatalIf(r.u64("entries") != confTable.size(),
+              "confidence-table size mismatch");
+    r.endLine();
+    r.line("conf.t");
+    const std::uint64_t full = (1u << cfg.confBits) - 1;
+    for (std::uint8_t &c : confTable)
+        c = static_cast<std::uint8_t>(r.u64Max("ctr", full));
+    r.endLine();
     cached.reset();
 }
 

@@ -134,6 +134,16 @@ class BranchUnit : public WarmableComponent
      */
     void warmUpdate(const TraceUop &uop) override;
 
+    /** Serialize TAGE tables, global history (with folds and raw
+     *  bits), BTB, RAS and the JRS confidence filter (canonical text;
+     *  isa/warmable.hh contract). */
+    void snapshotState(std::ostream &os) const override;
+
+    /** Restore into a same-geometry unit; subsequent predictions are
+     *  decision-identical to the snapshotted unit (pinned by
+     *  tests/test_ckpt_state.cc). */
+    void restoreState(std::istream &is) override;
+
   private:
     /** Apply the architectural effect of @p uop with outcome @p taken. */
     void speculativeApply(const TraceUop &uop, bool taken, Addr target);

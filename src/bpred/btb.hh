@@ -12,6 +12,7 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "isa/snapshot.hh"
 
 namespace eole {
 
@@ -70,6 +71,38 @@ class Btb
         e.tag = tag;
         e.target = target;
         e.lru = ++lruClock;
+    }
+
+    /** Serialize entries + LRU clock (canonical text). */
+    void
+    snapshotState(std::ostream &os) const
+    {
+        SnapshotWriter w(os);
+        w.tag("btb").u64(entries.size()).u64(lruClock);
+        w.end();
+        w.tag("btb.e");
+        for (const Entry &e : entries)
+            w.flag(e.valid).u64(e.tag).u64(e.target).u64(e.lru);
+        w.end();
+    }
+
+    /** Restore into a same-geometry instance. */
+    void
+    restoreState(SnapshotReader &r)
+    {
+        r.line("btb");
+        r.fatalIf(r.u64("entries") != entries.size(),
+                  "BTB entry-count mismatch");
+        lruClock = r.u64("lruClock");
+        r.endLine();
+        r.line("btb.e");
+        for (Entry &e : entries) {
+            e.valid = r.flag("valid");
+            e.tag = r.u64("tag");
+            e.target = r.u64("target");
+            e.lru = r.u64("lru");
+        }
+        r.endLine();
     }
 
   private:
@@ -143,6 +176,39 @@ class Ras
         stack = s.stack;
         top = s.top;
         depth = s.depth;
+    }
+
+    /** Serialize the whole stack (canonical text). */
+    void
+    snapshotState(std::ostream &os) const
+    {
+        SnapshotWriter w(os);
+        w.tag("ras").u64(stack.size()).u64(top).u64(depth);
+        w.end();
+        w.tag("ras.stack");
+        for (const Addr a : stack)
+            w.u64(a);
+        w.end();
+    }
+
+    /** Restore into a same-geometry instance. */
+    void
+    restoreState(SnapshotReader &r)
+    {
+        r.line("ras");
+        r.fatalIf(r.u64("entries") != stack.size(),
+                  "RAS size mismatch");
+        const std::uint64_t t = r.u64("top");
+        const std::uint64_t d = r.u64("depth");
+        r.fatalIf(t >= stack.size() || d > stack.size(),
+                  "RAS cursor out of range");
+        r.endLine();
+        r.line("ras.stack");
+        for (Addr &a : stack)
+            a = r.u64("addr");
+        r.endLine();
+        top = t;
+        depth = d;
     }
 
   private:

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "isa/snapshot.hh"
 
 namespace eole {
 
@@ -139,6 +140,70 @@ class GlobalHistory
         pos = s.pos;
         for (std::size_t i = 0; i < folds.size(); ++i)
             folds[i].comp = s.folds[i];
+    }
+
+    /** Serialize position, fold values and the raw bit buffer
+     *  (canonical text; isa/snapshot.hh). Fold geometry is derived
+     *  from construction and not serialized. */
+    void
+    snapshotState(std::ostream &os) const
+    {
+        SnapshotWriter w(os);
+        w.tag("hist").u64(pos).u64(folds.size()).u64(bits.size());
+        w.end();
+        w.tag("hist.folds");
+        for (const auto &f : folds)
+            w.u64(f.comp);
+        w.end();
+        // The raw buffer packs 4 direction bits per hex nibble,
+        // buffer-index order.
+        os << "hist.bits ";
+        for (std::size_t i = 0; i < bits.size(); i += 4) {
+            unsigned nib = 0;
+            for (std::size_t b = 0; b < 4 && i + b < bits.size(); ++b)
+                nib |= (bits[i + b] ? 1u : 0u) << (3 - b);
+            os << "0123456789abcdef"[nib];
+        }
+        os << '\n';
+    }
+
+    /** Restore into a same-geometry instance (fatal with section/line
+     *  context otherwise). */
+    void
+    restoreState(SnapshotReader &r)
+    {
+        r.line("hist");
+        const std::uint64_t p = r.u64("pos");
+        r.fatalIf(r.u64("folds") != folds.size(),
+                  "history fold-count mismatch");
+        r.fatalIf(r.u64("bits") != bits.size(),
+                  "history buffer-size mismatch");
+        r.endLine();
+        r.line("hist.folds");
+        for (auto &f : folds) {
+            const std::uint64_t c = r.u64("fold");
+            r.fatalIf(c >= (1ULL << f.width), "fold value too wide");
+            f.comp = static_cast<std::uint32_t>(c);
+        }
+        r.endLine();
+        r.line("hist.bits");
+        const std::string packed = r.str("bits");
+        r.fatalIf(packed.size() != (bits.size() + 3) / 4,
+                  "bit buffer truncated");
+        for (std::size_t i = 0; i < bits.size(); i += 4) {
+            const char c = packed[i / 4];
+            int nib;
+            if (c >= '0' && c <= '9')
+                nib = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                nib = c - 'a' + 10;
+            else
+                r.fail("bit buffer has a non-hex character");
+            for (std::size_t b = 0; b < 4 && i + b < bits.size(); ++b)
+                bits[i + b] = (nib >> (3 - b)) & 1;
+        }
+        r.endLine();
+        pos = p;
     }
 
   private:

@@ -204,4 +204,82 @@ Tage::update(Addr pc, bool taken, const TageLookup &lookup)
     }
 }
 
+void
+Tage::snapshotState(std::ostream &os) const
+{
+    SnapshotWriter w(os);
+    w.tag("tage")
+        .u64(static_cast<std::uint64_t>(cfg.numTagged))
+        .u64(tagged.empty() ? 0 : tagged[0].size())
+        .u64(base.size())
+        .u64(updates);
+    w.end();
+    for (int i = 0; i < cfg.numTagged; ++i) {
+        w.tag("tage.comp").u64(static_cast<std::uint64_t>(i));
+        for (const TaggedEntry &e : tagged[i])
+            w.u64(e.tag).i64(e.ctr.value()).u64(e.u);
+        w.end();
+    }
+    w.tag("tage.base");
+    for (const SignedSatCounter &c : base)
+        w.i64(c.value());
+    w.end();
+    w.tag("tage.meta").i64(useAltOnNa.value());
+    w.end();
+    w.tag("tage.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        w.u64(rng.word(i));
+    w.end();
+}
+
+void
+Tage::restoreState(SnapshotReader &r)
+{
+    r.line("tage");
+    r.fatalIf(r.u64("numTagged")
+                  != static_cast<std::uint64_t>(cfg.numTagged),
+              "TAGE component-count mismatch");
+    r.fatalIf(r.u64("taggedEntries")
+                  != (tagged.empty() ? 0 : tagged[0].size()),
+              "TAGE tagged-table size mismatch");
+    r.fatalIf(r.u64("baseEntries") != base.size(),
+              "TAGE base-table size mismatch");
+    updates = r.u64("updates");
+    r.endLine();
+    for (int i = 0; i < cfg.numTagged; ++i) {
+        r.line("tage.comp");
+        r.fatalIf(r.u64("comp") != static_cast<std::uint64_t>(i),
+                  "TAGE components out of order");
+        const std::uint64_t tag_max = (1u << cfg.tagBits) - 1;
+        const std::uint64_t u_max = (1u << cfg.uBits) - 1;
+        for (TaggedEntry &e : tagged[i]) {
+            e.tag = static_cast<std::uint16_t>(r.u64Max("tag", tag_max));
+            const std::int64_t c = r.i64("ctr");
+            r.fatalIf(c < e.ctr.min() || c > e.ctr.max(),
+                      "TAGE counter out of range");
+            e.ctr.reset(static_cast<int>(c));
+            e.u = static_cast<std::uint8_t>(r.u64Max("u", u_max));
+        }
+        r.endLine();
+    }
+    r.line("tage.base");
+    for (SignedSatCounter &c : base) {
+        const std::int64_t v = r.i64("ctr");
+        r.fatalIf(v < c.min() || v > c.max(),
+                  "TAGE base counter out of range");
+        c.reset(static_cast<int>(v));
+    }
+    r.endLine();
+    r.line("tage.meta");
+    const std::int64_t alt = r.i64("useAltOnNa");
+    r.fatalIf(alt < useAltOnNa.min() || alt > useAltOnNa.max(),
+              "useAltOnNa out of range");
+    useAltOnNa.reset(static_cast<int>(alt));
+    r.endLine();
+    r.line("tage.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        rng.setWord(i, r.u64("word"));
+    r.endLine();
+}
+
 } // namespace eole

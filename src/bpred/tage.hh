@@ -21,6 +21,7 @@
 #include "common/sat_counter.hh"
 #include "common/types.hh"
 #include "bpred/history.hh"
+#include "isa/snapshot.hh"
 
 namespace eole {
 
@@ -94,6 +95,14 @@ class Tage
 
     /** History length of tagged component @p i (tests/inspection). */
     int histLength(int i) const { return histLens[i]; }
+
+    /** Serialize tables, meta-predictor, update counter and RNG as
+     *  canonical text (isa/snapshot.hh). */
+    void snapshotState(std::ostream &os) const;
+
+    /** Restore into a same-geometry instance (fatal with section/line
+     *  context on mismatch or malformed input). */
+    void restoreState(SnapshotReader &r);
 
   private:
     struct TaggedEntry

@@ -84,6 +84,17 @@ class Rng
         return uniform() < p;
     }
 
+    /** Number of raw state words (snapshot support). */
+    static constexpr int stateWords = 4;
+
+    /** Raw state word @p i — microarchitectural state snapshots
+     *  (isa/snapshot.hh) serialize the generator so a restored
+     *  component continues the exact random stream. */
+    std::uint64_t word(int i) const { return state[i]; }
+
+    /** Overwrite state word @p i (snapshot restore). */
+    void setWord(int i, std::uint64_t v) { state[i] = v; }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

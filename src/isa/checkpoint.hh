@@ -12,6 +12,18 @@
  * architectural restart state: simulated data memory never needs to be
  * serialized.
  *
+ * On top of the architectural state, a checkpoint may carry the warmed
+ * *microarchitectural* state of the core that produced it: one named
+ * section per WarmableComponent (isa/warmable.hh) holding the
+ * component's canonical snapshotState() text — predictor tables,
+ * histories, cache tags/LRU, DRAM rows, the warming pseudo-clock.
+ * Core::restoreWarmState() rebuilds a same-configuration core to the
+ * exact state continuous functional warming would have produced, which
+ * is what lets the sampling subsystem warm each (config, workload)
+ * cell once and feed every measurement interval from checkpoints
+ * (sim/sample/), and what makes checkpoint directories the unit
+ * shipped across hosts (`eole ckpt save`).
+ *
  * Checkpoints come from two equivalent sources (pinned equal by
  * tests/test_sample.cc):
  *  - captureFromVM: snapshot a live KernelVM mid-run, and
@@ -19,10 +31,14 @@
  *    FrozenTrace by scalar-replaying its destination writes — no VM
  *    re-execution, one linear scan.
  *
- * The serialized form ("eole-ckpt-v1") is canonical text: writing the
- * same checkpoint twice yields identical bytes, and a serialize ->
- * deserialize -> run equals a straight-through run commit-for-commit
- * (the sampling subsystem's correctness anchor).
+ * Serialized forms are canonical text: writing the same checkpoint
+ * twice yields identical bytes, and a serialize -> deserialize -> run
+ * equals a straight-through run commit-for-commit (the sampling
+ * subsystem's correctness anchor). A checkpoint without µarch sections
+ * serializes as the legacy "eole-ckpt-v1" schema, byte-identical to
+ * earlier releases; one with sections uses "eole-ckpt-v2" (v1 stays
+ * readable forever). Parsing is strict with line-numbered diagnostics
+ * (fuzzed in tests/test_torture.cc).
  */
 
 #ifndef EOLE_ISA_CHECKPOINT_HH
@@ -31,6 +47,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/types.hh"
 #include "isa/frozen_trace.hh"
@@ -39,18 +57,33 @@ namespace eole {
 
 class KernelVM;
 
-/** Architectural restart state at a µ-op boundary. */
+/** Architectural (+ optionally microarchitectural) restart state at a
+ *  µ-op boundary. */
 struct Checkpoint
 {
     std::string workload;        //!< registry name (provenance only)
+    std::string config;          //!< producing config (provenance,
+                                 //!< v2 only; empty for pure-arch v1)
     std::uint64_t uopIndex = 0;  //!< µ-ops executed before this point
     RegVal intRegs[numArchIntRegs] = {};
     RegVal fpRegs[numArchFpRegs] = {};
 
+    /**
+     * Named µarch snapshot sections, canonical order ("branch",
+     * "vpred" when value prediction is on, "mem"); each payload is one
+     * WarmableComponent::snapshotState() document. Empty for purely
+     * architectural (v1) checkpoints.
+     */
+    std::vector<std::pair<std::string, std::string>> uarch;
+
+    /** Does this checkpoint carry warmed µarch state (v2)? */
+    bool hasWarmState() const { return !uarch.empty(); }
+
     bool
     operator==(const Checkpoint &o) const
     {
-        if (workload != o.workload || uopIndex != o.uopIndex)
+        if (workload != o.workload || config != o.config
+            || uopIndex != o.uopIndex || uarch != o.uarch)
             return false;
         for (int r = 0; r < numArchIntRegs; ++r) {
             if (intRegs[r] != o.intRegs[r])
@@ -82,8 +115,24 @@ Checkpoint captureAt(const FrozenTrace &trace,
 Checkpoint captureFromVM(const KernelVM &vm,
                          const std::string &workload_name);
 
-/** Canonical text serialization (schema "eole-ckpt-v1"). */
+/** The schema name serializeCheckpoint writes for @p ckpt:
+ *  "eole-ckpt-v1" for purely architectural checkpoints (byte-
+ *  compatible with earlier releases), "eole-ckpt-v2" when µarch
+ *  sections or provenance ride along. */
+const char *checkpointSchemaName(const Checkpoint &ckpt);
+
+/** Canonical text serialization (schema per checkpointSchemaName). */
 void serializeCheckpoint(std::ostream &os, const Checkpoint &ckpt);
+
+/**
+ * Strict parse of either schema. Returns true and fills @p out on
+ * success; otherwise false with a line-numbered diagnostic in @p err
+ * ("checkpoint line N: ..."). Never crashes on corrupt input — the
+ * operator-facing form behind `eole ckpt info` exit-2 diagnostics
+ * (fuzzed in tests/test_torture.cc).
+ */
+bool tryDeserializeCheckpoint(std::istream &is, Checkpoint *out,
+                              std::string *err);
 
 /** Parse a serialized checkpoint (fatal on malformed input). */
 Checkpoint deserializeCheckpoint(std::istream &is);

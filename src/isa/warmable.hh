@@ -13,12 +13,26 @@
  * predictor instances). See DESIGN.md §8 for the exact fidelity
  * contract of each implementor.
  *
+ * Warmed state is *serializable*: snapshotState() writes the complete
+ * predictive state (tables, histories, LRU/row/bus state, the warming
+ * pseudo-clock and every RNG) as canonical byte-stable text, and
+ * restoreState() rebuilds it into a same-geometry instance such that
+ * the restored component's future decisions are identical to the
+ * original's (pinned by tests/test_ckpt_state.cc). That makes warmed
+ * state a first-class artifact: the sampling subsystem warms each
+ * (config, workload) cell once and feeds every measurement interval
+ * from "eole-ckpt-v2" checkpoints (isa/checkpoint.hh, sim/sample/)
+ * instead of re-warming N prefixes, and later sharding PRs can ship
+ * checkpoint directories across hosts (`eole ckpt save`).
+ *
  * Implementors: BranchUnit (bpred/), ValuePredictor (vpred/),
  * MemHierarchy (mem/).
  */
 
 #ifndef EOLE_ISA_WARMABLE_HH
 #define EOLE_ISA_WARMABLE_HH
+
+#include <iosfwd>
 
 #include "isa/trace.hh"
 
@@ -36,6 +50,24 @@ class WarmableComponent
      * initial state yields identical component state.
      */
     virtual void warmUpdate(const TraceUop &uop) = 0;
+
+    /**
+     * Serialize the complete predictive state as canonical text
+     * (isa/snapshot.hh): writing the same state twice yields identical
+     * bytes, and statistics counters are excluded (they are
+     * measurement state, zeroed by Core::resetTiming before any
+     * measured window opens).
+     */
+    virtual void snapshotState(std::ostream &os) const = 0;
+
+    /**
+     * Rebuild state from a snapshotState() document into an instance
+     * of the *same configured geometry* (fatal, with the section name
+     * and line number, on geometry mismatch or any malformed/truncated
+     * input). Afterwards the component is decision-for-decision
+     * identical to the snapshotted one.
+     */
+    virtual void restoreState(std::istream &is) = 0;
 };
 
 } // namespace eole

@@ -160,6 +160,54 @@ Cache::prefetch(Addr addr, Cycle now)
     return fill(addr, false, now);
 }
 
+void
+Cache::snapshotState(std::ostream &os) const
+{
+    SnapshotWriter w(os);
+    w.tag("cache").str(cfg.name)
+        .u64(lines.size()).u64(inflight.size()).u64(lruClock);
+    w.end();
+    w.tag("cache.lines");
+    for (const Line &l : lines)
+        w.flag(l.valid).u64(l.tag).flag(l.dirty).u64(l.lru).u64(l.readyAt);
+    w.end();
+    w.tag("cache.inflight");
+    for (const Cycle c : inflight)
+        w.u64(c);
+    w.end();
+}
+
+void
+Cache::restoreState(SnapshotReader &r)
+{
+    r.line("cache");
+    r.fatalIf(r.str("name") != cfg.name, "cache level mismatch");
+    r.fatalIf(r.u64("lines") != lines.size(),
+              "cache line-count mismatch");
+    // No tight invariant bounds the in-flight list (the MSHR-stall
+    // path in access() pushes one more fill past the cap), so only
+    // reject allocation-bomb counts from corrupt documents.
+    const std::uint64_t n_inflight = r.u64("inflight");
+    r.fatalIf(n_inflight > (1ULL << 20),
+              "implausible in-flight fill count");
+    lruClock = r.u64("lruClock");
+    r.endLine();
+    r.line("cache.lines");
+    for (Line &l : lines) {
+        l.valid = r.flag("valid");
+        l.tag = r.u64("tag");
+        l.dirty = r.flag("dirty");
+        l.lru = r.u64("lru");
+        l.readyAt = r.u64("readyAt");
+    }
+    r.endLine();
+    r.line("cache.inflight");
+    inflight.assign(n_inflight, 0);
+    for (Cycle &c : inflight)
+        c = r.u64("cycle");
+    r.endLine();
+}
+
 StatRecord
 Cache::record() const
 {

@@ -19,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "isa/snapshot.hh"
 
 namespace eole {
 
@@ -73,6 +74,18 @@ class Cache
 
     std::uint64_t hits() const { return statHits; }
     std::uint64_t misses() const { return statMisses; }
+
+    /**
+     * Serialize tags, LRU, dirtiness, fill times and the in-flight
+     * MSHR list (canonical text; isa/snapshot.hh). Statistic counters
+     * are excluded — they are measurement state, zeroed by
+     * Core::resetTiming before any measured window.
+     */
+    void snapshotState(std::ostream &os) const;
+
+    /** Restore into a same-geometry cache (fatal with section/line
+     *  context on mismatch). */
+    void restoreState(SnapshotReader &r);
 
     /** Zero the statistic counters; tags/LRU/MSHR state is kept (used
      *  by Core::resetTiming to open a measurement window on a warmed

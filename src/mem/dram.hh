@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "isa/snapshot.hh"
 
 namespace eole {
 
@@ -87,6 +88,38 @@ class Dram
 
     /** Zero the access counters (bank/bus state is kept). */
     void resetStats() { reads = writes = 0; }
+
+    /** Serialize bank rows/busy times and bus occupancy (canonical
+     *  text; access counters are measurement state, excluded). */
+    void
+    snapshotState(std::ostream &os) const
+    {
+        SnapshotWriter w(os);
+        w.tag("dram").u64(banks.size()).u64(busBusyUntil);
+        w.end();
+        w.tag("dram.banks");
+        for (const Bank &b : banks)
+            w.u64(b.busyUntil).flag(b.rowOpen).u64(b.openRow);
+        w.end();
+    }
+
+    /** Restore into a same-geometry controller. */
+    void
+    restoreState(SnapshotReader &r)
+    {
+        r.line("dram");
+        r.fatalIf(r.u64("banks") != banks.size(),
+                  "DRAM bank-count mismatch");
+        busBusyUntil = r.u64("busBusyUntil");
+        r.endLine();
+        r.line("dram.banks");
+        for (Bank &b : banks) {
+            b.busyUntil = r.u64("busyUntil");
+            b.rowOpen = r.flag("rowOpen");
+            b.openRow = r.u64("openRow");
+        }
+        r.endLine();
+    }
 
   private:
     struct Bank

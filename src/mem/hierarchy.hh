@@ -135,6 +135,47 @@ class MemHierarchy : public WarmableComponent
      *  the core clock to it after a warming pass). */
     Cycle warmClockNow() const { return warmClock; }
 
+    /**
+     * Serialize the complete warmed state (isa/warmable.hh contract):
+     * all three cache levels, DRAM bank/bus state, the prefetcher
+     * training table and the warming pseudo-clock. Statistic counters
+     * are excluded (measurement state, zeroed by Core::resetTiming).
+     */
+    void
+    snapshotState(std::ostream &os) const override
+    {
+        SnapshotWriter w(os);
+        w.tag("mem-hierarchy").u64(1);
+        w.end();
+        w.tag("clock").u64(warmClock).u64(warmFetchLine);
+        w.end();
+        l1i->snapshotState(os);
+        l1d->snapshotState(os);
+        l2->snapshotState(os);
+        dram->snapshotState(os);
+        prefetcher.snapshotState(os);
+    }
+
+    /** Restore into a same-geometry hierarchy; subsequent accesses are
+     *  decision-identical (pinned by tests/test_ckpt_state.cc). */
+    void
+    restoreState(std::istream &is) override
+    {
+        SnapshotReader r(is, "mem-hierarchy");
+        r.line("mem-hierarchy");
+        r.fatalIf(r.u64("version") != 1, "unsupported version");
+        r.endLine();
+        r.line("clock");
+        warmClock = r.u64("warmClock");
+        warmFetchLine = r.u64("warmFetchLine");
+        r.endLine();
+        l1i->restoreState(r);
+        l1d->restoreState(r);
+        l2->restoreState(r);
+        dram->restoreState(r);
+        prefetcher.restoreState(r);
+    }
+
     /** Zero every statistic counter in the hierarchy; cache tags, LRU,
      *  MSHR, DRAM row and prefetcher training state are all kept. */
     void

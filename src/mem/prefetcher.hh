@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "isa/snapshot.hh"
 #include "mem/cache.hh"
 
 namespace eole {
@@ -88,6 +89,39 @@ class StridePrefetcher
 
     /** Zero the issue counter (stride table state is kept). */
     void resetStats() { issued = 0; }
+
+    /** Serialize the stride-training table (canonical text; the issue
+     *  counter is measurement state, excluded). */
+    void
+    snapshotState(std::ostream &os) const
+    {
+        SnapshotWriter w(os);
+        w.tag("prefetch").u64(table.size());
+        w.end();
+        w.tag("prefetch.e");
+        for (const Entry &e : table)
+            w.u64(e.tag).u64(e.lastAddr).i64(e.stride).u64(e.confidence);
+        w.end();
+    }
+
+    /** Restore into a same-geometry prefetcher. */
+    void
+    restoreState(SnapshotReader &r)
+    {
+        r.line("prefetch");
+        r.fatalIf(r.u64("entries") != table.size(),
+                  "prefetcher table size mismatch");
+        r.endLine();
+        r.line("prefetch.e");
+        for (Entry &e : table) {
+            e.tag = r.u64("tag");
+            e.lastAddr = r.u64("lastAddr");
+            e.stride = r.i64("stride");
+            e.confidence =
+                static_cast<std::uint8_t>(r.u64Max("conf", 3));
+        }
+        r.endLine();
+    }
 
   private:
     struct Entry

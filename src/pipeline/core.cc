@@ -1,8 +1,10 @@
 #include "pipeline/core.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "isa/checkpoint.hh"
 
 namespace eole {
 
@@ -81,6 +83,63 @@ Core::functionalWarm(const FrozenTrace &trace, std::uint64_t begin,
     }
     // Detailed simulation resumes after the warming pseudo-cycles so
     // every warmed fill/busy time is already in the past.
+    state->now = std::max(state->now, state->mem->warmClockNow());
+}
+
+void
+Core::captureWarmState(Checkpoint &ckpt) const
+{
+    ckpt.config = state->cfg.name;
+    ckpt.uarch.clear();
+    const auto capture = [&](const char *name,
+                             const WarmableComponent &c) {
+        std::ostringstream os;
+        c.snapshotState(os);
+        ckpt.uarch.emplace_back(name, os.str());
+    };
+    capture("branch", *state->bu);
+    if (state->vp)
+        capture("vpred", *state->vp);
+    capture("mem", *state->mem);
+}
+
+void
+Core::restoreWarmState(const Checkpoint &ckpt)
+{
+    if (!ckpt.hasWarmState())
+        return;
+
+    // The section set must match this core's component set exactly: a
+    // checkpoint from a different configuration (e.g. with value
+    // prediction when this core has none) is an operator error, not
+    // something to silently half-restore.
+    std::size_t restored = 0;
+    for (const auto &[name, payload] : ckpt.uarch) {
+        WarmableComponent *target = nullptr;
+        if (name == "branch")
+            target = state->bu.get();
+        else if (name == "vpred")
+            target = state->vp.get();
+        else if (name == "mem")
+            target = state->mem.get();
+        fatal_if(name == "vpred" && state->vp == nullptr,
+                 "checkpoint carries a \"vpred\" section but this "
+                 "configuration has no value predictor");
+        fatal_if(target == nullptr,
+                 "checkpoint section \"%s\" matches no warmable "
+                 "component", name.c_str());
+        std::istringstream is(payload);
+        target->restoreState(is);
+        ++restored;
+    }
+    const std::size_t expected = 2 + (state->vp ? 1 : 0);
+    fatal_if(restored != expected,
+             "checkpoint restores %zu of %zu warmable components "
+             "(value prediction %s in this configuration)",
+             restored, expected, state->vp ? "on" : "off");
+
+    // Detailed simulation resumes after the restored warming
+    // pseudo-cycles, exactly as after a live functionalWarm pass.
     state->now = std::max(state->now, state->mem->warmClockNow());
 }
 

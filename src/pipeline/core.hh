@@ -96,6 +96,27 @@ class Core
     void functionalWarm(const FrozenTrace &trace, std::uint64_t begin,
                         std::uint64_t end);
 
+    /**
+     * Attach this core's warmed microarchitectural state to @p ckpt as
+     * named snapshot sections ("branch", "vpred" when value prediction
+     * is configured, "mem"; isa/checkpoint.hh schema eole-ckpt-v2).
+     * Also stamps the provenance config name from the SimConfig. Call
+     * between warming passes — the captured state is exactly what
+     * continuous functional warming produced so far.
+     */
+    void captureWarmState(Checkpoint &ckpt) const;
+
+    /**
+     * Restore the µarch sections of @p ckpt into this core's warmable
+     * components and re-align the core clock with the restored warming
+     * pseudo-clock — the state-equivalent of having functionally
+     * warmed this core over the checkpoint's whole prefix (pinned by
+     * tests/test_sample.cc). No-op for purely architectural (v1)
+     * checkpoints; fatal when the section set does not match this
+     * core's components (config mismatch).
+     */
+    void restoreWarmState(const Checkpoint &ckpt);
+
     /** Aggregate of every stage's counters (rebuilt on each call). */
     const CoreStats &stats() const;
 

@@ -30,50 +30,70 @@ hashString(std::uint64_t h, const std::string &s)
 
 } // namespace
 
+bool
+tryParseSampleSpec(const std::string &text, SampleSpec *out,
+                   std::string *err)
+{
+    const auto fail = [&](const char *why) {
+        *err = csprintf("%s sample spec \"%s\" (want N:W[:D[:B]])", why,
+                        text.c_str());
+        return false;
+    };
+    SampleSpec spec;
+    // strtoull silently wraps negative input to huge values; reject
+    // signs up front so "4:-100:50" is a diagnostic, not a 2^64 run.
+    if (text.find_first_of("+-") != std::string::npos)
+        return fail("bad");
+    const char *p = text.c_str();
+    char *end = nullptr;
+    spec.intervals = std::strtoull(p, &end, 0);
+    if (end == p || *end != ':')
+        return fail("bad");
+    p = end + 1;
+    spec.intervalUops = std::strtoull(p, &end, 0);
+    if (end == p)
+        return fail("bad");
+    if (*end == ':') {
+        p = end + 1;
+        spec.detailUops = std::strtoull(p, &end, 0);
+        if (end == p)
+            return fail("bad");
+        if (*end == ':') {
+            p = end + 1;
+            spec.warmBound = std::strtoull(p, &end, 0);
+            if (end == p || *end != '\0')
+                return fail("bad");
+        } else if (*end != '\0') {
+            return fail("bad");
+        }
+    } else {
+        if (*end != '\0')
+            return fail("bad");
+        spec.detailUops = spec.intervalUops / 2;
+    }
+    if (spec.intervals == 0 || spec.intervalUops == 0) {
+        *err = csprintf("sample spec \"%s\": N and W must be positive",
+                        text.c_str());
+        return false;
+    }
+    *out = spec;
+    return true;
+}
+
 SampleSpec
 parseSampleSpec(const std::string &text)
 {
     SampleSpec spec;
-    // strtoull silently wraps negative input to huge values; reject
-    // signs up front so "4:-100:50" is a diagnostic, not a 2^64 run.
-    fatal_if(text.find_first_of("+-") != std::string::npos,
-             "bad sample spec \"%s\" (want N:W[:D[:B]])", text.c_str());
-    const char *p = text.c_str();
-    char *end = nullptr;
-    spec.intervals = std::strtoull(p, &end, 0);
-    fatal_if(end == p || *end != ':',
-             "bad sample spec \"%s\" (want N:W[:D])", text.c_str());
-    p = end + 1;
-    spec.intervalUops = std::strtoull(p, &end, 0);
-    fatal_if(end == p, "bad sample spec \"%s\" (want N:W[:D])",
-             text.c_str());
-    if (*end == ':') {
-        p = end + 1;
-        spec.detailUops = std::strtoull(p, &end, 0);
-        fatal_if(end == p,
-                 "bad sample spec \"%s\" (want N:W[:D[:B]])",
-                 text.c_str());
-        if (*end == ':') {
-            p = end + 1;
-            spec.warmBound = std::strtoull(p, &end, 0);
-            fatal_if(end == p || *end != '\0',
-                     "bad sample spec \"%s\" (want N:W[:D[:B]])",
-                     text.c_str());
-        } else {
-            fatal_if(*end != '\0',
-                     "bad sample spec \"%s\" (want N:W[:D[:B]])",
-                     text.c_str());
-        }
-    } else {
-        fatal_if(*end != '\0',
-                 "bad sample spec \"%s\" (want N:W[:D[:B]])",
-                 text.c_str());
-        spec.detailUops = spec.intervalUops / 2;
-    }
-    fatal_if(spec.intervals == 0 || spec.intervalUops == 0,
-             "sample spec \"%s\": N and W must be positive",
-             text.c_str());
+    std::string err;
+    fatal_if(!tryParseSampleSpec(text, &spec, &err), "%s", err.c_str());
     return spec;
+}
+
+SampleSpec
+resolveSampleSpec(const SampleSpec &option_spec,
+                  const SampleSpec &plan_spec)
+{
+    return option_spec.enabled() ? option_spec : plan_spec;
 }
 
 std::string

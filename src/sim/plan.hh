@@ -60,8 +60,26 @@ struct SampleSpec
  */
 SampleSpec parseSampleSpec(const std::string &text);
 
+/** As parseSampleSpec, but returns false with a diagnostic in @p err
+ *  instead of dying — the operator-facing form behind the plan-file
+ *  `sample =` directive's line-numbered exit-2 errors. */
+bool tryParseSampleSpec(const std::string &text, SampleSpec *out,
+                        std::string *err);
+
 /** Canonical "N:W:D:B" form (inverse of parseSampleSpec). */
 std::string sampleSpecString(const SampleSpec &spec);
+
+/**
+ * Resolve the effective sampling spec with the same precedence
+ * discipline as resolveRunLength (common/env.hh): an explicitly given
+ * spec (CLI --sample) wins over the plan's own (plan-file `sample =`
+ * directive); a disabled spec means "unset" at every level, so a plan
+ * without a sample directive resolves to "full run" unless the CLI
+ * asks otherwise. The one spelling of this precedence, shared by
+ * `eole run` and `eole ckpt save`.
+ */
+SampleSpec resolveSampleSpec(const SampleSpec &option_spec,
+                             const SampleSpec &plan_spec);
 
 /** One paper-style table over the grid (see printPlanTables). */
 struct TableSpec
@@ -82,6 +100,10 @@ struct ExperimentPlan
     std::uint64_t seed = 1;                //!< base for per-job seeds
     std::uint64_t warmup = 0;              //!< µ-ops; 0 = EOLE_WARMUP
     std::uint64_t measure = 0;             //!< µ-ops; 0 = EOLE_INSTS
+    /** Default sampling spec (plan-file `sample =` directive);
+     *  disabled = full run. CLI --sample overrides it through
+     *  resolveSampleSpec. */
+    SampleSpec sample;
     std::vector<TableSpec> tables;
 
     std::size_t gridSize() const { return configs.size() * workloads.size(); }

@@ -66,7 +66,7 @@ directiveNames()
 {
     static const std::vector<std::string> names = {
         "plan", "description", "base", "configs", "workloads", "seed",
-        "warmup", "measure", "set", "axis", "table",
+        "warmup", "measure", "sample", "set", "axis", "table",
     };
     return names;
 }
@@ -207,6 +207,13 @@ parsePlanText(const std::string &text, const std::string &origin,
                 draft.plan.warmup = v;
             else
                 draft.plan.measure = v;
+        } else if (directive == "sample") {
+            // The plan's default sampling spec; `eole run --sample`
+            // overrides it (option > plan file, the resolveSampleSpec
+            // precedence shared with the run-length knobs).
+            std::string serr;
+            if (!tryParseSampleSpec(value, &draft.plan.sample, &serr))
+                return fail(lineno, serr);
         } else if (directive == "set" || directive == "axis") {
             if (middle.empty()) {
                 return fail(lineno, directive

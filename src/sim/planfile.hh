@@ -16,6 +16,9 @@
  *   seed = 1                      # plan base seed
  *   warmup = 20000                # u-ops (0/absent = env defaults)
  *   measure = 100000
+ *   sample = 10:5000:2500         # default sampling spec N:W:D[:B]
+ *                                 # (absent = full run; `--sample`
+ *                                 # overrides, resolveSampleSpec)
  *   set vp.kind = VTAGE           # registry override, applied to
  *                                 # every config (same as --set)
  *   axis prfBanks = 1, 2, 4, 8    # grid axis over `base`

@@ -8,7 +8,6 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
-#include "isa/checkpoint.hh"
 #include "pipeline/core.hh"
 #include "sim/params.hh"
 #include "sim/trace_cache.hh"
@@ -41,9 +40,10 @@ tCritical(std::size_t df)
 struct IntervalResult
 {
     std::uint64_t start = 0;      //!< measured-interval start µ-op
-    std::uint64_t warmedUops = 0; //!< functionally warmed prefix
+    std::uint64_t warmedUops = 0; //!< functionally warmed µ-ops
     std::uint64_t committed = 0;  //!< measured µ-ops
     std::uint64_t cycles = 0;     //!< measured cycles
+    bool restored = false;        //!< fed from a v2 checkpoint
 };
 
 } // namespace
@@ -120,12 +120,74 @@ meanCi95(const std::vector<double> &xs)
     return out;
 }
 
+std::vector<std::uint64_t>
+warmCheckpointIndices(const std::vector<std::uint64_t> &starts,
+                      std::uint64_t trace_len, const SampleSpec &spec)
+{
+    std::vector<std::uint64_t> idxs;
+    idxs.reserve(starts.size());
+    for (const std::uint64_t s : starts) {
+        const std::uint64_t start = std::min(s, trace_len);
+        idxs.push_back(start >= spec.detailUops
+                           ? start - spec.detailUops
+                           : 0);
+    }
+    return idxs;
+}
+
+std::uint64_t
+sampleTraceUopsNeeded(const ExperimentPlan &plan,
+                      const SampleSpec &spec, std::uint64_t warmup,
+                      std::uint64_t measure, std::uint64_t max_start)
+{
+    const std::uint64_t furthest =
+        std::max(warmup + measure, max_start + spec.intervalUops);
+    return furthest + maxInflightUops(plan);
+}
+
+std::vector<std::shared_ptr<const Checkpoint>>
+warmOnceCheckpoints(const SimConfig &cfg, const Workload &workload,
+                    const std::shared_ptr<const FrozenTrace> &trace,
+                    const std::vector<std::uint64_t> &ckpt_indices)
+{
+    Workload wc = workload;
+    wc.frozen = trace;
+    wc.start.reset();
+    Core core(cfg, wc);
+
+    std::vector<std::shared_ptr<const Checkpoint>> out;
+    out.reserve(ckpt_indices.size());
+    const std::uint64_t len = trace->uops.size();
+    std::uint64_t cursor = 0;
+    for (std::uint64_t idx : ckpt_indices) {
+        idx = std::min(idx, len);
+        fatal_if(idx < cursor,
+                 "warmOnceCheckpoints: indices must be non-decreasing "
+                 "(%llu after %llu)",
+                 (unsigned long long)idx, (unsigned long long)cursor);
+        core.functionalWarm(*trace, cursor, idx);
+        cursor = idx;
+        auto ckpt = std::make_shared<Checkpoint>(
+            captureAt(*trace, workload.name, idx));
+        core.captureWarmState(*ckpt);
+        out.push_back(std::move(ckpt));
+    }
+    return out;
+}
+
 PlanResult
 runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
                const SweepOptions &options)
 {
     fatal_if(!spec.enabled(), "runSampledPlan: spec is disabled");
     validatePlanConfigs(plan);
+
+    // Bounded warming is per-interval by construction (each interval
+    // warms at most B µ-ops of its own prefix), so the warm-once
+    // checkpoints apply to the continuous (B=0) mode only;
+    // options.sampleRewarm forces the legacy path there for
+    // differential validation.
+    const bool warmOnce = spec.warmBound == 0 && !options.sampleRewarm;
 
     PlanResult out;
     out.plan = plan.name;
@@ -146,6 +208,9 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         std::size_t wl;
         std::vector<std::uint64_t> starts;
         std::vector<IntervalResult> intervals;  //!< pre-assigned slots
+        /** Warm-once per-interval checkpoints (phase-1 slots; each
+         *  consumed and released by its interval job). */
+        std::vector<std::shared_ptr<const Checkpoint>> ckpts;
     };
     std::vector<Cell> cells;
     for (std::size_t c = 0; c < plan.configs.size(); ++c) {
@@ -170,21 +235,29 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         cells[i].starts =
             placeIntervals(out.warmup, out.measure, spec, rr.seed);
         cells[i].intervals.resize(cells[i].starts.size());
+        cells[i].ckpts.resize(cells[i].starts.size());
     }
 
     // Flatten (cell, interval) into the job list, workload-major like
-    // the full-run engine so trace sharing clusters per workload.
+    // the full-run engine so trace sharing clusters per workload; the
+    // warm-once warming pass adds one phase-1 job per cell in the
+    // same order.
     struct Job
     {
         std::size_t cell;
         std::size_t interval;
     };
     std::vector<Job> jobs;
+    std::vector<std::size_t> warmJobs;  //!< phase-1 cell indices
     std::vector<std::size_t> jobsPerWorkload(plan.workloads.size(), 0);
     for (std::size_t w = 0; w < plan.workloads.size(); ++w) {
         for (std::size_t i = 0; i < cells.size(); ++i) {
             if (cells[i].wl != w)
                 continue;
+            if (warmOnce && !cells[i].starts.empty()) {
+                warmJobs.push_back(i);
+                ++jobsPerWorkload[w];
+            }
             for (std::size_t k = 0; k < cells[i].starts.size(); ++k) {
                 jobs.push_back(Job{i, k});
                 ++jobsPerWorkload[w];
@@ -197,24 +270,90 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
     // The degenerate single interval of a too-short region may run
     // past warmup+measure; size recordings for the furthest fetch any
     // interval can reach.
-    std::uint64_t furthest = out.warmup + out.measure;
+    std::uint64_t maxStart = 0;
     for (const Cell &cell : cells) {
-        for (const std::uint64_t s : cell.starts) {
-            furthest =
-                std::max(furthest, s + spec.intervalUops);
-        }
+        for (const std::uint64_t s : cell.starts)
+            maxStart = std::max(maxStart, s);
     }
-    const std::uint64_t traceUopsNeeded =
-        furthest + maxInflightUops(plan);
+    const std::uint64_t traceUopsNeeded = sampleTraceUopsNeeded(
+        plan, spec, out.warmup, out.measure, maxStart);
 
     TraceCache cache;
     std::vector<std::atomic<std::size_t>> remaining(plan.workloads.size());
     for (std::size_t w = 0; w < plan.workloads.size(); ++w)
         remaining[w].store(jobsPerWorkload[w], std::memory_order_relaxed);
 
+    const std::size_t totalJobs = warmJobs.size() + jobs.size();
     std::atomic<std::size_t> done{0};
     std::mutex progressMu;
 
+    const auto jobFinished = [&](const Cell &cell, const RunResult &rr,
+                                 const StatRecord &stats) {
+        if (remaining[cell.wl].fetch_sub(1) == 1)
+            cache.drop(rr.workload);
+        const std::size_t finished = done.fetch_add(1) + 1;
+        if (options.progress) {
+            RunResult partial;
+            partial.config = rr.config;
+            partial.workload = rr.workload;
+            partial.seed = rr.seed;
+            partial.stats = stats;
+            std::lock_guard<std::mutex> lock(progressMu);
+            options.progress(finished, totalJobs, partial);
+        }
+    };
+
+    // ---- Phase 1 (warm-once mode): one continuous warming pass per
+    // cell, dropping a µarch-bearing v2 checkpoint at each interval's
+    // detailed-warmup start. Cells are independent pool jobs; slots
+    // (cell.ckpts, interval start/warmedUops accounting) are
+    // pre-assigned, so the phase is deterministic regardless of
+    // worker count.
+    if (warmOnce) {
+        runOnWorkerPool(warmJobs.size(), options.jobs,
+                        [&](std::size_t j) {
+            Cell &cell = cells[warmJobs[j]];
+            const RunResult &rr = out.cells[warmJobs[j]];
+
+            SimConfig cfg = plan.configs[cell.cfg];
+            cfg.seed = rr.seed;
+
+            Workload w = workloads::build(rr.workload);
+            std::shared_ptr<const FrozenTrace> trace;
+            if (options.useTraceCache)
+                trace = cache.get(w, traceUopsNeeded);
+            if (!trace) {
+                // Budget pressure / cache disabled: a private
+                // recording bounded to the warming pass's own horizon
+                // (the furthest interval start; consistent with the
+                // cached clamps because every start <= the request).
+                trace = w.freeze(std::min(traceUopsNeeded,
+                                          cell.starts.back()));
+            }
+            const std::uint64_t len = trace->uops.size();
+
+            const std::vector<std::uint64_t> idxs =
+                warmCheckpointIndices(cell.starts, len, spec);
+            std::uint64_t prev = 0;
+            for (std::size_t k = 0; k < cell.starts.size(); ++k) {
+                IntervalResult &iv = cell.intervals[k];
+                iv.start =
+                    std::min<std::uint64_t>(cell.starts[k], len);
+                iv.warmedUops = idxs[k] - std::min(prev, idxs[k]);
+                prev = idxs[k];
+            }
+            cell.ckpts = warmOnceCheckpoints(cfg, w, trace, idxs);
+
+            StatRecord stats;
+            stats.add("sample_ckpts",
+                      static_cast<double>(cell.ckpts.size()));
+            jobFinished(cell, rr, stats);
+        });
+    }
+
+    // ---- Phase 2: the measurement intervals. Warm-once jobs restore
+    // the phase-1 checkpoint; the legacy path functionally re-warms
+    // its own prefix (bounded by B when set).
     runOnWorkerPool(jobs.size(), options.jobs, [&](std::size_t j) {
         const Job &job = jobs[j];
         Cell &cell = cells[job.cell];
@@ -222,7 +361,7 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         IntervalResult &iv = cell.intervals[job.interval];
 
         SimConfig cfg = plan.configs[cell.cfg];
-        cfg.seed = intervalSeed(rr.seed, job.interval);
+        cfg.seed = rr.seed;
 
         Workload w = workloads::build(rr.workload);
         std::shared_ptr<const FrozenTrace> trace;
@@ -243,31 +382,47 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         }
         const std::uint64_t len = trace->uops.size();
 
-        const std::uint64_t start =
-            std::min<std::uint64_t>(cell.starts[job.interval], len);
-        const std::uint64_t ckptIdx =
-            start >= spec.detailUops ? start - spec.detailUops : 0;
+        std::shared_ptr<const Checkpoint> ckpt;
+        std::uint64_t start, ckptIdx;
+        if (warmOnce) {
+            // The phase-1 checkpoint is the start point; its µ-op
+            // index already reflects the trace-length clamps.
+            ckpt = std::move(cell.ckpts[job.interval]);
+            cell.ckpts[job.interval].reset();
+            start = iv.start;
+            ckptIdx = ckpt->uopIndex;
+        } else {
+            start = std::min<std::uint64_t>(cell.starts[job.interval],
+                                            len);
+            ckptIdx =
+                start >= spec.detailUops ? start - spec.detailUops : 0;
+            ckpt = std::make_shared<Checkpoint>(
+                captureAt(*trace, rr.workload, ckptIdx));
+            iv.start = start;
+        }
         const std::uint64_t detail = start - ckptIdx;
 
-        auto ckpt = std::make_shared<Checkpoint>(
-            captureAt(*trace, rr.workload, ckptIdx));
         Workload wc = w;
         wc.frozen = trace;
         wc.start = ckpt;
 
-        // Bounded warming (spec.warmBound != 0) caps the
-        // functionally-warmed window before each interval; 0 keeps
-        // classic SMARTS continuous warming over the whole prefix.
-        const std::uint64_t warmBegin =
-            spec.warmBound && ckptIdx > spec.warmBound
-                ? ckptIdx - spec.warmBound
-                : 0;
-
-        iv.start = start;
-        iv.warmedUops = ckptIdx - warmBegin;
+        iv.restored = warmOnce;
         {
             Core core(cfg, wc);
-            core.functionalWarm(*trace, warmBegin, ckptIdx);
+            if (warmOnce) {
+                core.restoreWarmState(*ckpt);
+            } else {
+                // Bounded warming (spec.warmBound != 0) caps the
+                // functionally-warmed window before each interval; 0
+                // keeps classic SMARTS continuous warming over the
+                // whole prefix.
+                const std::uint64_t warmBegin =
+                    spec.warmBound && ckptIdx > spec.warmBound
+                        ? ckptIdx - spec.warmBound
+                        : 0;
+                iv.warmedUops = ckptIdx - warmBegin;
+                core.functionalWarm(*trace, warmBegin, ckptIdx);
+            }
             if (detail) {
                 core.run(detail, detail * 60 + 1000000);
             }
@@ -277,24 +432,15 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
             iv.cycles = core.pipelineState().cycles;
         }
         wc.frozen.reset();
+        wc.start.reset();
+        ckpt.reset();
         trace.reset();
-        if (remaining[cell.wl].fetch_sub(1) == 1)
-            cache.drop(rr.workload);
 
-        const std::size_t finished = done.fetch_add(1) + 1;
-        if (options.progress) {
-            RunResult partial;
-            partial.config = rr.config;
-            partial.workload = rr.workload;
-            partial.seed = cfg.seed;
-            partial.stats.add("interval_start",
-                              static_cast<double>(iv.start));
-            partial.stats.add("ipc",
-                              ratio(static_cast<double>(iv.committed),
-                                    static_cast<double>(iv.cycles)));
-            std::lock_guard<std::mutex> lock(progressMu);
-            options.progress(finished, jobs.size(), partial);
-        }
+        StatRecord stats;
+        stats.add("interval_start", static_cast<double>(iv.start));
+        stats.add("ipc", ratio(static_cast<double>(iv.committed),
+                               static_cast<double>(iv.cycles)));
+        jobFinished(cell, rr, stats);
     });
 
     // Reduce each cell in slot order (deterministic float order).
@@ -302,8 +448,11 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         RunResult &rr = out.cells[i];
         std::vector<double> ipcs;
         std::uint64_t cycles = 0, committed = 0, warmed = 0;
+        std::uint64_t restored = 0;
         for (const IntervalResult &iv : cells[i].intervals) {
             warmed += iv.warmedUops;
+            if (iv.restored)
+                ++restored;
             if (iv.committed == 0 || iv.cycles == 0)
                 continue;  // interval past the end of a short workload
             ipcs.push_back(ratio(static_cast<double>(iv.committed),
@@ -324,6 +473,8 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         rr.stats.add("sample_detail_uops",
                      static_cast<double>(spec.detailUops));
         rr.stats.add("sample_warm_uops", static_cast<double>(warmed));
+        rr.stats.add("sample_restored_intervals",
+                     static_cast<double>(restored));
     }
     return out;
 }

@@ -10,17 +10,29 @@
  * region, each preceded by D µops of detailed warmup; everything
  * before an interval is covered by *functional warming* — the skipped
  * stream is replayed through the branch predictor, value predictor and
- * caches only (isa/warmable.hh), with no ROB/IQ timing — starting from
- * a Checkpoint (isa/checkpoint.hh) that seeds the architectural
- * register state without re-executing the prefix in the timing model.
+ * caches only (isa/warmable.hh), with no ROB/IQ timing.
  *
- * Each interval is an independent job on the PR 2 worker pool: all the
- * intervals of all the cells run concurrently, sharing each workload's
- * frozen trace through the sweep engine's trace cache. Per-interval
- * seeds follow the jobSeed discipline (pure function of the cell seed
- * and the interval index), results land in pre-assigned slots, and the
- * reduction walks them in slot order — so sampled artifacts are
- * byte-identical regardless of --jobs, exactly like full runs.
+ * Warm once, restore everywhere (the B=0 default): each (config,
+ * workload) cell runs ONE continuous warming pass that drops an
+ * "eole-ckpt-v2" checkpoint — architectural registers plus the
+ * serialized µarch state of every warmable component — at each
+ * interval's detailed-warmup start (warmOnceCheckpoints). Interval
+ * jobs then restore instead of re-warming their own prefix, turning
+ * the sampled cost from O(N·prefix) into O(prefix + N·(D+W)) while
+ * producing measurements identical to per-interval continuous warming
+ * (same warmed state ⇒ same measurements; pinned by the differential
+ * test in tests/test_sample.cc). Bounded warming (B>0) and
+ * SweepOptions::sampleRewarm keep the legacy per-interval warming
+ * path. `eole ckpt save` writes the same per-interval checkpoints to
+ * disk so later sharding PRs can ship them across hosts.
+ *
+ * Scheduling: warm-once cells, then all intervals of all cells, run
+ * as independent jobs on the PR 2 worker pool, sharing each workload's
+ * frozen trace through the sweep engine's trace cache. Per-cell seeds
+ * follow the jobSeed discipline, results land in pre-assigned slots,
+ * and the reduction walks them in slot order — so sampled artifacts
+ * are byte-identical regardless of --jobs and cache settings, exactly
+ * like full runs.
  *
  * The reduction records, per cell:
  *   ipc                 mean of the per-interval IPCs
@@ -30,7 +42,12 @@
  *   committed_uops      total measured µ-ops across intervals
  *   sample_intervals    intervals that actually measured µ-ops
  *   sample_interval_uops / sample_detail_uops     W and D
- *   sample_warm_uops    µ-ops functionally warmed (cost accounting)
+ *   sample_warm_uops    µ-ops functionally warmed (cost accounting:
+ *                       one prefix per cell in warm-once mode, one
+ *                       per interval when re-warming)
+ *   sample_restored_intervals   intervals fed from a v2 checkpoint
+ *                       (0 on the legacy re-warming path — the CI
+ *                       lane asserts the warm-once path is active)
  *
  * See DESIGN.md §8 for the methodology (placement math, warming
  * fidelity contract, CI computation, determinism rules).
@@ -40,9 +57,12 @@
 #define EOLE_SIM_SAMPLE_SAMPLE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "isa/checkpoint.hh"
 #include "sim/sweep.hh"
+#include "workloads/workload.hh"
 
 namespace eole {
 
@@ -67,9 +87,56 @@ std::vector<std::uint64_t> placeIntervals(std::uint64_t warmup,
                                           std::uint64_t cell_seed);
 
 /** Deterministic per-interval seed (jobSeed discipline: pure function
- *  of the cell seed and the interval index). */
+ *  of the cell seed and the interval index). Interval placement
+ *  phases derive from this; measurement cores run on the cell seed
+ *  itself so one warming pass covers every interval. */
 std::uint64_t intervalSeed(std::uint64_t cell_seed,
                            std::uint64_t interval_index);
+
+/**
+ * Clamp placed interval starts to a trace length and derive each
+ * interval's checkpoint index — the first µ-op of its detailed-warmup
+ * prefix (start - D, floored at 0). The ONE spelling of the warm-once
+ * placement arithmetic, shared by runSampledPlan's warming phase and
+ * `eole ckpt save` so the written checkpoints are exactly the ones a
+ * sampled run restores from. Indices come back non-decreasing;
+ * clamped short-workload intervals may repeat the final index
+ * (identical checkpoints — consumers can skip duplicates).
+ */
+std::vector<std::uint64_t> warmCheckpointIndices(
+    const std::vector<std::uint64_t> &starts, std::uint64_t trace_len,
+    const SampleSpec &spec);
+
+/**
+ * How many trace µ-ops a sampled run of @p plan can touch: the
+ * nominal region or the furthest placed interval (@p max_start is the
+ * maximum start across every cell; a degenerate short region can push
+ * one interval past warmup+measure), plus W and the in-flight
+ * allowance. Shared by runSampledPlan and `eole ckpt save` so both
+ * record traces with identical clamping behaviour.
+ */
+std::uint64_t sampleTraceUopsNeeded(const ExperimentPlan &plan,
+                                    const SampleSpec &spec,
+                                    std::uint64_t warmup,
+                                    std::uint64_t measure,
+                                    std::uint64_t max_start);
+
+/**
+ * One continuous warming pass over @p trace for a cell of @p cfg
+ * (whose seed must already be the resolved cell seed): stream µ-ops
+ * [0, idx) through a fresh core's warmable components and capture an
+ * "eole-ckpt-v2" checkpoint — architectural registers via captureAt
+ * plus every component's snapshotState — at each index of
+ * @p ckpt_indices (non-decreasing; clamped to the trace length).
+ * Piecewise warming is state-identical to one uninterrupted pass, so
+ * checkpoint k holds exactly the state continuous warming of its
+ * whole prefix would produce. Shared by runSampledPlan's warm-once
+ * phase and `eole ckpt save`.
+ */
+std::vector<std::shared_ptr<const Checkpoint>> warmOnceCheckpoints(
+    const SimConfig &cfg, const Workload &workload,
+    const std::shared_ptr<const FrozenTrace> &trace,
+    const std::vector<std::uint64_t> &ckpt_indices);
 
 /** Mean and 95% confidence half-width (Student-t, n-1 df; half-width
  *  0 when fewer than two samples) of @p xs. */
@@ -82,9 +149,9 @@ struct MeanCi
 MeanCi meanCi95(const std::vector<double> &xs);
 
 /**
- * Execute @p plan in sampled mode: every matched cell expands into
- * spec.intervals per-interval jobs on the worker pool and reduces to
- * mean IPC + CI stats (file header). Determinism guarantees match
+ * Execute @p plan in sampled mode: every matched cell warms once and
+ * expands into per-interval jobs on the worker pool (file header),
+ * reducing to mean IPC + CI stats. Determinism guarantees match
  * runPlan: artifacts are byte-identical across --jobs and cache
  * settings.
  */

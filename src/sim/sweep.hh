@@ -39,6 +39,16 @@ struct SweepOptions
     std::uint64_t measure = 0; //!< µ-ops; 0 = plan, then EOLE_INSTS
     bool useTraceCache = true;
 
+    /**
+     * Sampling only: force the legacy per-interval re-warming path (as
+     * before the warm-once checkpoints) even at B=0. The two paths
+     * produce identical per-interval measurements (same warmed state —
+     * pinned by tests/test_sample.cc); re-warming just pays the prefix
+     * N times. Kept for the differential harness and the wall-clock
+     * comparison in bench/sample_validation.
+     */
+    bool sampleRewarm = false;
+
     /** Progress hook, invoked (serialized) as each job finishes. */
     std::function<void(std::size_t done, std::size_t total,
                        const RunResult &cell)> progress;

@@ -5,6 +5,8 @@
  *   eole list [--workloads]           show plans (or workloads)
  *   eole run <plan> [options]         execute a plan on a worker pool
  *   eole diff <a.json> <b.json>       compare two artifacts
+ *   eole ckpt save|info               write / inspect eole-ckpt-v2
+ *                                     warm-state checkpoint files
  *
  * Each figure of the paper is a named plan (sim/plans.hh); `eole run`
  * subsumes the per-figure bench binaries, adding parallel execution
@@ -20,15 +22,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "common/env.hh"
 #include "common/fuzzy.hh"
 #include "common/logging.hh"
 #include "sim/artifact.hh"
+#include "sim/trace_cache.hh"
 #include "sim/configs.hh"
 #include "sim/experiment.hh"
 #include "sim/params.hh"
@@ -86,11 +92,33 @@ usage(FILE *to, int exit_code)
         "                    after D µ-ops of detailed warmup (D\n"
         "                    defaults to W/2); functional warming\n"
         "                    covers up to B µ-ops before each interval\n"
-        "                    (default 0 = the whole skipped prefix).\n"
-        "                    Cells report mean ipc + ipc_ci95.\n"
+        "                    (default 0 = the whole skipped prefix,\n"
+        "                    warmed ONCE per cell and restored from\n"
+        "                    eole-ckpt-v2 checkpoints at each\n"
+        "                    interval). Overrides a plan file's\n"
+        "                    `sample =` directive. Cells report mean\n"
+        "                    ipc + ipc_ci95.\n"
         "      --no-cache    disable the shared functional-trace cache\n"
         "      --no-tables   skip the paper-style tables\n"
         "      --quiet       no per-job progress on stderr\n"
+        "\n"
+        "  eole ckpt save <plan>|--plan <file.plan> --out <dir>\n"
+        "            [--sample N:W:D[:B]] [--filter S] [--jobs N]\n"
+        "            [--seed N] [--warmup N] [--insts N] [--set K=V]\n"
+        "            [--no-cache] [--quiet]\n"
+        "      One continuous warming pass per matched (config,\n"
+        "      workload) cell, writing an eole-ckpt-v2 checkpoint\n"
+        "      file (architectural registers + serialized predictor/\n"
+        "      cache state) per sampling interval into <dir> — the\n"
+        "      same checkpoints `eole run --sample` feeds its\n"
+        "      intervals from, as shippable artifacts for other\n"
+        "      hosts. The spec comes from --sample or the plan file's\n"
+        "      `sample =` directive (--sample wins).\n"
+        "\n"
+        "  eole ckpt info <file.ckpt>...\n"
+        "      Validate checkpoint files (strict, line-numbered\n"
+        "      diagnostics; exit 2 on a malformed file) and print\n"
+        "      schema, provenance, µ-op index and section sizes.\n"
         "\n"
         "  eole diff <a.json> <b.json> [--rel-tol X] [--abs-tol X]\n"
         "            [--ci]\n"
@@ -404,6 +432,10 @@ cmdRun(int argc, char **argv)
         }
     }
 
+    // Effective sampling spec: the CLI flag wins over the plan file's
+    // own `sample =` directive (resolveRunLength-style precedence).
+    sample = resolveSampleSpec(sample, plan.sample);
+
     if (!quiet) {
         opt.progress = [](std::size_t done, std::size_t total,
                           const RunResult &cell) {
@@ -449,6 +481,319 @@ cmdRun(int argc, char **argv)
             std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
     }
     return 0;
+}
+
+/** File-system-safe spelling of a cell identity component. */
+std::string
+sanitizeForPath(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out) {
+        if (c == '/' || c == '\\' || c == ' ' || c == ':')
+            c = '_';
+    }
+    return out;
+}
+
+int
+cmdCkptSave(int argc, char **argv)
+{
+    ExperimentPlan plan;
+    bool have_plan = false;
+    int first_opt = 0;
+    if (argc >= 1 && argv[0][0] != '-') {
+        const std::string plan_name = argv[0];
+        if (!plans::exists(plan_name)) {
+            std::fprintf(stderr,
+                         "eole: unknown plan \"%s\"%s (try `eole "
+                         "list`)\n", plan_name.c_str(),
+                         didYouMean(closestMatches(
+                             plan_name, plans::allNames())).c_str());
+            return 2;
+        }
+        plan = plans::get(plan_name);
+        have_plan = true;
+        first_opt = 1;
+    }
+
+    SweepOptions opt;
+    SampleSpec sample;
+    std::string out_dir, value;
+    std::vector<std::string> sets;
+    bool quiet = false;
+    for (int i = first_opt; i < argc; ++i) {
+        if (takeValue(argc, argv, i, "--plan", value)) {
+            if (have_plan) {
+                std::fprintf(stderr, "eole: give either a registered "
+                             "plan name or --plan, not both\n");
+                return 2;
+            }
+            std::string err;
+            if (!loadPlanFile(value, &plan, &err)) {
+                std::fprintf(stderr, "eole: %s\n", err.c_str());
+                return 2;
+            }
+            have_plan = true;
+        } else if (takeValue(argc, argv, i, "--out", value)) {
+            out_dir = value;
+        } else if (takeValue(argc, argv, i, "--sample", value)) {
+            sample = parseSampleSpec(value);
+        } else if (takeValue(argc, argv, i, "--filter", value)) {
+            opt.filter = value;
+        } else if (takeValue(argc, argv, i, "--jobs", value)) {
+            opt.jobs = static_cast<int>(parseU64(value, "--jobs"));
+        } else if (takeValue(argc, argv, i, "--seed", value)) {
+            plan.seed = parseU64(value, "--seed");
+        } else if (takeValue(argc, argv, i, "--warmup", value)) {
+            opt.warmup = parseU64(value, "--warmup");
+        } else if (takeValue(argc, argv, i, "--insts", value)) {
+            opt.measure = parseU64(value, "--insts");
+        } else if (takeValue(argc, argv, i, "--set", value)) {
+            sets.push_back(value);
+        } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+            opt.useTraceCache = false;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "eole: unknown option %s\n", argv[i]);
+            return usage(stderr, 2);
+        }
+    }
+    if (!have_plan) {
+        std::fprintf(stderr,
+                     "eole: ckpt save needs a plan name or --plan\n");
+        return usage(stderr, 2);
+    }
+    if (out_dir.empty()) {
+        std::fprintf(stderr,
+                     "eole: ckpt save needs --out <directory>\n");
+        return 2;
+    }
+    const ParamRegistry &reg = ParamRegistry::instance();
+    for (const std::string &kv : sets) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            std::fprintf(stderr,
+                         "eole: --set wants key=value, got \"%s\"\n",
+                         kv.c_str());
+            return 2;
+        }
+        for (SimConfig &c : plan.configs) {
+            const std::string err = reg.trySet(c, kv.substr(0, eq),
+                                               kv.substr(eq + 1));
+            if (!err.empty()) {
+                std::fprintf(stderr, "eole: --set: %s\n", err.c_str());
+                return 2;
+            }
+        }
+    }
+    sample = resolveSampleSpec(sample, plan.sample);
+    if (!sample.enabled()) {
+        std::fprintf(stderr,
+                     "eole: ckpt save needs a sampling spec: --sample "
+                     "N:W:D[:B] or a plan-file `sample =` directive\n");
+        return 2;
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "eole: cannot create %s: %s\n",
+                     out_dir.c_str(), ec.message().c_str());
+        return 2;
+    }
+
+    const std::uint64_t warmup = resolveRunLength(
+        opt.warmup, plan.warmup, "EOLE_WARMUP", defaultWarmupUops);
+    const std::uint64_t measure = resolveRunLength(
+        opt.measure, plan.measure, "EOLE_INSTS", defaultMeasureUops);
+
+    // Matched cells, config-major (the artifact order); placement as
+    // in runSampledPlan so the written checkpoints are exactly the
+    // ones a sampled run of this plan/spec/seed restores from.
+    struct CkptCell
+    {
+        const SimConfig *cfg;
+        std::size_t wl;
+        std::string workload;
+        std::uint64_t seed;
+        std::vector<std::uint64_t> starts;
+        std::vector<std::string> files;  //!< pre-assigned slots
+    };
+    std::vector<CkptCell> cells;
+    for (const SimConfig &c : plan.configs) {
+        for (std::size_t w = 0; w < plan.workloads.size(); ++w) {
+            if (!cellMatches(opt.filter, c.name, plan.workloads[w]))
+                continue;
+            CkptCell cell;
+            cell.cfg = &c;
+            cell.wl = w;
+            cell.workload = plan.workloads[w];
+            cell.seed = jobSeed(plan.seed, c.seed, c.name,
+                                plan.workloads[w]);
+            cell.starts = placeIntervals(warmup, measure, sample,
+                                         cell.seed);
+            cell.files.resize(cell.starts.size());
+            cells.push_back(std::move(cell));
+        }
+    }
+    if (cells.empty()) {
+        std::fprintf(stderr, "eole: no cell of plan %s matches\n",
+                     plan.name.c_str());
+        return 2;
+    }
+
+    std::uint64_t maxStart = 0;
+    for (const CkptCell &cell : cells) {
+        for (const std::uint64_t s : cell.starts)
+            maxStart = std::max(maxStart, s);
+    }
+    const std::uint64_t traceUopsNeeded =
+        sampleTraceUopsNeeded(plan, sample, warmup, measure, maxStart);
+
+    TraceCache cache;
+    std::vector<std::atomic<std::size_t>> remaining(plan.workloads.size());
+    for (auto &r : remaining)
+        r.store(0, std::memory_order_relaxed);
+    for (const CkptCell &cell : cells)
+        remaining[cell.wl].fetch_add(1, std::memory_order_relaxed);
+
+    std::atomic<bool> write_failed{false};
+    runOnWorkerPool(cells.size(), opt.jobs, [&](std::size_t i) {
+        CkptCell &cell = cells[i];
+        SimConfig cfg = *cell.cfg;
+        cfg.seed = cell.seed;
+
+        Workload w = workloads::build(cell.workload);
+        std::shared_ptr<const FrozenTrace> trace;
+        if (opt.useTraceCache)
+            trace = cache.get(w, traceUopsNeeded);
+        if (!trace && !cell.starts.empty()) {
+            trace = w.freeze(std::min(traceUopsNeeded,
+                                      cell.starts.back()));
+        }
+
+        if (trace) {
+            const auto idxs = warmCheckpointIndices(
+                cell.starts, trace->uops.size(), sample);
+            const auto ckpts =
+                warmOnceCheckpoints(cfg, w, trace, idxs);
+            for (std::size_t k = 0; k < ckpts.size(); ++k) {
+                // Intervals clamped to the end of a short workload
+                // repeat the final index with identical state; one
+                // file covers them all (no silent overwrite, no
+                // inflated count).
+                if (k > 0
+                    && ckpts[k]->uopIndex == ckpts[k - 1]->uopIndex)
+                    continue;
+                const std::string file = out_dir + "/"
+                    + sanitizeForPath(cfg.name) + "__"
+                    + sanitizeForPath(cell.workload) + "__u"
+                    + std::to_string(ckpts[k]->uopIndex) + ".ckpt";
+                std::ofstream os(file, std::ios::binary);
+                bool ok = static_cast<bool>(os);
+                if (ok) {
+                    serializeCheckpoint(os, *ckpts[k]);
+                    // Close before judging success: buffered bytes
+                    // only hit disk here, and ENOSPC at close must
+                    // not report the file as written.
+                    os.close();
+                    ok = !os.fail();
+                }
+                if (!ok) {
+                    write_failed.store(true);
+                } else {
+                    cell.files[k] = file;
+                }
+            }
+        }
+        trace.reset();
+        if (remaining[cell.wl].fetch_sub(1) == 1)
+            cache.drop(cell.workload);
+    });
+
+    std::size_t written = 0;
+    for (const CkptCell &cell : cells) {
+        for (const std::string &f : cell.files) {
+            if (f.empty())
+                continue;
+            ++written;
+            if (!quiet)
+                std::printf("%s\n", f.c_str());
+        }
+    }
+    if (write_failed.load()) {
+        std::fprintf(stderr, "eole: ckpt save: write failure under "
+                     "%s\n", out_dir.c_str());
+        return 2;
+    }
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "wrote %zu checkpoint file(s) for %zu cell(s) "
+                     "(plan %s, sample %s, warmup %llu, measure "
+                     "%llu)\n",
+                     written, cells.size(), plan.name.c_str(),
+                     sampleSpecString(sample).c_str(),
+                     (unsigned long long)warmup,
+                     (unsigned long long)measure);
+    }
+    return 0;
+}
+
+int
+cmdCkptInfo(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fprintf(stderr,
+                     "eole: ckpt info needs checkpoint file(s)\n");
+        return 2;
+    }
+    int rc = 0;
+    for (int i = 0; i < argc; ++i) {
+        std::ifstream is(argv[i], std::ios::binary);
+        if (!is) {
+            std::fprintf(stderr, "eole: cannot read %s\n", argv[i]);
+            rc = 2;
+            continue;
+        }
+        Checkpoint ckpt;
+        std::string err;
+        if (!tryDeserializeCheckpoint(is, &ckpt, &err)) {
+            std::fprintf(stderr, "eole: %s: %s\n", argv[i],
+                         err.c_str());
+            rc = 2;
+            continue;
+        }
+        std::printf("%s: %s workload \"%s\" uop %llu", argv[i],
+                    checkpointSchemaName(ckpt), ckpt.workload.c_str(),
+                    (unsigned long long)ckpt.uopIndex);
+        if (!ckpt.config.empty())
+            std::printf(" config \"%s\"", ckpt.config.c_str());
+        if (ckpt.hasWarmState()) {
+            std::printf(" sections");
+            for (const auto &[name, payload] : ckpt.uarch)
+                std::printf(" %s=%zuB", name.c_str(), payload.size());
+        }
+        std::printf("\n");
+    }
+    return rc;
+}
+
+int
+cmdCkpt(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fprintf(stderr, "eole: ckpt needs save|info\n");
+        return usage(stderr, 2);
+    }
+    const std::string sub = argv[0];
+    if (sub == "save")
+        return cmdCkptSave(argc - 1, argv + 1);
+    if (sub == "info")
+        return cmdCkptInfo(argc - 1, argv + 1);
+    std::fprintf(stderr, "eole: unknown ckpt subcommand \"%s\"\n",
+                 sub.c_str());
+    return usage(stderr, 2);
 }
 
 int
@@ -503,6 +848,8 @@ main(int argc, char **argv)
         return cmdRun(argc - 2, argv + 2);
     if (cmd == "diff")
         return cmdDiff(argc - 2, argv + 2);
+    if (cmd == "ckpt")
+        return cmdCkpt(argc - 2, argv + 2);
     if (cmd == "help" || cmd == "--help" || cmd == "-h")
         return usage(stdout, 0);
     std::fprintf(stderr, "eole: unknown command \"%s\"\n", cmd.c_str());

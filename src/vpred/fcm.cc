@@ -72,4 +72,54 @@ FcmPredictor::commit(Addr pc, RegVal actual, const VpLookup &lookup)
     h.ctx = ((h.ctx << 7) | (h.ctx >> 25)) ^ foldValue(actual);
 }
 
+void
+FcmPredictor::snapshotState(std::ostream &os) const
+{
+    SnapshotWriter w(os);
+    w.tag("fcm").u64(1).u64(histTable.size()).u64(valueTable.size());
+    w.end();
+    w.tag("fcm.h");
+    for (const HistEntry &h : histTable)
+        w.flag(h.valid).u64(h.tag).u64(h.ctx);
+    w.end();
+    w.tag("fcm.v");
+    for (const ValueEntry &v : valueTable)
+        w.u64(v.value).u64(v.conf);
+    w.end();
+    w.tag("fcm.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        w.u64(rng.word(i));
+    w.end();
+}
+
+void
+FcmPredictor::restoreState(std::istream &is)
+{
+    SnapshotReader r(is, name());
+    r.line("fcm");
+    r.fatalIf(r.u64("version") != 1, "unsupported version");
+    r.fatalIf(r.u64("histEntries") != histTable.size(),
+              "FCM history-table size mismatch");
+    r.fatalIf(r.u64("valueEntries") != valueTable.size(),
+              "FCM value-table size mismatch");
+    r.endLine();
+    r.line("fcm.h");
+    for (HistEntry &h : histTable) {
+        h.valid = r.flag("valid");
+        h.tag = r.u64("tag");
+        h.ctx = static_cast<std::uint32_t>(r.u64Max("ctx", 0xffffffff));
+    }
+    r.endLine();
+    r.line("fcm.v");
+    for (ValueEntry &v : valueTable) {
+        v.value = r.u64("value");
+        v.conf = static_cast<std::uint8_t>(r.u64Max("conf", fpc.max()));
+    }
+    r.endLine();
+    r.line("fcm.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        rng.setWord(i, r.u64("word"));
+    r.endLine();
+}
+
 } // namespace eole

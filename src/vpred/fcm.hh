@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "isa/snapshot.hh"
 #include "vpred/fpc.hh"
 #include "vpred/value_predictor.hh"
 
@@ -33,6 +34,9 @@ class FcmPredictor : public ValuePredictor
     VpLookup predict(Addr pc) override;
     void commit(Addr pc, RegVal actual, const VpLookup &lookup) override;
     const char *name() const override { return "FCM"; }
+
+    void snapshotState(std::ostream &os) const override;
+    void restoreState(std::istream &is) override;
 
   private:
     struct HistEntry

@@ -81,4 +81,25 @@ HybridVtage2DStride::warmUpdate(const TraceUop &uop)
     sp->commit(uop.pc, uop.result, spl);
 }
 
+void
+HybridVtage2DStride::snapshotState(std::ostream &os) const
+{
+    SnapshotWriter w(os);
+    w.tag("hybrid").u64(1);
+    w.end();
+    vt->snapshotState(os);
+    sp->snapshotState(os);
+}
+
+void
+HybridVtage2DStride::restoreState(std::istream &is)
+{
+    SnapshotReader r(is, name());
+    r.line("hybrid");
+    r.fatalIf(r.u64("version") != 1, "unsupported version");
+    r.endLine();
+    vt->restoreStateBody(r);
+    sp->restoreStateBody(r);
+}
+
 } // namespace eole

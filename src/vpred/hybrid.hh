@@ -41,6 +41,11 @@ class HybridVtage2DStride : public ValuePredictor
      *  stateless, so component state evolves identically). */
     void warmUpdate(const TraceUop &uop) override;
 
+    /** Concatenated component snapshots (the arbitration chooser is
+     *  stateless, so the two sub-predictors are the whole state). */
+    void snapshotState(std::ostream &os) const override;
+    void restoreState(std::istream &is) override;
+
     Vtage &vtage() { return *vt; }
     StridePredictor &stride() { return *sp; }
 

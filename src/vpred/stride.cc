@@ -51,6 +51,45 @@ LastValuePredictor::commit(Addr pc, RegVal actual, const VpLookup &lookup)
         e.value = actual;
 }
 
+void
+LastValuePredictor::snapshotState(std::ostream &os) const
+{
+    SnapshotWriter w(os);
+    w.tag("lvp").u64(1).u64(table.size());
+    w.end();
+    w.tag("lvp.e");
+    for (const Entry &e : table)
+        w.flag(e.valid).u64(e.tag).u64(e.value).u64(e.conf);
+    w.end();
+    w.tag("lvp.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        w.u64(rng.word(i));
+    w.end();
+}
+
+void
+LastValuePredictor::restoreState(std::istream &is)
+{
+    SnapshotReader r(is, "LVP");
+    r.line("lvp");
+    r.fatalIf(r.u64("version") != 1, "unsupported version");
+    r.fatalIf(r.u64("entries") != table.size(),
+              "LVP table size mismatch");
+    r.endLine();
+    r.line("lvp.e");
+    for (Entry &e : table) {
+        e.valid = r.flag("valid");
+        e.tag = r.u64("tag");
+        e.value = r.u64("value");
+        e.conf = static_cast<std::uint8_t>(r.u64Max("conf", fpc.max()));
+    }
+    r.endLine();
+    r.line("lvp.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        rng.setWord(i, r.u64("word"));
+    r.endLine();
+}
+
 // ----------------------------- StridePredictor ----------------------------
 
 StridePredictor::StridePredictor(const VpConfig &config, bool two_delta,
@@ -115,6 +154,64 @@ StridePredictor::commit(Addr pc, RegVal actual, const VpLookup &lookup)
     e.lastValue = actual;
     if (lookup.predictionMade)
         fpc.update(e.conf, lookup.value == actual, rng);
+}
+
+void
+StridePredictor::snapshotState(std::ostream &os) const
+{
+    SnapshotWriter w(os);
+    w.tag("stride").u64(1).u64(table.size()).flag(twoDelta);
+    w.end();
+    w.tag("stride.e");
+    for (const Entry &e : table) {
+        w.flag(e.valid)
+            .u64(e.tag)
+            .u64(e.lastValue)
+            .i64(e.stride1)
+            .i64(e.stride2)
+            .u64(e.conf)
+            .u64(e.inflight);
+    }
+    w.end();
+    w.tag("stride.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        w.u64(rng.word(i));
+    w.end();
+}
+
+void
+StridePredictor::restoreStateBody(SnapshotReader &r)
+{
+    r.line("stride");
+    r.fatalIf(r.u64("version") != 1, "unsupported version");
+    r.fatalIf(r.u64("entries") != table.size(),
+              "stride table size mismatch");
+    r.fatalIf(r.flag("twoDelta") != twoDelta,
+              "stride variant mismatch");
+    r.endLine();
+    r.line("stride.e");
+    for (Entry &e : table) {
+        e.valid = r.flag("valid");
+        e.tag = r.u64("tag");
+        e.lastValue = r.u64("lastValue");
+        e.stride1 = r.i64("stride1");
+        e.stride2 = r.i64("stride2");
+        e.conf = static_cast<std::uint8_t>(r.u64Max("conf", fpc.max()));
+        e.inflight =
+            static_cast<std::uint16_t>(r.u64Max("inflight", 0xffff));
+    }
+    r.endLine();
+    r.line("stride.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        rng.setWord(i, r.u64("word"));
+    r.endLine();
+}
+
+void
+StridePredictor::restoreState(std::istream &is)
+{
+    SnapshotReader r(is, name());
+    restoreStateBody(r);
 }
 
 void

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "isa/snapshot.hh"
 #include "vpred/fpc.hh"
 #include "vpred/value_predictor.hh"
 
@@ -30,6 +31,9 @@ class LastValuePredictor : public ValuePredictor
     VpLookup predict(Addr pc) override;
     void commit(Addr pc, RegVal actual, const VpLookup &lookup) override;
     const char *name() const override { return "LVP"; }
+
+    void snapshotState(std::ostream &os) const override;
+    void restoreState(std::istream &is) override;
 
   private:
     struct Entry
@@ -69,6 +73,11 @@ class StridePredictor : public ValuePredictor
     {
         return twoDelta ? "2D-Stride" : "Stride";
     }
+
+    void snapshotState(std::ostream &os) const override;
+    void restoreState(std::istream &is) override;
+    /** Hybrid embedding: restore from an already-open reader. */
+    void restoreStateBody(SnapshotReader &r);
 
   private:
     struct Entry

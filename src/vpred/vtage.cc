@@ -186,4 +186,81 @@ Vtage::commit(Addr pc, RegVal actual, const VpLookup &lookup)
     }
 }
 
+void
+Vtage::snapshotState(std::ostream &os) const
+{
+    SnapshotWriter w(os);
+    w.tag("vtage")
+        .u64(1)
+        .u64(base.size())
+        .u64(static_cast<std::uint64_t>(cfg.vtageNumTagged))
+        .u64(tagged.empty() ? 0 : tagged[0].size());
+    w.end();
+    w.tag("vtage.base");
+    for (const BaseEntry &b : base)
+        w.u64(b.value).u64(b.conf);
+    w.end();
+    for (int i = 0; i < cfg.vtageNumTagged; ++i) {
+        w.tag("vtage.comp").u64(static_cast<std::uint64_t>(i));
+        for (const TaggedEntry &e : tagged[i]) {
+            w.flag(e.valid).u64(e.tag).u64(e.value).u64(e.conf)
+                .u64(e.u);
+        }
+        w.end();
+    }
+    w.tag("vtage.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        w.u64(rng.word(i));
+    w.end();
+}
+
+void
+Vtage::restoreStateBody(SnapshotReader &r)
+{
+    r.line("vtage");
+    r.fatalIf(r.u64("version") != 1, "unsupported version");
+    r.fatalIf(r.u64("baseEntries") != base.size(),
+              "VTAGE base-table size mismatch");
+    r.fatalIf(r.u64("numTagged")
+                  != static_cast<std::uint64_t>(cfg.vtageNumTagged),
+              "VTAGE component-count mismatch");
+    r.fatalIf(r.u64("taggedEntries")
+                  != (tagged.empty() ? 0 : tagged[0].size()),
+              "VTAGE tagged-table size mismatch");
+    r.endLine();
+    r.line("vtage.base");
+    for (BaseEntry &b : base) {
+        b.value = r.u64("value");
+        b.conf = static_cast<std::uint8_t>(r.u64Max("conf", fpc.max()));
+    }
+    r.endLine();
+    for (int i = 0; i < cfg.vtageNumTagged; ++i) {
+        r.line("vtage.comp");
+        r.fatalIf(r.u64("comp") != static_cast<std::uint64_t>(i),
+                  "VTAGE components out of order");
+        const std::uint64_t tag_max = (1u << tagBitsOf(i)) - 1;
+        for (TaggedEntry &e : tagged[i]) {
+            e.valid = r.flag("valid");
+            e.tag =
+                static_cast<std::uint16_t>(r.u64Max("tag", tag_max));
+            e.value = r.u64("value");
+            e.conf =
+                static_cast<std::uint8_t>(r.u64Max("conf", fpc.max()));
+            e.u = static_cast<std::uint8_t>(r.u64Max("u", 1));
+        }
+        r.endLine();
+    }
+    r.line("vtage.rng");
+    for (int i = 0; i < Rng::stateWords; ++i)
+        rng.setWord(i, r.u64("word"));
+    r.endLine();
+}
+
+void
+Vtage::restoreState(std::istream &is)
+{
+    SnapshotReader r(is, name());
+    restoreStateBody(r);
+}
+
 } // namespace eole

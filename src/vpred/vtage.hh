@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "isa/snapshot.hh"
 #include "vpred/fpc.hh"
 #include "vpred/value_predictor.hh"
 
@@ -37,6 +38,11 @@ class Vtage : public ValuePredictor
     VpLookup predict(Addr pc) override;
     void commit(Addr pc, RegVal actual, const VpLookup &lookup) override;
     const char *name() const override { return "VTAGE"; }
+
+    void snapshotState(std::ostream &os) const override;
+    void restoreState(std::istream &is) override;
+    /** Hybrid embedding: restore from an already-open reader. */
+    void restoreStateBody(SnapshotReader &r);
 
     int histLength(int comp) const { return histLens[comp]; }
 

@@ -10,7 +10,7 @@ namespace eole {
 namespace workloads {
 
 Program
-generateTortureProgram(std::uint64_t seed)
+generateTortureProgram(std::uint64_t seed, std::uint64_t loop_iterations)
 {
     Rng rng(seed);
     Assembler a;
@@ -39,7 +39,13 @@ generateTortureProgram(std::uint64_t seed)
     }
     for (int f = 1; f <= 8; ++f)
         a.fcvtif(FpReg(f), IntReg(data_lo.idx + (f - 1)));
-    a.movi(counter, rng.range(8, 24));
+    // Always draw the default count so the RNG stream (and therefore
+    // the generated body) is identical for a given seed whether or not
+    // the caller overrides the iteration count.
+    const std::int64_t default_iters = rng.range(8, 24);
+    a.movi(counter, loop_iterations
+                        ? static_cast<std::int64_t>(loop_iterations)
+                        : default_iters);
 
     const Label loop = a.newLabel();
     a.bind(loop);

@@ -33,8 +33,15 @@ constexpr std::size_t tortureMemBytes = 8192;
  * <= 4088, so every architectural access stays inside
  * tortureMemBytes. Every intra-loop branch is forward; the only back
  * edge is the counted outer loop, so the program always halts.
+ *
+ * @param loop_iterations outer-loop trip-count override; 0 keeps the
+ *        seeded default of 8..24. The generated body is identical for
+ *        a given seed either way — the override only stretches the
+ *        dynamic length, which is what sampled-mode harnesses need
+ *        (the "torture:<seed>[:<iters>]" workload names).
  */
-Program generateTortureProgram(std::uint64_t seed);
+Program generateTortureProgram(std::uint64_t seed,
+                               std::uint64_t loop_iterations = 0);
 
 } // namespace workloads
 } // namespace eole

@@ -71,7 +71,11 @@ namespace workloads {
 /** Names of all 19 benchmarks, in the paper's Table 3 order. */
 const std::vector<std::string> &allNames();
 
-/** Build a workload by name (fatal on unknown name). */
+/** Build a workload by name (fatal on unknown name). Besides the
+ *  registry names, "torture:<seed>" builds a seeded random program
+ *  from the differential torture generator — usable anywhere a
+ *  workload name is accepted (plans, sampling) but not listed in
+ *  allNames(). */
 Workload build(const std::string &name);
 
 /** Build every workload. */

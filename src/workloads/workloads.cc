@@ -5,7 +5,10 @@
 
 #include "workloads/workload.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
+#include "workloads/torture_gen.hh"
 
 namespace eole {
 namespace workloads {
@@ -61,6 +64,34 @@ build(const std::string &name)
     for (const auto &e : registry) {
         if (name == e.name)
             return e.build();
+    }
+    // "torture:<seed>[:<iters>]": a seeded random program from the
+    // differential torture generator (workloads/torture_gen.hh), with
+    // an optional outer-loop trip-count to stretch the dynamic length
+    // (sampled plans need tens of thousands of µ-ops). Not part of
+    // allNames() — these are test/harness workloads, addressable
+    // anywhere a registry name is accepted.
+    if (name.rfind("torture:", 0) == 0) {
+        const std::string spec = name.substr(8);
+        // strtoull silently wraps negative input to huge values;
+        // "torture:-1" must be a diagnostic, not a ~2^64-iteration
+        // program (same guard as tryParseSampleSpec).
+        fatal_if(spec.find_first_of("+-") != std::string::npos,
+                 "bad torture workload spec in '%s' "
+                 "(want torture:<seed>[:<iters>])", name.c_str());
+        char *end = nullptr;
+        const std::uint64_t seed = std::strtoull(spec.c_str(), &end, 0);
+        std::uint64_t iters = 0;
+        if (end != spec.c_str() && *end == ':')
+            iters = std::strtoull(end + 1, &end, 0);
+        fatal_if(spec.empty() || end != spec.c_str() + spec.size(),
+                 "bad torture workload spec in '%s' "
+                 "(want torture:<seed>[:<iters>])", name.c_str());
+        Workload w;
+        w.name = name;
+        w.memBytes = tortureMemBytes;
+        w.program = generateTortureProgram(seed, iters);
+        return w;
     }
     fatal("unknown workload '%s'", name.c_str());
 }

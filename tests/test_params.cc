@@ -436,6 +436,60 @@ TEST(PlanFile, ErrorsCarryLineNumbersAndSuggestions)
     EXPECT_NE(err.find("declared twice"), std::string::npos);
 }
 
+TEST(PlanFile, SampleDirectiveParsesResolvesAndRejects)
+{
+    // `sample = N:W:D[:B]` gives a plan its default sampling spec.
+    ExperimentPlan plan;
+    std::string err;
+    ASSERT_TRUE(parsePlanText(
+        "plan = s\nconfigs = EOLE_4_64\nsample = 10:5000:2500\n",
+        "s.plan", &plan, &err)) << err;
+    EXPECT_TRUE(plan.sample.enabled());
+    EXPECT_EQ(plan.sample.intervals, 10u);
+    EXPECT_EQ(plan.sample.intervalUops, 5000u);
+    EXPECT_EQ(plan.sample.detailUops, 2500u);
+    EXPECT_EQ(plan.sample.warmBound, 0u);
+
+    // The short spelling keeps parseSampleSpec's D = W/2 default, so
+    // plan files and --sample accept the same spellings.
+    ExperimentPlan short_plan;
+    ASSERT_TRUE(parsePlanText(
+        "plan = s\nconfigs = EOLE_4_64\nsample = 8:6000\n", "s.plan",
+        &short_plan, &err)) << err;
+    EXPECT_EQ(short_plan.sample.detailUops, 3000u);
+    EXPECT_EQ(sampleSpecString(short_plan.sample),
+              sampleSpecString(parseSampleSpec("8:6000")));
+
+    // A plan without the directive stays a full run.
+    ExperimentPlan full;
+    ASSERT_TRUE(parsePlanText("plan = f\nconfigs = EOLE_4_64\n",
+                              "f.plan", &full, &err)) << err;
+    EXPECT_FALSE(full.sample.enabled());
+
+    // Option > plan file, through the one shared resolution helper.
+    const SampleSpec cli = parseSampleSpec("4:1000:500:75000");
+    const SampleSpec eff = resolveSampleSpec(cli, plan.sample);
+    EXPECT_EQ(sampleSpecString(eff), "4:1000:500:75000");
+    const SampleSpec from_plan = resolveSampleSpec(SampleSpec{},
+                                                   plan.sample);
+    EXPECT_EQ(sampleSpecString(from_plan), "10:5000:2500:0");
+    EXPECT_FALSE(
+        resolveSampleSpec(SampleSpec{}, full.sample).enabled());
+
+    // Malformed specs are line-numbered exit-2 diagnostics, not
+    // fatals.
+    EXPECT_FALSE(parsePlanText(
+        "plan = s\nconfigs = EOLE_4_64\nsample = bogus\n", "s.plan",
+        &plan, &err));
+    EXPECT_NE(err.find("s.plan line 3"), std::string::npos) << err;
+    EXPECT_NE(err.find("sample spec"), std::string::npos) << err;
+
+    EXPECT_FALSE(parsePlanText(
+        "plan = s\nconfigs = EOLE_4_64\nsample = 0:100:10\n", "s.plan",
+        &plan, &err));
+    EXPECT_NE(err.find("positive"), std::string::npos) << err;
+}
+
 TEST(PlanFile, CellNamesNeverContradictTheConfig)
 {
     // Regression (review finding): expandGrid used to apply overrides

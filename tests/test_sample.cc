@@ -362,8 +362,9 @@ TEST(Sampling, PlacementIsSystematicDeterministicAndBounded)
         EXPECT_GE(a[i], warmup);
         EXPECT_GE(a[i], spec.detailUops);
         EXPECT_LE(a[i] + spec.intervalUops, warmup + measure);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_EQ(a[i] - a[i - 1], period);  // systematic spacing
+        }
     }
 
     // The phase depends on the cell seed.
@@ -499,6 +500,70 @@ TEST(Sampling, SampleSpecParsesAndRejects)
     EXPECT_DEATH((void)parseSampleSpec("4:-100:50"), "sample spec");
     EXPECT_DEATH((void)parseSampleSpec("-4:100"), "sample spec");
     EXPECT_DEATH((void)parseSampleSpec("4:100:+10"), "sample spec");
+}
+
+TEST(Sampling, WarmOnceRestoreMatchesContinuousRewarmExactly)
+{
+    // The warm-once differential: a v2 restore-based sampled run must
+    // measure EXACTLY what the legacy B=0 per-interval continuous
+    // re-warming run measures (same warmed state ⇒ same
+    // measurements), across 2 configs x 2 torture workloads. Only the
+    // cost accounting (sample_warm_uops, sample_restored_intervals)
+    // may differ — the restore path warms each cell's prefix once.
+    ExperimentPlan plan;
+    plan.name = "warm_once_diff";
+    plan.configs = {configs::baselineVp(6, 64), configs::eole(4, 64)};
+    plan.workloads = {"torture:3101:600", "torture:3102:600"};
+    plan.warmup = 1000;
+    plan.measure = 12000;
+
+    SampleSpec spec;
+    spec.intervals = 4;
+    spec.intervalUops = 800;
+    spec.detailUops = 400;
+
+    SweepOptions restore_opt;
+    SweepOptions rewarm_opt;
+    rewarm_opt.sampleRewarm = true;
+
+    const PlanResult a = runSampledPlan(plan, spec, restore_opt);
+    const PlanResult b = runSampledPlan(plan, spec, rewarm_opt);
+    ASSERT_EQ(a.cells.size(), 4u);
+    ASSERT_EQ(b.cells.size(), a.cells.size());
+
+    std::size_t measured = 0;
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        const RunResult &ra = a.cells[i];
+        const RunResult &rb = b.cells[i];
+        ASSERT_EQ(ra.config, rb.config);
+        ASSERT_EQ(ra.workload, rb.workload);
+        for (const char *stat :
+             {"ipc", "ipc_ci95", "ipc_stddev", "cycles",
+              "committed_uops", "sample_intervals"}) {
+            EXPECT_EQ(ra.stats.get(stat), rb.stats.get(stat))
+                << ra.config << "/" << ra.workload << " " << stat;
+        }
+        // The restore path really ran on checkpoints; the re-warm
+        // path never does.
+        EXPECT_GT(ra.stats.get("sample_restored_intervals"), 0.0)
+            << ra.config << "/" << ra.workload;
+        EXPECT_EQ(rb.stats.get("sample_restored_intervals"), 0.0);
+        // And it warmed strictly less (once per cell, not per
+        // interval) while measuring the same µ-ops.
+        EXPECT_LT(ra.stats.get("sample_warm_uops"),
+                  rb.stats.get("sample_warm_uops"))
+            << ra.config << "/" << ra.workload;
+        if (ra.stats.get("committed_uops") > 0.0)
+            ++measured;
+    }
+    EXPECT_GT(measured, 0u);
+
+    // The restore path keeps the engine's determinism contract:
+    // byte-identical artifacts across --jobs.
+    SweepOptions wide = restore_opt;
+    wide.jobs = 8;
+    EXPECT_EQ(jsonArtifactString(runSampledPlan(plan, spec, wide)),
+              jsonArtifactString(a));
 }
 
 TEST(Sampling, SampledIpcFallsWithinItsCiOfTheFullRun)

@@ -28,10 +28,13 @@
 
 #include <cstdlib>
 #include <iterator>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/env.hh"
+#include "common/random.hh"
+#include "isa/checkpoint.hh"
 #include "isa/kernel_vm.hh"
 #include "pipeline/core.hh"
 #include "sim/configs.hh"
@@ -185,4 +188,117 @@ TEST(Torture, RandomProgramsMatchFunctionalOracle)
                 (unsigned long long)runs,
                 (unsigned long long)total_uops,
                 std::size(cfgs));
+}
+
+TEST(Torture, CheckpointParsersSurviveSeededCorruption)
+{
+    // Fuzz both checkpoint schemas through the non-fatal parse API
+    // (the one behind `eole ckpt info`'s exit-2 diagnostics): random
+    // section reorder/duplication, truncation at every granularity and
+    // byte-level corruption must either parse cleanly (a harmless
+    // mutation) or produce a line-numbered diagnostic — never crash,
+    // hang or misparse silently. Runs in-process so the asan lane
+    // (scripts/check.sh --sample) checks every mutation for memory
+    // errors.
+    const std::uint64_t base = envU64("EOLE_TORTURE_SEED", 0xE01E);
+    Rng rng(base ^ 0xCC);
+
+    Workload w;
+    w.name = "fuzz victim";
+    w.memBytes = tortureMemBytes;
+    w.program = generateTortureProgram(base);
+    const auto trace = w.freeze(1u << 20);
+    ASSERT_TRUE(trace->complete);
+
+    // Seed corpus: a v1 checkpoint and a v2 checkpoint with sections.
+    Checkpoint v1 = captureAt(*trace, w.name, trace->uops.size() / 2);
+    Checkpoint v2 = v1;
+    v2.config = "Fuzz_Config";
+    v2.uarch.emplace_back("branch", "branch-unit 1\ntage 1 2 3 4\n");
+    v2.uarch.emplace_back("vpred", "hybrid 1\nvtage 1 0 0 0\n");
+    v2.uarch.emplace_back("mem", "mem-hierarchy 1\nclock 5 6\n");
+    const std::string corpus[] = {checkpointString(v1),
+                                  checkpointString(v2)};
+
+    const auto parse = [](const std::string &text, std::string *err) {
+        std::istringstream is(text);
+        Checkpoint out;
+        return tryDeserializeCheckpoint(is, &out, err);
+    };
+    // The untouched corpus must parse.
+    for (const std::string &doc : corpus) {
+        std::string err;
+        EXPECT_TRUE(parse(doc, &err)) << err;
+    }
+
+    std::size_t rejected = 0, survived = 0;
+    const std::uint64_t rounds = envU64("EOLE_FUZZ_ROUNDS", 600);
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        std::string doc = corpus[rng.below(2)];
+        switch (rng.below(5)) {
+          case 0:
+            // Truncate anywhere (header, register block, mid-payload).
+            doc.resize(rng.below(doc.size()));
+            break;
+          case 1: {
+            // Flip one byte to a random printable character.
+            const std::size_t at = rng.below(doc.size());
+            doc[at] = static_cast<char>(' ' + rng.below(95));
+            break;
+          }
+          case 2: {
+            // Duplicate a random line (section headers included).
+            std::vector<std::string> lines;
+            std::istringstream is(doc);
+            for (std::string l; std::getline(is, l);)
+                lines.push_back(l);
+            const std::size_t at = rng.below(lines.size());
+            lines.insert(lines.begin() + at, lines[at]);
+            doc.clear();
+            for (const std::string &l : lines)
+                doc += l + "\n";
+            break;
+          }
+          case 3: {
+            // Swap two random lines (section reorder and worse).
+            std::vector<std::string> lines;
+            std::istringstream is(doc);
+            for (std::string l; std::getline(is, l);)
+                lines.push_back(l);
+            std::swap(lines[rng.below(lines.size())],
+                      lines[rng.below(lines.size())]);
+            doc.clear();
+            for (const std::string &l : lines)
+                doc += l + "\n";
+            break;
+          }
+          default: {
+            // Splice a random chunk of the other document in.
+            const std::string &other = corpus[rng.below(2)];
+            const std::size_t from = rng.below(other.size());
+            const std::size_t len =
+                std::min<std::size_t>(other.size() - from,
+                                      rng.below(256) + 1);
+            const std::size_t at = rng.below(doc.size());
+            doc.insert(at, other.substr(from, len));
+            break;
+          }
+        }
+        std::string err;
+        if (parse(doc, &err)) {
+            ++survived;  // harmless mutation — fine
+        } else {
+            ++rejected;
+            ASSERT_FALSE(err.empty());
+            ASSERT_NE(err.find("checkpoint line "), std::string::npos)
+                << "diagnostic without a line number: " << err;
+        }
+    }
+    // Corruption overwhelmingly produces diagnostics, and at least
+    // some mutations must be harmless (proving the harness doesn't
+    // reject everything trivially).
+    EXPECT_GT(rejected, rounds / 2);
+    std::printf("checkpoint fuzz: %llu mutations, %zu rejected with "
+                "line-numbered diagnostics, %zu harmless\n",
+                (unsigned long long)rounds, rejected, survived);
 }
