@@ -11,197 +11,11 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "sim/json.hh"
 
 namespace eole {
 
 namespace {
-
-// ------------------------------- Writing ---------------------------------
-
-/** %.17g: shortest text that round-trips an IEEE double via strtod. */
-std::string
-numberText(double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return buf;
-}
-
-void
-writeEscaped(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\t': os << "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                os << buf;
-            } else {
-                os << c;
-            }
-        }
-    }
-    os << '"';
-}
-
-// ------------------------------- Parsing ---------------------------------
-
-/**
- * Minimal recursive-descent parser for the artifact subset of JSON
- * (objects, arrays, strings, numbers; booleans/null accepted and
- * ignored where a number is not required). Errors are fatal: artifacts
- * are machine-written, so a malformed one is an operator mistake worth
- * stopping on.
- */
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s(text) {}
-
-    void
-    expect(char c)
-    {
-        skipWs();
-        fatal_if(pos >= s.size() || s[pos] != c,
-                 "artifact parse error at offset %zu: expected '%c'", pos,
-                 c);
-        ++pos;
-    }
-
-    bool
-    tryConsume(char c)
-    {
-        skipWs();
-        if (pos < s.size() && s[pos] == c) {
-            ++pos;
-            return true;
-        }
-        return false;
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos < s.size() && s[pos] != '"') {
-            char c = s[pos++];
-            if (c == '\\') {
-                fatal_if(pos >= s.size(), "artifact: truncated escape");
-                const char e = s[pos++];
-                switch (e) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'u': {
-                    fatal_if(pos + 4 > s.size(), "artifact: bad \\u");
-                    const std::string hex = s.substr(pos, 4);
-                    pos += 4;
-                    out += static_cast<char>(
-                        std::strtoul(hex.c_str(), nullptr, 16));
-                    break;
-                  }
-                  default:
-                    fatal("artifact: unsupported escape \\%c", e);
-                }
-            } else {
-                out += c;
-            }
-        }
-        expect('"');
-        return out;
-    }
-
-    double
-    parseNumber()
-    {
-        skipWs();
-        char *end = nullptr;
-        const double v = std::strtod(s.c_str() + pos, &end);
-        fatal_if(end == s.c_str() + pos,
-                 "artifact parse error at offset %zu: expected number",
-                 pos);
-        pos = static_cast<std::size_t>(end - s.c_str());
-        return v;
-    }
-
-    /** Exact unsigned 64-bit integer (seeds do not fit in a double). */
-    std::uint64_t
-    parseU64()
-    {
-        skipWs();
-        char *end = nullptr;
-        const std::uint64_t v = std::strtoull(s.c_str() + pos, &end, 10);
-        fatal_if(end == s.c_str() + pos,
-                 "artifact parse error at offset %zu: expected integer",
-                 pos);
-        pos = static_cast<std::size_t>(end - s.c_str());
-        return v;
-    }
-
-    /** Skip any one value (used for unknown/ignored keys). */
-    void
-    skipValue()
-    {
-        skipWs();
-        fatal_if(pos >= s.size(), "artifact: truncated document");
-        const char c = s[pos];
-        if (c == '"') {
-            parseString();
-        } else if (c == '{') {
-            ++pos;
-            if (!tryConsume('}')) {
-                do {
-                    parseString();
-                    expect(':');
-                    skipValue();
-                } while (tryConsume(','));
-                expect('}');
-            }
-        } else if (c == '[') {
-            ++pos;
-            if (!tryConsume(']')) {
-                do {
-                    skipValue();
-                } while (tryConsume(','));
-                expect(']');
-            }
-        } else if (c == 't' || c == 'f' || c == 'n') {
-            while (pos < s.size() && std::isalpha(
-                       static_cast<unsigned char>(s[pos])))
-                ++pos;
-        } else {
-            parseNumber();
-        }
-    }
-
-    void
-    finish()
-    {
-        skipWs();
-        fatal_if(pos != s.size(), "artifact: trailing garbage at %zu", pos);
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos < s.size()
-               && std::isspace(static_cast<unsigned char>(s[pos])))
-            ++pos;
-    }
-
-    const std::string &s;
-    std::size_t pos = 0;
-};
 
 RunResult
 parseCell(JsonParser &p)
@@ -253,13 +67,13 @@ writeJsonArtifact(std::ostream &os, const PlanResult &result)
     os << "{\n";
     os << "  \"schema\": \"eole-sweep-v2\",\n";
     os << "  \"plan\": ";
-    writeEscaped(os, result.plan);
+    jsonWriteEscaped(os, result.plan);
     os << ",\n";
     os << "  \"seed\": " << result.seed << ",\n";
     os << "  \"warmup\": " << result.warmup << ",\n";
     os << "  \"measure\": " << result.measure << ",\n";
     os << "  \"filter\": ";
-    writeEscaped(os, result.filter);
+    jsonWriteEscaped(os, result.filter);
     os << ",\n";
     os << "  \"sample\": {\"intervals\": " << result.sample.intervals
        << ", \"interval_uops\": " << result.sample.intervalUops
@@ -271,19 +85,19 @@ writeJsonArtifact(std::ostream &os, const PlanResult &result)
         os << (i ? ",\n" : "\n");
         os << "    {\n";
         os << "      \"config\": ";
-        writeEscaped(os, cell.config);
+        jsonWriteEscaped(os, cell.config);
         os << ",\n";
         os << "      \"workload\": ";
-        writeEscaped(os, cell.workload);
+        jsonWriteEscaped(os, cell.workload);
         os << ",\n";
         os << "      \"seed\": " << cell.seed << ",\n";
         os << "      \"params\": {";
         for (std::size_t k = 0; k < cell.params.size(); ++k) {
             os << (k ? ",\n" : "\n");
             os << "        ";
-            writeEscaped(os, cell.params[k].first);
+            jsonWriteEscaped(os, cell.params[k].first);
             os << ": ";
-            writeEscaped(os, cell.params[k].second);
+            jsonWriteEscaped(os, cell.params[k].second);
         }
         os << (cell.params.empty() ? "}" : "\n      }") << ",\n";
         os << "      \"stats\": {";
@@ -291,8 +105,8 @@ writeJsonArtifact(std::ostream &os, const PlanResult &result)
         for (std::size_t k = 0; k < stats.size(); ++k) {
             os << (k ? ",\n" : "\n");
             os << "        ";
-            writeEscaped(os, stats[k].first);
-            os << ": " << numberText(stats[k].second);
+            jsonWriteEscaped(os, stats[k].first);
+            os << ": " << jsonNumberText(stats[k].second);
         }
         os << (stats.empty() ? "}" : "\n      }") << "\n";
         os << "    }";
@@ -317,7 +131,7 @@ writeCsvArtifact(std::ostream &os, const PlanResult &result)
         for (const auto &[stat, value] : cell.stats.all()) {
             os << result.plan << ',' << cell.config << ','
                << cell.workload << ',' << cell.seed << ',' << stat << ','
-               << numberText(value) << '\n';
+               << jsonNumberText(value) << '\n';
         }
     }
 }

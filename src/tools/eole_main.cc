@@ -5,6 +5,8 @@
  *   eole list [--workloads]           show plans (or workloads)
  *   eole run <plan> [options]         execute a plan on a worker pool
  *   eole diff <a.json> <b.json>       compare two artifacts
+ *   eole bench [--out BENCH_x.json]   time detailed-mode µops/sec
+ *                                     (--compare diffs two artifacts)
  *   eole ckpt save|info               write / inspect eole-ckpt-v2
  *                                     warm-state checkpoint files
  *
@@ -34,6 +36,7 @@
 #include "common/fuzzy.hh"
 #include "common/logging.hh"
 #include "sim/artifact.hh"
+#include "sim/bench.hh"
 #include "sim/trace_cache.hh"
 #include "sim/configs.hh"
 #include "sim/experiment.hh"
@@ -119,6 +122,24 @@ usage(FILE *to, int exit_code)
         "      Validate checkpoint files (strict, line-numbered\n"
         "      diagnostics; exit 2 on a malformed file) and print\n"
         "      schema, provenance, µ-op index and section sizes.\n"
+        "\n"
+        "  eole bench [--configs A,B] [--workloads X,Y] [--budget N]\n"
+        "             [--warmup N] [--reps K] [--label L] [--out F]\n"
+        "             [--quiet]\n"
+        "      Time detailed-mode simulation speed (µops/sec), one\n"
+        "      serial cell per (config, workload): discard --warmup\n"
+        "      µ-ops (default 100k), time --budget measured µ-ops\n"
+        "      (default 1M), keep the fastest of --reps repetitions\n"
+        "      (default 3). Configs default to the fig12 set,\n"
+        "      workloads to a 3-benchmark smoke set. --out writes a\n"
+        "      canonical eole-bench-v1 JSON artifact (the committed\n"
+        "      BENCH_<label>.json trajectory files).\n"
+        "\n"
+        "  eole bench --compare <a.json> <b.json> [--fail-below X]\n"
+        "      Per-cell speedup report of b over a from two bench\n"
+        "      artifacts, plus the geomean over common cells. With\n"
+        "      --fail-below, exit 1 when that geomean is below X\n"
+        "      (e.g. 0.8 = fail on a >20%% regression).\n"
         "\n"
         "  eole diff <a.json> <b.json> [--rel-tol X] [--abs-tol X]\n"
         "            [--ci]\n"
@@ -796,6 +817,115 @@ cmdCkpt(int argc, char **argv)
     return usage(stderr, 2);
 }
 
+/** "a,b,c" -> {"a", "b", "c"}; empty segments rejected upstream by the
+ *  registries' own unknown-name diagnostics. */
+std::vector<std::string>
+splitCommaList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+int
+cmdBench(int argc, char **argv)
+{
+    BenchOptions opt;
+    std::string out_path, value;
+    std::vector<std::string> compare_paths;
+    double fail_below = 0.0;
+    bool have_fail_below = false;
+    for (int i = 0; i < argc; ++i) {
+        if (takeValue(argc, argv, i, "--configs", value)) {
+            for (std::string &n : splitCommaList(value))
+                opt.configs.push_back(std::move(n));
+        } else if (takeValue(argc, argv, i, "--workloads", value)) {
+            for (std::string &n : splitCommaList(value))
+                opt.workloads.push_back(std::move(n));
+        } else if (takeValue(argc, argv, i, "--budget", value)) {
+            opt.budget = parseU64(value, "--budget");
+        } else if (takeValue(argc, argv, i, "--warmup", value)) {
+            opt.warmup = parseU64(value, "--warmup");
+        } else if (takeValue(argc, argv, i, "--reps", value)) {
+            opt.reps = static_cast<int>(parseU64(value, "--reps"));
+        } else if (takeValue(argc, argv, i, "--label", value)) {
+            opt.label = value;
+        } else if (takeValue(argc, argv, i, "--out", value)) {
+            out_path = value;
+        } else if (std::strcmp(argv[i], "--compare") == 0) {
+            if (i + 2 >= argc) {
+                std::fprintf(stderr,
+                             "eole: --compare needs two bench files\n");
+                return 2;
+            }
+            compare_paths.emplace_back(argv[++i]);
+            compare_paths.emplace_back(argv[++i]);
+        } else if (takeValue(argc, argv, i, "--fail-below", value)) {
+            char *end = nullptr;
+            fail_below = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end || fail_below <= 0.0) {
+                std::fprintf(stderr,
+                             "eole: bad --fail-below \"%s\"\n",
+                             value.c_str());
+                return 2;
+            }
+            have_fail_below = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            opt.quiet = true;
+        } else {
+            std::fprintf(stderr, "eole: unknown option %s\n", argv[i]);
+            return usage(stderr, 2);
+        }
+    }
+
+    if (!compare_paths.empty()) {
+        const BenchResult a = readBenchJsonFile(compare_paths[0]);
+        const BenchResult b = readBenchJsonFile(compare_paths[1]);
+        std::printf("bench compare: a=%s (%s), b=%s (%s)\n",
+                    compare_paths[0].c_str(), a.label.c_str(),
+                    compare_paths[1].c_str(), b.label.c_str());
+        const double g = compareBench(a, b, std::cout);
+        if (have_fail_below && g < fail_below) {
+            std::fprintf(stderr,
+                         "eole: bench: geomean speedup %.3f below "
+                         "threshold %.3f\n", g, fail_below);
+            return 1;
+        }
+        return 0;
+    }
+    if (have_fail_below) {
+        std::fprintf(stderr,
+                     "eole: --fail-below only applies to --compare\n");
+        return 2;
+    }
+
+    const BenchResult result = runBench(opt);
+    std::printf("geomean: %.0f µops/s over %zu cell(s) (budget %llu, "
+                "warmup %llu, min of %d rep(s))\n",
+                result.geomeanUopsPerSec(), result.cells.size(),
+                (unsigned long long)result.budget,
+                (unsigned long long)result.warmup, result.reps);
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        fatal_if(!os, "cannot write %s", out_path.c_str());
+        writeBenchJson(os, result);
+        if (!opt.quiet)
+            std::fprintf(stderr, "wrote %s (%zu cells)\n",
+                         out_path.c_str(), result.cells.size());
+    }
+    return 0;
+}
+
 int
 cmdDiff(int argc, char **argv)
 {
@@ -846,6 +976,8 @@ main(int argc, char **argv)
         return cmdDescribe(argc - 2, argv + 2);
     if (cmd == "run")
         return cmdRun(argc - 2, argv + 2);
+    if (cmd == "bench")
+        return cmdBench(argc - 2, argv + 2);
     if (cmd == "diff")
         return cmdDiff(argc - 2, argv + 2);
     if (cmd == "ckpt")
