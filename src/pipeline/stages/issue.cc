@@ -43,43 +43,49 @@ IssueStage::tick(PipelineState &st)
     st.fus.newCycle();
     int issued = 0;
 
-    // Iterate over a snapshot: a store's violation check may squash
-    // (and thus mutate) the IQ mid-scan.
-    const std::vector<DynInstPtr> candidates = st.iq;
-    for (const DynInstPtr &di : candidates) {
-        if (issued >= issueWidth)
-            break;
-        if (di->squashed || di->issued)
-            continue;
-        if (!st.operandsReady(*di))
-            continue;
-
-        const OpClass cls = di->uop.opClass();
-        if (!st.fus.canIssue(cls, st.now))
-            continue;
-
-        // Store Sets: loads and stores wait for the in-flight store
-        // the predictor says they depend on.
-        if ((di->isLoad() || di->isStore()) && di->dependsOnStore != 0
-            && !storeExecuted(st, di->dependsOnStore)) {
-            continue;
+    // One in-place pass in age order: select, execute and compact
+    // (drop issued/squashed entries) without the whole-IQ snapshot
+    // copy this loop used to take every cycle. A store's violation
+    // check can squash the pipeline mid-scan; squash() defers its IQ
+    // erase while `scanning` is set so positions stay valid, and
+    // because the IQ is age-ordered (dispatch appends in program
+    // order) a mid-scan squash can only mark entries the scan has not
+    // compacted yet — the keep/drop decisions already made match what
+    // the old snapshot-then-erase_if form would have computed from the
+    // final flags.
+    scanning = true;
+    std::size_t out = 0;
+    bool stopIssuing = false;
+    for (std::size_t i = 0; i < st.iq.size(); ++i) {
+        DynInstPtr di = std::move(st.iq[i]);
+        if (!stopIssuing && issued < issueWidth && !di->squashed
+            && !di->issued && st.operandsReady(*di)) {
+            const OpClass cls = di->uop.opClass();
+            // Store Sets: loads and stores wait for the in-flight
+            // store the predictor says they depend on. executeInst
+            // returning false means blocked (e.g. a partial store
+            // overlap); the entry stays queued and retries.
+            if (st.fus.canIssue(cls, st.now)
+                && (!(di->isLoad() || di->isStore())
+                    || di->dependsOnStore == 0
+                    || storeExecuted(st, di->dependsOnStore))
+                && executeInst(st, di)) {
+                di->issued = true;
+                di->inIQ = false;
+                const unsigned lat = opLatency(cls);
+                st.fus.issue(cls, st.now, st.now + lat);
+                ++issued;
+                if (di->squashed) {
+                    // A store's violation check squashed the pipeline.
+                    stopIssuing = true;
+                }
+            }
         }
-
-        if (!executeInst(st, di))
-            continue;  // blocked (e.g. partial store overlap); retry
-
-        di->issued = true;
-        di->inIQ = false;
-        const unsigned lat = opLatency(cls);
-        st.fus.issue(cls, st.now, st.now + lat);
-        ++issued;
-        if (di->squashed)
-            break;  // a store's violation check squashed the pipeline
+        if (!(di->issued || di->squashed))
+            st.iq[out++] = std::move(di);
     }
-
-    std::erase_if(st.iq, [](const DynInstPtr &di) {
-        return di->issued || di->squashed;
-    });
+    st.iq.resize(out);
+    scanning = false;
     s.iqOccupancySum += st.iq.size();
 }
 
@@ -242,6 +248,12 @@ void
 IssueStage::squash(PipelineState &st, SeqNum, Cycle)
 {
     // The ROB walk (commit's squash) has already marked the dead µ-ops.
+    // When the squash was triggered from inside tick()'s own scan (a
+    // store's violation check), erasing here would invalidate the
+    // scan's positions; the scan's compaction drops the marked entries
+    // itself, so the erase is simply skipped.
+    if (scanning)
+        return;
     std::erase_if(st.iq, [](const DynInstPtr &di) { return di->squashed; });
 }
 

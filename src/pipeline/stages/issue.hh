@@ -48,6 +48,11 @@ class IssueStage : public Stage
 
     int issueWidth;
 
+    /** True while tick() is scanning/compacting st.iq in place; makes
+     *  a re-entrant squash() (store violation mid-scan) defer its IQ
+     *  erase to the scan's own compaction. */
+    bool scanning = false;
+
     Stats s;
 };
 
