@@ -157,12 +157,16 @@ if [[ "$WITH_SAMPLE" == 1 ]]; then
         exit 1
     fi
 
-    echo "check.sh: AddressSanitizer pass (checkpoint/state suites)"
+    echo "check.sh: AddressSanitizer pass (checkpoint/state/slab suites)"
+    # test_slab rides in this lane on purpose: the slab poisons free
+    # slots under ASan, so a use-after-release of a pooled DynInst (e.g.
+    # a completion-wheel handle dropped early) faults here.
     cmake -B build-asan -S . -DEOLE_ASAN=ON \
           -DEOLE_TEST_TIMEOUT="$TEST_TIMEOUT"
     cmake --build build-asan -j "$JOBS" \
-          --target test_sample test_ckpt_state test_torture
-    run_ctest build-asan -R '^(test_sample|test_ckpt_state|test_torture)$'
+          --target test_sample test_ckpt_state test_torture test_slab
+    run_ctest build-asan \
+        -R '^(test_sample|test_ckpt_state|test_torture|test_slab)$'
 fi
 
 if [[ "$WITH_TSAN" == 1 ]]; then

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Slab/pool allocation for short-lived, high-churn simulation objects
+ * (DynInsts: created at fetch, dead at commit or squash, near-FIFO).
+ *
+ * SlabPool<T> carves fixed-size blocks into slots and recycles them
+ * through an intrusive LIFO free list, so the per-µop allocate/free
+ * pair on the detailed tick loop's hottest path costs a couple of
+ * pointer moves instead of a malloc + control-block allocation.
+ * PooledPtr<T> is the owning handle: intrusively reference-counted
+ * with the same API surface as the std::shared_ptr it replaces (copy/
+ * move, reset, get, ->, *, explicit bool) but without atomics — a pool
+ * and its handles belong to ONE thread (each simulated core is
+ * single-threaded; sweep parallelism is across cores, which never
+ * share DynInsts).
+ *
+ * Lifetime rules (see DESIGN.md §10):
+ *  - Every handle must be dropped before its pool is destroyed; the
+ *    pool's destructor panics on live objects (a leaked handle is a
+ *    dangling-pointer bug waiting to happen, not a leak to tolerate).
+ *    Declare the pool before the containers holding its handles so
+ *    reverse destruction order drains handles first.
+ *  - Recycling never returns memory to the OS while the pool lives;
+ *    the refcount is what keeps an object alive, exactly as with
+ *    shared_ptr (a squashed µ-op still referenced by the completion
+ *    wheel stays valid until the wheel drains it).
+ *  - Under AddressSanitizer, free slots are poisoned between recycle
+ *    and reuse, so a use-after-release through a raw pointer faults
+ *    in the ASan lane instead of silently reading recycled state.
+ */
+
+#ifndef EOLE_COMMON_SLAB_HH
+#define EOLE_COMMON_SLAB_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define EOLE_SLAB_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EOLE_SLAB_ASAN 1
+#endif
+#endif
+#ifdef EOLE_SLAB_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace eole {
+
+template <typename T> class SlabPool;
+
+namespace slab_detail {
+
+template <typename T>
+struct Slot
+{
+    alignas(T) unsigned char storage[sizeof(T)];
+    std::uint32_t refs = 0;
+    Slot *nextFree = nullptr;
+    SlabPool<T> *owner = nullptr;
+
+    T *object() { return std::launder(reinterpret_cast<T *>(storage)); }
+};
+
+} // namespace slab_detail
+
+/** Owning, non-atomic refcounted handle to a pool slot. */
+template <typename T>
+class PooledPtr
+{
+  public:
+    PooledPtr() = default;
+    PooledPtr(std::nullptr_t) {}
+
+    PooledPtr(const PooledPtr &o) : slot(o.slot)
+    {
+        if (slot)
+            ++slot->refs;
+    }
+
+    PooledPtr(PooledPtr &&o) noexcept : slot(o.slot) { o.slot = nullptr; }
+
+    PooledPtr &
+    operator=(const PooledPtr &o)
+    {
+        PooledPtr(o).swap(*this);
+        return *this;
+    }
+
+    PooledPtr &
+    operator=(PooledPtr &&o) noexcept
+    {
+        PooledPtr(std::move(o)).swap(*this);
+        return *this;
+    }
+
+    ~PooledPtr() { release(); }
+
+    void reset() { release(); }
+    void swap(PooledPtr &o) noexcept { std::swap(slot, o.slot); }
+
+    T *get() const { return slot ? slot->object() : nullptr; }
+    T &operator*() const { return *slot->object(); }
+    T *operator->() const { return slot->object(); }
+    explicit operator bool() const { return slot != nullptr; }
+
+    /** Live handles to the same slot (diagnostic/test surface; the
+     *  shared_ptr analogue is use_count). */
+    std::uint32_t useCount() const { return slot ? slot->refs : 0; }
+
+    friend bool
+    operator==(const PooledPtr &a, const PooledPtr &b)
+    {
+        return a.slot == b.slot;
+    }
+
+    friend bool
+    operator!=(const PooledPtr &a, const PooledPtr &b)
+    {
+        return a.slot != b.slot;
+    }
+
+  private:
+    friend class SlabPool<T>;
+
+    explicit PooledPtr(slab_detail::Slot<T> *s) : slot(s) {}
+
+    void
+    release()
+    {
+        if (!slot)
+            return;
+        slab_detail::Slot<T> *s = slot;
+        slot = nullptr;
+        if (--s->refs == 0)
+            s->owner->recycle(s);
+    }
+
+    slab_detail::Slot<T> *slot = nullptr;
+};
+
+/** The block-of-slots arena behind PooledPtr; see file header. */
+template <typename T>
+class SlabPool
+{
+  public:
+    explicit SlabPool(std::size_t slots_per_block = 256)
+        : slotsPerBlock(slots_per_block)
+    {
+        panic_if(slotsPerBlock == 0, "SlabPool needs at least one slot");
+    }
+
+    SlabPool(const SlabPool &) = delete;
+    SlabPool &operator=(const SlabPool &) = delete;
+
+    ~SlabPool()
+    {
+        // A live object here means some handle outlived the pool and
+        // now dangles; fail fast instead of letting it read freed
+        // memory later.
+        panic_if(liveCount != 0,
+                 "SlabPool destroyed with %zu live object(s)", liveCount);
+#ifdef EOLE_SLAB_ASAN
+        for (auto &block : blocks) {
+            for (std::size_t i = 0; i < slotsPerBlock; ++i)
+                ASAN_UNPOISON_MEMORY_REGION(block[i].storage, sizeof(T));
+        }
+#endif
+    }
+
+    /** Construct a T in a recycled (or fresh) slot. */
+    template <typename... Args>
+    PooledPtr<T>
+    allocate(Args &&...args)
+    {
+        if (!freeHead)
+            grow();
+        slab_detail::Slot<T> *s = freeHead;
+        freeHead = s->nextFree;
+#ifdef EOLE_SLAB_ASAN
+        ASAN_UNPOISON_MEMORY_REGION(s->storage, sizeof(T));
+#endif
+        ::new (static_cast<void *>(s->storage))
+            T(std::forward<Args>(args)...);
+        s->refs = 1;
+        ++liveCount;
+        return PooledPtr<T>(s);
+    }
+
+    /** Currently live (constructed, handle-referenced) objects. */
+    std::size_t live() const { return liveCount; }
+
+    /** Total slots across all blocks (grows, never shrinks). */
+    std::size_t capacity() const { return blocks.size() * slotsPerBlock; }
+
+  private:
+    friend class PooledPtr<T>;
+
+    void
+    recycle(slab_detail::Slot<T> *s)
+    {
+        s->object()->~T();
+#ifdef EOLE_SLAB_ASAN
+        ASAN_POISON_MEMORY_REGION(s->storage, sizeof(T));
+#endif
+        s->nextFree = freeHead;
+        freeHead = s;
+        --liveCount;
+    }
+
+    void
+    grow()
+    {
+        blocks.push_back(
+            std::make_unique<slab_detail::Slot<T>[]>(slotsPerBlock));
+        slab_detail::Slot<T> *block = blocks.back().get();
+        // Chain in reverse so allocation walks the block front to back
+        // (and the LIFO free list stays address-ordered when idle).
+        for (std::size_t i = slotsPerBlock; i-- > 0;) {
+            block[i].owner = this;
+            block[i].nextFree = freeHead;
+            freeHead = &block[i];
+#ifdef EOLE_SLAB_ASAN
+            ASAN_POISON_MEMORY_REGION(block[i].storage, sizeof(T));
+#endif
+        }
+    }
+
+    std::size_t slotsPerBlock;
+    std::vector<std::unique_ptr<slab_detail::Slot<T>[]>> blocks;
+    slab_detail::Slot<T> *freeHead = nullptr;
+    std::size_t liveCount = 0;
+};
+
+} // namespace eole
+
+#endif // EOLE_COMMON_SLAB_HH

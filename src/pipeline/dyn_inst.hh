@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "common/slab.hh"
 #include "bpred/branch_unit.hh"
 #include "isa/trace.hh"
 #include "vpred/value_predictor.hh"
@@ -82,7 +83,15 @@ struct DynInst
     bool lateExecutable() const { return lateExecAlu || lateExecBranch; }
 };
 
-using DynInstPtr = std::shared_ptr<DynInst>;
+/**
+ * Owning handle to an in-flight µ-op. Pool-allocated (common/slab.hh)
+ * from PipelineState's per-core DynInstPool instead of shared_ptr:
+ * same API surface, but allocation is a free-list pop and the refcount
+ * is non-atomic — DynInsts never cross threads (sweep parallelism is
+ * across Cores, each single-threaded).
+ */
+using DynInstPtr = PooledPtr<DynInst>;
+using DynInstPool = SlabPool<DynInst>;
 
 } // namespace eole
 

@@ -60,6 +60,14 @@ struct PipelineState
     PrfPortModel ports;
 
     // --- Inter-stage pipeline registers ---
+
+    /** Per-core DynInst arena. Declared before every container that
+     *  holds DynInstPtr handles (and before the stages, via Core's
+     *  member order) so reverse destruction drains all handles first —
+     *  the pool panics on live objects (common/slab.hh lifetime
+     *  rules). */
+    DynInstPool dynInstPool;
+
     Cycle now = 0;
     DelayedPipe<DynInstPtr> frontPipe;  //!< fetch -> rename
     std::deque<DynInstPtr> renameOut;   //!< rename -> dispatch

@@ -38,7 +38,7 @@ FetchStage::tick(PipelineState &st)
             cur_line = line;
         }
 
-        auto di = std::make_shared<DynInst>();
+        DynInstPtr di = st.dynInstPool.allocate();
         di->seq = st.ts.nextSeq();
         di->uop = st.ts.fetch();
         di->fetchCycle = st.now;
