@@ -40,9 +40,9 @@ BranchUnit::SnapshotPtr
 BranchUnit::currentSnapshot()
 {
     if (!cached) {
-        auto s = std::make_shared<Snapshot>();
-        s->hist = hist.snapshot();
-        s->ras = ras.snapshot();
+        SnapshotPtr s = snapPool.allocate();
+        hist.snapshotInto(s->hist);
+        ras.snapshotInto(s->ras);
         cached = std::move(s);
     }
     return cached;

@@ -19,6 +19,7 @@
 #include "bpred/btb.hh"
 #include "bpred/history.hh"
 #include "bpred/tage.hh"
+#include "common/slab.hh"
 #include "isa/trace.hh"
 #include "isa/warmable.hh"
 
@@ -76,7 +77,16 @@ class BranchUnit : public WarmableComponent
         Ras::Snapshot ras;
     };
 
-    using SnapshotPtr = std::shared_ptr<const Snapshot>;
+    /**
+     * Handle to a snapshot, carried per µ-op in the DynInst. Pooled
+     * with the reuse policy (common/slab.hh): every snapshot of one
+     * unit has the same shape, so recycled objects keep their fold
+     * and RAS buffer capacities and a per-branch checkpoint costs two
+     * memcpy-sized copies, no allocation. Treat the pointee as
+     * immutable outside BranchUnit (the shared_ptr<const Snapshot>
+     * this replaces enforced that in the type).
+     */
+    using SnapshotPtr = PooledPtr<Snapshot>;
 
     /**
      * @param config predictor geometry
@@ -158,6 +168,10 @@ class BranchUnit : public WarmableComponent
     Ras ras;
     std::vector<std::uint8_t> confTable;
     std::size_t extraBase = 0;
+    /** Declared before `cached` so the cached handle drops before the
+     *  pool is destroyed. In-flight handles live in DynInsts, which
+     *  PipelineState's member order destroys before the BranchUnit. */
+    SlabPool<Snapshot> snapPool{64, SlabRecycle::reuse};
     SnapshotPtr cached;
 };
 

@@ -170,6 +170,17 @@ class Ras
         return Snapshot{stack, top, depth};
     }
 
+    /** Fill @p s in place; its stack buffer's capacity is reused when
+     *  sufficient (recycled per-branch snapshots: same RAS, so always
+     *  after the first lap). */
+    void
+    snapshotInto(Snapshot &s) const
+    {
+        s.stack = stack;
+        s.top = top;
+        s.depth = depth;
+    }
+
     void
     restore(const Snapshot &s)
     {

@@ -123,11 +123,19 @@ class GlobalHistory
     snapshot() const
     {
         Snapshot s;
-        s.pos = pos;
-        s.folds.reserve(folds.size());
-        for (const auto &f : folds)
-            s.folds.push_back(f.comp);
+        snapshotInto(s);
         return s;
+    }
+
+    /** Fill @p s in place, reusing its fold buffer's capacity (the
+     *  per-branch snapshot path recycles Snapshot objects). */
+    void
+    snapshotInto(Snapshot &s) const
+    {
+        s.pos = pos;
+        s.folds.resize(folds.size());
+        for (std::size_t i = 0; i < folds.size(); ++i)
+            s.folds[i] = folds[i].comp;
     }
 
     void

@@ -1,8 +1,10 @@
 /**
  * @file
  * Fixed-capacity container primitives used to model pipeline structures:
- * a circular FIFO buffer (ROB, LSQ, prediction queue) and a latency +
- * bandwidth constrained pipe (inter-stage communication).
+ * a circular FIFO buffer (ROB, LSQ, prediction queue), a latency +
+ * bandwidth constrained pipe (inter-stage communication), and a timing
+ * wheel for scheduling events a bounded number of cycles into the
+ * future (instruction completion).
  */
 
 #ifndef EOLE_COMMON_QUEUES_HH
@@ -10,6 +12,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -43,7 +46,7 @@ class CircularQueue
     pushBack(T value)
     {
         panic_if(full(), "pushBack on full CircularQueue");
-        buf[(head + count) % cap] = std::move(value);
+        buf[wrap(head + count)] = std::move(value);
         ++count;
     }
 
@@ -53,7 +56,7 @@ class CircularQueue
     {
         panic_if(empty(), "popFront on empty CircularQueue");
         T value = std::move(buf[head]);
-        head = (head + 1) % cap;
+        head = wrap(head + 1);
         --count;
         return value;
     }
@@ -64,7 +67,7 @@ class CircularQueue
     {
         panic_if(empty(), "popBack on empty CircularQueue");
         --count;
-        return std::move(buf[(head + count) % cap]);
+        return std::move(buf[wrap(head + count)]);
     }
 
     /** Element at distance @p idx from the head (0 = oldest). */
@@ -73,7 +76,7 @@ class CircularQueue
     {
         panic_if(idx >= count, "CircularQueue index %zu out of range %zu",
                  idx, count);
-        return buf[(head + idx) % cap];
+        return buf[wrap(head + idx)];
     }
 
     const T &
@@ -81,7 +84,7 @@ class CircularQueue
     {
         panic_if(idx >= count, "CircularQueue index %zu out of range %zu",
                  idx, count);
-        return buf[(head + idx) % cap];
+        return buf[wrap(head + idx)];
     }
 
     T &front() { return at(0); }
@@ -97,6 +100,16 @@ class CircularQueue
     }
 
   private:
+    /** Ring-wrap a position. Every caller's offset is < 2*cap (idx and
+     *  count never exceed cap), so one conditional subtract replaces
+     *  the integer division a `% cap` would cost on these hot paths
+     *  (capacities are runtime values, not powers of two). */
+    size_t
+    wrap(size_t pos) const
+    {
+        return pos >= cap ? pos - cap : pos;
+    }
+
     std::vector<T> buf;
     size_t cap;
     size_t head = 0;
@@ -198,6 +211,127 @@ class DelayedPipe
     std::deque<std::pair<Cycle, T>> items;
     Cycle lastPushCycle = invalidCycle;
     size_t pushedCount = 0;
+};
+
+/**
+ * A timing wheel: schedule items for a future cycle, drain them in
+ * cycle order. Replaces a `std::map<Cycle, std::vector<T>>` keyed by
+ * ready-cycle on the completion path — same drain order (ascending
+ * cycle; insertion order within a cycle), but scheduling within the
+ * `Horizon`-cycle window is an array index plus a push into a
+ * slot vector that keeps its capacity across reuse, instead of a
+ * red-black-tree insert (node allocation + rebalancing) per event and
+ * a node extraction per drained cycle.
+ *
+ * Items further out than `Horizon` cycles overflow into a std::map —
+ * correct for any distance, just not fast. Pipeline latencies are far
+ * below the horizon (longest FU ~25 cycles, a DRAM round trip ~110),
+ * so the overflow path costs one `empty()` branch in practice. Should
+ * an overflow entry's cycle acquire later same-cycle schedules after
+ * the window has slid over it, those are appended to the overflow
+ * entry too, preserving within-cycle insertion order (overflow drains
+ * before the wheel slot for the same cycle).
+ *
+ * drainUpTo() catches up after forward time jumps (a functional-warm
+ * pass advancing the clock by a whole interval) with work bounded by
+ * `Horizon` slots plus the ready overflow entries, not by the size of
+ * the jump. Scheduling into already-drained time panics: the map this
+ * replaces would have drained such an entry on the next tick, so
+ * silently parking it for a full wheel revolution would be a
+ * behavioral change — fail fast instead.
+ */
+template <typename T, std::size_t Horizon = 1024>
+class TimingWheel
+{
+    static_assert((Horizon & (Horizon - 1)) == 0,
+                  "TimingWheel horizon must be a power of two");
+
+  public:
+    /** Schedule @p value to drain at cycle @p when (>= drain cursor). */
+    void
+    schedule(Cycle when, T value)
+    {
+        panic_if(when < cursor,
+                 "TimingWheel schedule at %llu behind drain cursor %llu",
+                 (unsigned long long)when, (unsigned long long)cursor);
+        if (when >= cursor + Horizon
+            || (!overflow.empty() && overflow.count(when))) {
+            overflow[when].push_back(std::move(value));
+        } else {
+            slots[when & (Horizon - 1)].push_back(std::move(value));
+        }
+        ++count;
+    }
+
+    /**
+     * Drain every item scheduled at cycles <= @p now, in ascending
+     * cycle order (insertion order within a cycle), invoking
+     * `fn(cycle, item)` for each. @p fn must not schedule.
+     */
+    template <typename Fn>
+    void
+    drainUpTo(Cycle now, Fn &&fn)
+    {
+        if (cursor > now)
+            return;
+        if (count == 0) {
+            // Nothing scheduled anywhere: just advance the cursor.
+            cursor = now + 1;
+            return;
+        }
+        // Wheel slots can only hold cycles in [cursor, cursor+Horizon),
+        // so a catch-up longer than the horizon still visits each slot
+        // at most once.
+        const Cycle last =
+            now - cursor >= Horizon ? cursor + Horizon - 1 : now;
+        for (Cycle c = cursor; c <= last; ++c) {
+            std::vector<T> &slot = slots[c & (Horizon - 1)];
+            cursor = c + 1;
+            if (slot.empty())
+                continue;
+            drainOverflowUpTo(c, fn);  // keys <= c precede slot c
+            for (T &v : slot)
+                fn(c, v);
+            count -= slot.size();
+            slot.clear();  // keeps capacity for the slot's next lap
+        }
+        cursor = now + 1;
+        drainOverflowUpTo(now, fn);
+    }
+
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
+
+    /** Cycles < the cursor have been drained. */
+    Cycle drainCursor() const { return cursor; }
+
+    /** Drop every scheduled item without invoking anything. */
+    void
+    clear()
+    {
+        for (std::vector<T> &slot : slots)
+            slot.clear();
+        overflow.clear();
+        count = 0;
+    }
+
+  private:
+    template <typename Fn>
+    void
+    drainOverflowUpTo(Cycle c, Fn &&fn)
+    {
+        while (!overflow.empty() && overflow.begin()->first <= c) {
+            auto node = overflow.extract(overflow.begin());
+            for (T &v : node.mapped())
+                fn(node.key(), v);
+            count -= node.mapped().size();
+        }
+    }
+
+    std::vector<T> slots[Horizon];
+    std::map<Cycle, std::vector<T>> overflow;
+    Cycle cursor = 0;
+    size_t count = 0;
 };
 
 } // namespace eole

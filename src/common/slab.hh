@@ -27,6 +27,17 @@
  *  - Under AddressSanitizer, free slots are poisoned between recycle
  *    and reuse, so a use-after-release through a raw pointer faults
  *    in the ASan lane instead of silently reading recycled state.
+ *
+ * Recycle policies: SlabRecycle::destroy (the default) runs ~T() when
+ * the last handle drops, so each allocate() placement-news a fresh
+ * object. SlabRecycle::reuse keeps recycled objects constructed and
+ * hands them back as-is, so members like std::vector keep their heap
+ * capacity across laps — the right policy for fixed-shape objects
+ * (every BranchUnit snapshot has the same fold count and RAS depth)
+ * whose producer overwrites every field anyway. Reuse-mode allocate()
+ * takes no constructor arguments (a recycled object would silently
+ * ignore them); objects are default-constructed on first use and
+ * destroyed when the pool is.
  */
 
 #ifndef EOLE_COMMON_SLAB_HH
@@ -36,6 +47,7 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -56,6 +68,13 @@ namespace eole {
 
 template <typename T> class SlabPool;
 
+/** What happens to a pooled object when its last handle drops. */
+enum class SlabRecycle
+{
+    destroy,  //!< run ~T(); allocate() constructs fresh (the default)
+    reuse     //!< keep it constructed; allocate() returns it as-is
+};
+
 namespace slab_detail {
 
 template <typename T>
@@ -63,6 +82,7 @@ struct Slot
 {
     alignas(T) unsigned char storage[sizeof(T)];
     std::uint32_t refs = 0;
+    bool constructed = false;
     Slot *nextFree = nullptr;
     SlabPool<T> *owner = nullptr;
 
@@ -151,8 +171,9 @@ template <typename T>
 class SlabPool
 {
   public:
-    explicit SlabPool(std::size_t slots_per_block = 256)
-        : slotsPerBlock(slots_per_block)
+    explicit SlabPool(std::size_t slots_per_block = 256,
+                      SlabRecycle recycle_policy = SlabRecycle::destroy)
+        : slotsPerBlock(slots_per_block), policy(recycle_policy)
     {
         panic_if(slotsPerBlock == 0, "SlabPool needs at least one slot");
     }
@@ -167,19 +188,29 @@ class SlabPool
         // memory later.
         panic_if(liveCount != 0,
                  "SlabPool destroyed with %zu live object(s)", liveCount);
-#ifdef EOLE_SLAB_ASAN
         for (auto &block : blocks) {
-            for (std::size_t i = 0; i < slotsPerBlock; ++i)
+            for (std::size_t i = 0; i < slotsPerBlock; ++i) {
+#ifdef EOLE_SLAB_ASAN
                 ASAN_UNPOISON_MEMORY_REGION(block[i].storage, sizeof(T));
-        }
 #endif
+                // Reuse-policy slots on the free list are still
+                // constructed; tear them down with the pool.
+                if (block[i].constructed)
+                    block[i].object()->~T();
+            }
+        }
     }
 
-    /** Construct a T in a recycled (or fresh) slot. */
+    /** Construct a T in a recycled (or fresh) slot. Under the reuse
+     *  policy no arguments are accepted: a recycled slot's object
+     *  comes back as-is and the caller overwrites its fields. */
     template <typename... Args>
     PooledPtr<T>
     allocate(Args &&...args)
     {
+        static_assert(sizeof...(Args) == 0
+                          || std::is_constructible_v<T, Args...>,
+                      "T must be constructible from the arguments");
         if (!freeHead)
             grow();
         slab_detail::Slot<T> *s = freeHead;
@@ -187,8 +218,14 @@ class SlabPool
 #ifdef EOLE_SLAB_ASAN
         ASAN_UNPOISON_MEMORY_REGION(s->storage, sizeof(T));
 #endif
-        ::new (static_cast<void *>(s->storage))
-            T(std::forward<Args>(args)...);
+        if (!s->constructed) {
+            ::new (static_cast<void *>(s->storage))
+                T(std::forward<Args>(args)...);
+            s->constructed = true;
+        } else {
+            panic_if(sizeof...(Args) != 0,
+                     "reuse-policy SlabPool::allocate takes no arguments");
+        }
         s->refs = 1;
         ++liveCount;
         return PooledPtr<T>(s);
@@ -206,7 +243,10 @@ class SlabPool
     void
     recycle(slab_detail::Slot<T> *s)
     {
-        s->object()->~T();
+        if (policy == SlabRecycle::destroy) {
+            s->object()->~T();
+            s->constructed = false;
+        }
 #ifdef EOLE_SLAB_ASAN
         ASAN_POISON_MEMORY_REGION(s->storage, sizeof(T));
 #endif
@@ -234,6 +274,7 @@ class SlabPool
     }
 
     std::size_t slotsPerBlock;
+    SlabRecycle policy;
     std::vector<std::unique_ptr<slab_detail::Slot<T>[]>> blocks;
     slab_detail::Slot<T> *freeHead = nullptr;
     std::size_t liveCount = 0;

@@ -22,7 +22,15 @@ namespace eole {
 struct DynInst
 {
     // --- Fetch ---
-    TraceUop uop;
+    /** The trace µ-op this in-flight instance executes. A pointer into
+     *  the TraceSource's stable storage (the frozen vector, or the VM
+     *  window deque — end pops never move other elements), not a copy:
+     *  the source retires an entry only when commit retires the same
+     *  seq, and a squashed µ-op's entry outlives every handle because
+     *  it stays in the replay window until re-fetched and committed.
+     *  Dropping the ~100-byte copy per µ-op is a measurable win on the
+     *  fetch path and shrinks DynInst across every queue scan. */
+    const TraceUop *uopP = nullptr;
     SeqNum seq = 0;
     Cycle fetchCycle = 0;
     /** Front-end speculative state after this µ-op (for squash repair). */
@@ -52,6 +60,17 @@ struct DynInst
     // --- Execution ---
     bool dispatched = false;
     bool inIQ = false;
+    /** Both source operands have been seen ready by the issue scan.
+     *  Monotone while the entry waits in the IQ — a source physical
+     *  register cannot be reclaimed while its reader is in flight —
+     *  so the scan skips re-polling the register file. */
+    bool opsReady = false;
+    /** Cycle both sources become ready, once every producer has
+     *  scheduled its writeback (each physical register is written
+     *  exactly once per allocation, so the value is final when known).
+     *  invalidCycle while some producer is still unissued; the scan
+     *  then re-polls the register file. */
+    Cycle srcReadyAt = invalidCycle;
     bool issued = false;
     bool completed = false;       //!< result available / ready to retire
     Cycle completeCycle = invalidCycle;
@@ -65,12 +84,24 @@ struct DynInst
     /** Store this load must wait for (Store Sets), 0 = none. */
     SeqNum dependsOnStore = 0;
 
+    /** Rename dropped an architectural zero-register destination, so
+     *  this µ-op has no destination even though its trace µ-op names
+     *  one. (Shadows the `uop.dst = invalidReg` overwrite the old
+     *  by-value copy allowed; the shared trace µ-op is immutable.) */
+    bool dstDropped = false;
+
     // --- Lifecycle ---
     bool squashed = false;
 
-    bool isLoad() const { return uop.isLoad(); }
-    bool isStore() const { return uop.isStore(); }
-    bool isBranch() const { return uop.isBranch(); }
+    const TraceUop &uop() const { return *uopP; }
+
+    /** Does this µ-op produce a register result after rename? False
+     *  for zero-register writes rename dropped. */
+    bool hasDst() const { return !dstDropped && uopP->hasDst(); }
+
+    bool isLoad() const { return uop().isLoad(); }
+    bool isStore() const { return uop().isStore(); }
+    bool isBranch() const { return uop().isBranch(); }
 
     /** Does this µ-op bypass the OoO engine entirely? */
     bool

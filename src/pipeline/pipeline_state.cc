@@ -84,22 +84,57 @@ PipelineState::bankOfReg(RegClass cls, RegIndex phys) const
 RegVal
 PipelineState::readOperand(const DynInst &di, int idx) const
 {
-    const RegIndex src = idx == 0 ? di.uop.src1 : di.uop.src2;
+    const RegIndex src = idx == 0 ? di.uop().src1 : di.uop().src2;
     if (src == invalidReg)
         return 0;
-    return prf[int(di.uop.srcClass[idx])]->read(di.physSrc[idx]);
+    return prf[int(di.uop().srcClass[idx])]->read(di.physSrc[idx]);
 }
 
 bool
 PipelineState::operandsReady(const DynInst &di) const
 {
     for (int i = 0; i < 2; ++i) {
-        const RegIndex src = i == 0 ? di.uop.src1 : di.uop.src2;
+        const RegIndex src = i == 0 ? di.uop().src1 : di.uop().src2;
         if (src == invalidReg)
             continue;
-        if (!prf[int(di.uop.srcClass[i])]->isReady(di.physSrc[i], now))
+        if (!prf[int(di.uop().srcClass[i])]->isReady(di.physSrc[i], now))
             return false;
     }
+    return true;
+}
+
+bool
+PipelineState::operandsReadyCaching(DynInst &di) const
+{
+    if (di.opsReady)
+        return true;
+    if (di.srcReadyAt != invalidCycle) {
+        // Both producers scheduled on an earlier poll: one compare.
+        if (now < di.srcReadyAt)
+            return false;
+        di.opsReady = true;
+        return true;
+    }
+    // Equivalent to operandsReady: all sources ready iff the max of
+    // their readyAt cycles is <= now (an unscheduled producer has
+    // readyAt == invalidCycle, which also dominates the max and
+    // correctly blocks caching).
+    Cycle latest = 0;
+    for (int i = 0; i < 2; ++i) {
+        const RegIndex src = i == 0 ? di.uop().src1 : di.uop().src2;
+        if (src == invalidReg)
+            continue;
+        const Cycle r =
+            prf[int(di.uop().srcClass[i])]->readyCycle(di.physSrc[i]);
+        if (r > latest)
+            latest = r;
+    }
+    if (latest == invalidCycle)
+        return false;
+    di.srcReadyAt = latest;
+    if (now < latest)
+        return false;
+    di.opsReady = true;
     return true;
 }
 
@@ -108,17 +143,17 @@ PipelineState::markSquashed(const DynInstPtr &di)
 {
     di->squashed = true;
     if (di->vpLookupValid && vp)
-        vp->squash(di->uop.pc, di->vp);
+        vp->squash(di->uop().pc, di->vp);
     if (di->isStore())
-        ssets.storeResolved(di->uop.pc, di->seq);
+        ssets.storeResolved(di->uop().pc, di->seq);
 }
 
 void
 PipelineState::undoRename(const DynInstPtr &di)
 {
     if (di->physDst != invalidReg) {
-        mapOf(di->uop.dstClass).restore(di->uop.dst, di->oldPhysDst);
-        prfOf(di->uop.dstClass).freeReg(di->physDst);
+        mapOf(di->uop().dstClass).restore(di->uop().dst, di->oldPhysDst);
+        prfOf(di->uop().dstClass).freeReg(di->physDst);
     }
 }
 
@@ -144,7 +179,7 @@ PipelineState::resolveMispredictedBranch(const DynInstPtr &di)
 {
     // Nothing younger was fetched (fetch stalls behind a branch known
     // to be mispredicted), so repair state and redirect fetch.
-    bu->repairAfterBranch(di->uop, di->preSnap);
+    bu->repairAfterBranch(di->uop(), di->preSnap);
     for (Stage *stage : squashOrder)
         stage->onFetchRedirect(*this);
     if (fetchBlockedOnBranch && fetchBlockedOnBranch->seq == di->seq)

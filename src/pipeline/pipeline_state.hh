@@ -75,7 +75,15 @@ struct PipelineState
     CircularQueue<DynInstPtr> lq;
     CircularQueue<DynInstPtr> sq;
     std::vector<DynInstPtr> iq;
-    std::map<Cycle, std::vector<DynInstPtr>> completions;
+    /** Bumped by every event that can change what the issue scan would
+     *  find: a PRF readiness write outside the scan (dispatch's EE/VP
+     *  port write — issue's own writes happen during a scan), an IQ
+     *  insert, and a squash. IssueStage uses it to skip provably
+     *  issue-free cycles (see IssueStage::tick). */
+    std::uint64_t iqWakeEpoch = 0;
+    /** Executed µ-ops waiting for their result-ready cycle
+     *  (common/queues.hh timing wheel; drained by CompletionStage). */
+    TimingWheel<DynInstPtr> completions;
 
     Cycle fetchStallUntil = 0;
     DynInstPtr fetchBlockedOnBranch;
@@ -110,6 +118,13 @@ struct PipelineState
     int bankOfReg(RegClass cls, RegIndex phys) const;
     RegVal readOperand(const DynInst &di, int idx) const;
     bool operandsReady(const DynInst &di) const;
+
+    /** operandsReady plus memoization: when every producer has already
+     *  scheduled its writeback, the combined ready cycle is final and
+     *  is cached in @p di.srcReadyAt so later polls compare a field the
+     *  issue scan already has in cache instead of re-reading the
+     *  register file. */
+    bool operandsReadyCaching(DynInst &di) const;
 
     // --- Recovery ---
 

@@ -30,7 +30,10 @@ CommitStage::tick(PipelineState &st)
 {
     int committed = 0;
     while (committed < commitWidth && !st.rob.empty()) {
-        DynInstPtr di = st.rob.front();
+        // Examine the head through a reference (no refcount traffic);
+        // the handle is moved out of the ROB at the retire step below,
+        // after which `di` must not be touched.
+        const DynInstPtr &di = st.rob.front();
         if (!readyToRetire(st, *di))
             break;
 
@@ -46,18 +49,18 @@ CommitStage::tick(PipelineState &st)
         const bool value_mispredict = levt && levt->validate(st, di);
 
         // --- Lockstep oracle check (self-verification) ---
-        if (di->uop.hasDst()) {
-            panic_if(di->computedValue != di->uop.result,
+        if (di->hasDst()) {
+            panic_if(di->computedValue != di->uop().result,
                      "oracle mismatch @%llu pc=%#llx %s: got %#llx "
                      "expected %#llx",
                      (unsigned long long)di->seq,
-                     (unsigned long long)di->uop.pc,
-                     opcodeName(di->uop.opc),
+                     (unsigned long long)di->uop().pc,
+                     opcodeName(di->uop().opc),
                      (unsigned long long)di->computedValue,
-                     (unsigned long long)di->uop.result);
+                     (unsigned long long)di->uop().result);
         } else if (di->isStore()) {
-            panic_if(di->storeData != di->uop.result
-                         || di->effAddr != di->uop.effAddr,
+            panic_if(di->storeData != di->uop().result
+                         || di->effAddr != di->uop().effAddr,
                      "store oracle mismatch @%llu",
                      (unsigned long long)di->seq);
         }
@@ -69,18 +72,18 @@ CommitStage::tick(PipelineState &st)
         if (levt)
             levt->train(st, di);
         if (di->isBranch())
-            st.bu->commitBranch(di->uop, di->bp);
+            st.bu->commitBranch(di->uop(), di->bp);
         if (di->isStore())
-            st.mem->storeAccess(di->uop.pc, di->effAddr, st.now);
+            st.mem->storeAccess(di->uop().pc, di->effAddr, st.now);
 
         // --- Statistics ---
         ++st.committedUops;
-        if (di->uop.isCondBr()) {
+        if (di->uop().isCondBr()) {
             ++s.condBranches;
             if (di->bp.highConf)
                 ++s.highConfBranches;
         }
-        if (di->uop.vpEligible())
+        if (di->uop().vpEligible())
             ++s.vpEligible;
         if (di->predictionUsed)
             ++s.vpPredictionsUsed;
@@ -93,17 +96,17 @@ CommitStage::tick(PipelineState &st)
 
         // --- Retire ---
         if (di->oldPhysDst != invalidReg)
-            st.prfOf(di->uop.dstClass).freeReg(di->oldPhysDst);
-        st.rob.popFront();
-        if (di->isLoad())
+            st.prfOf(di->uop().dstClass).freeReg(di->oldPhysDst);
+        const DynInstPtr done = st.rob.popFront();  // `di` dangles now
+        if (done->isLoad())
             st.lq.popFront();
-        if (di->isStore())
+        if (done->isStore())
             st.sq.popFront();
-        st.ts.retireUpTo(di->seq);
+        st.ts.retireUpTo(done->seq);
         ++committed;
 
         if (value_mispredict) {
-            st.squashAfter(di->seq, di->postSnap, st.now + 1);
+            st.squashAfter(done->seq, done->postSnap, st.now + 1);
             break;
         }
     }

@@ -7,17 +7,18 @@ namespace eole {
 void
 CompletionStage::tick(PipelineState &st)
 {
-    while (!st.completions.empty() && st.completions.begin()->first <= st.now) {
-        auto node = st.completions.extract(st.completions.begin());
-        for (const DynInstPtr &di : node.mapped()) {
-            if (di->squashed)
-                continue;
-            di->completed = true;
-            di->completeCycle = st.now;
-            if (di->isBranch() && di->bp.mispredict && !di->lateExecBranch)
-                st.resolveMispredictedBranch(di);
-        }
-    }
+    // Note completeCycle is stamped with st.now, not the scheduled
+    // ready cycle: after a forward time jump (functional warm) a
+    // stale entry completes when the clock next observes it, exactly
+    // as the ordered-map drain this wheel replaced behaved.
+    st.completions.drainUpTo(st.now, [&](Cycle, const DynInstPtr &di) {
+        if (di->squashed)
+            return;
+        di->completed = true;
+        di->completeCycle = st.now;
+        if (di->isBranch() && di->bp.mispredict && !di->lateExecBranch)
+            st.resolveMispredictedBranch(di);
+    });
 }
 
 } // namespace eole

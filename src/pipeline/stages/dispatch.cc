@@ -14,19 +14,22 @@ DispatchStage::tick(PipelineState &st)
 {
     int dispatched = 0;
     while (dispatched < dispatchWidth && !st.renameOut.empty()) {
-        DynInstPtr di = st.renameOut.front();
+        // Run the stall checks through a reference (most iterations end
+        // in a break); the handle moves out only once dispatch is
+        // certain.
+        DynInstPtr &head = st.renameOut.front();
 
         if (st.rob.full()) {
             ++s.robFullStalls;
             break;
         }
-        if (di->isLoad() && st.lq.full())
+        if (head->isLoad() && st.lq.full())
             break;
-        if (di->isStore() && st.sq.full())
+        if (head->isStore() && st.sq.full())
             break;
 
-        const bool needs_iq = !di->bypassesOoO()
-            && di->uop.opClass() != OpClass::NoOp;
+        const bool needs_iq = !head->bypassesOoO()
+            && head->uop().opClass() != OpClass::NoOp;
         if (needs_iq && static_cast<int>(st.iq.size()) >= iqEntries) {
             ++s.iqFullStalls;
             break;
@@ -34,18 +37,20 @@ DispatchStage::tick(PipelineState &st)
 
         // EE results and used predictions are written to the PRF at
         // dispatch, consuming constrained write ports (§6.3).
-        if (di->physDst != invalidReg
-            && (di->earlyExecuted || di->predictionUsed)) {
-            const int bank = st.bankOfReg(di->uop.dstClass, di->physDst);
+        if (head->physDst != invalidReg
+            && (head->earlyExecuted || head->predictionUsed)) {
+            const int bank = st.bankOfReg(head->uop().dstClass, head->physDst);
             if (!st.ports.tryEeWrite(bank)) {
                 ++s.dispatchPortStalls;
                 break;
             }
-            const RegVal v = di->earlyExecuted ? di->computedValue
-                                               : di->predictedValue;
-            st.prfOf(di->uop.dstClass).write(di->physDst, v, st.now);
+            const RegVal v = head->earlyExecuted ? head->computedValue
+                                                 : head->predictedValue;
+            st.prfOf(head->uop().dstClass).write(head->physDst, v, st.now);
+            ++st.iqWakeEpoch;  // a queued consumer may now be ready
         }
 
+        DynInstPtr di = std::move(head);
         st.renameOut.pop_front();
         di->dispatched = true;
         st.rob.pushBack(di);
@@ -54,14 +59,15 @@ DispatchStage::tick(PipelineState &st)
         if (di->isStore())
             st.sq.pushBack(di);
 
-        if (di->earlyExecuted || di->uop.opClass() == OpClass::NoOp) {
+        if (di->earlyExecuted || di->uop().opClass() == OpClass::NoOp) {
             di->completed = true;
             di->completeCycle = st.now;
         } else if (di->lateExecutable()) {
             di->completeCycle = st.now;  // LE gating base (see commit)
         } else {
             di->inIQ = true;
-            st.iq.push_back(di);
+            st.iq.push_back(std::move(di));
+            ++st.iqWakeEpoch;
             ++s.dispatchedToIQ;
         }
         ++dispatched;

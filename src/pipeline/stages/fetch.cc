@@ -40,13 +40,13 @@ FetchStage::tick(PipelineState &st)
 
         DynInstPtr di = st.dynInstPool.allocate();
         di->seq = st.ts.nextSeq();
-        di->uop = st.ts.fetch();
+        di->uopP = &st.ts.fetch();
         di->fetchCycle = st.now;
 
         // Value prediction at fetch (§4.2). Writes to the int zero
         // register are architecturally dropped and not predicted.
-        if (st.vp && di->uop.vpPredictable()) {
-            di->vp = st.vp->predict(di->uop.pc);
+        if (st.vp && di->uop().vpPredictable()) {
+            di->vp = st.vp->predict(di->uop().pc);
             di->vpLookupValid = true;
             if (di->vp.confident) {
                 di->predictionUsed = true;
@@ -55,8 +55,8 @@ FetchStage::tick(PipelineState &st)
         }
 
         bool stop_after = false;
-        if (di->uop.isBranch()) {
-            di->bp = st.bu->predictBranch(di->uop, di->preSnap);
+        if (di->uop().isBranch()) {
+            di->bp = st.bu->predictBranch(di->uop(), di->preSnap);
             if (di->bp.mispredict) {
                 // Fetch stalls on the wrong path until resolution.
                 st.fetchBlockedOnBranch = di;
@@ -73,7 +73,7 @@ FetchStage::tick(PipelineState &st)
         }
         di->postSnap = st.bu->currentSnapshot();
 
-        st.frontPipe.push(st.now, di);
+        st.frontPipe.push(st.now, std::move(di));
         ++fetched;
         if (stop_after)
             break;

@@ -53,6 +53,18 @@ class IssueStage : public Stage
      *  erase to the scan's own compaction. */
     bool scanning = false;
 
+    /** Set by a deferred mid-scan squash(); disables the scan's
+     *  early-stop so its compaction reaches the marked entries. */
+    bool squashedDuringScan = false;
+
+    /** Issue-free-cycle skip (armed by tick() when a full scan proves
+     *  nothing can issue before wakeAt absent a wake event; see the
+     *  proof in tick()). wakeAt == invalidCycle means "only a wake
+     *  event (PipelineState::iqWakeEpoch) can end the sleep". */
+    bool asleep = false;
+    Cycle wakeAt = 0;
+    std::uint64_t wakeEpoch = 0;
+
     Stats s;
 };
 

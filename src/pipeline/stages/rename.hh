@@ -41,7 +41,7 @@ class RenameStage : public Stage
   protected:
     /** Try to execute @p di on the EE block (operands from immediates,
      *  predictions and the local bypass only -- never the PRF). */
-    bool tryEarlyExecute(const DynInstPtr &di);
+    bool tryEarlyExecute(DynInst &di);
 
   private:
     struct Stats
@@ -57,7 +57,8 @@ class RenameStage : public Stage
     bool lateExecBranches;
 
     EarlyExecBlock ee;
-    std::vector<DynInstPtr> renameGroup;  //!< scratch: this cycle's group
+    std::vector<DynInst *> renameGroup;   //!< scratch: this cycle's group
+                                          //!< (borrowed; renameOut owns)
 
     Stats s;
 };

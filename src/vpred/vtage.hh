@@ -53,13 +53,15 @@ class Vtage : public ValuePredictor
         std::uint8_t conf = 0;
     };
 
+    // Widest member first so the entry packs into 16 bytes instead of
+    // 24 — the tagged components are the predictor's cache footprint.
     struct TaggedEntry
     {
-        std::uint16_t tag = 0;
-        bool valid = false;
         RegVal value = 0;
+        std::uint16_t tag = 0;
         std::uint8_t conf = 0;
         std::uint8_t u = 0;
+        bool valid = false;
     };
 
     std::uint32_t baseIndex(Addr pc) const;

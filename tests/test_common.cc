@@ -173,6 +173,113 @@ TEST(DelayedPipe, RemoveIfDropsMatching)
     EXPECT_EQ(p.pop(100), 5);
 }
 
+namespace {
+
+/** Drain wheel @p w up to @p now into a flat (cycle, value) list. */
+template <typename Wheel>
+std::vector<std::pair<Cycle, int>>
+drained(Wheel &w, Cycle now)
+{
+    std::vector<std::pair<Cycle, int>> out;
+    w.drainUpTo(now, [&](Cycle c, int v) { out.emplace_back(c, v); });
+    return out;
+}
+
+} // namespace
+
+TEST(TimingWheel, DrainsInCycleOrderInsertionOrderWithinCycle)
+{
+    TimingWheel<int, 8> w;
+    w.schedule(5, 50);
+    w.schedule(3, 30);
+    w.schedule(5, 51);   // same cycle: must come out after 50
+    w.schedule(4, 40);
+    EXPECT_EQ(w.size(), 4u);
+
+    const auto out = drained(w, 4);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], (std::pair<Cycle, int>{3, 30}));
+    EXPECT_EQ(out[1], (std::pair<Cycle, int>{4, 40}));
+    EXPECT_EQ(w.size(), 2u);
+    EXPECT_EQ(w.drainCursor(), 5u);
+
+    const auto rest = drained(w, 10);
+    ASSERT_EQ(rest.size(), 2u);
+    EXPECT_EQ(rest[0], (std::pair<Cycle, int>{5, 50}));
+    EXPECT_EQ(rest[1], (std::pair<Cycle, int>{5, 51}));
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(TimingWheel, OverflowBeyondHorizonDrainsCorrectly)
+{
+    TimingWheel<int, 8> w;
+    // Distance >= Horizon goes to the overflow map; it must still
+    // interleave correctly with wheel-resident cycles.
+    w.schedule(20, 200);  // overflow (20 - 0 >= 8)
+    w.schedule(2, 21);    // wheel
+    w.schedule(9, 90);    // overflow (9 - 0 >= 8)
+    EXPECT_EQ(w.size(), 3u);
+
+    const auto out = drained(w, 25);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], (std::pair<Cycle, int>{2, 21}));
+    EXPECT_EQ(out[1], (std::pair<Cycle, int>{9, 90}));
+    EXPECT_EQ(out[2], (std::pair<Cycle, int>{20, 200}));
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(TimingWheel, SameCycleSplitBetweenOverflowAndWheelKeepsOrder)
+{
+    TimingWheel<int, 8> w;
+    w.schedule(10, 100);  // overflow (distance 10 >= 8)
+    // Drain nothing but slide the window so cycle 10 becomes
+    // wheel-reachable, then schedule the same cycle again: the second
+    // event must append to the overflow entry, not the wheel slot,
+    // to keep within-cycle insertion order.
+    w.drainUpTo(4, [](Cycle, int) { FAIL() << "nothing due yet"; });
+    w.schedule(10, 101);
+    const auto out = drained(w, 12);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], (std::pair<Cycle, int>{10, 100}));
+    EXPECT_EQ(out[1], (std::pair<Cycle, int>{10, 101}));
+}
+
+TEST(TimingWheel, ForwardTimeJumpBoundedByHorizon)
+{
+    TimingWheel<int, 8> w;
+    w.schedule(1, 10);
+    w.schedule(100, 1000);  // overflow
+    // A functional-warm style jump far past everything: one drain call
+    // visits each wheel slot at most once and still delivers both.
+    const auto out = drained(w, 1000000);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], (std::pair<Cycle, int>{1, 10}));
+    EXPECT_EQ(out[1], (std::pair<Cycle, int>{100, 1000}));
+    EXPECT_EQ(w.drainCursor(), 1000001u);
+    // The wheel keeps working after the jump.
+    w.schedule(1000002, 7);
+    const auto later = drained(w, 1000002);
+    ASSERT_EQ(later.size(), 1u);
+    EXPECT_EQ(later[0], (std::pair<Cycle, int>{1000002, 7}));
+}
+
+TEST(TimingWheel, ClearDropsEverything)
+{
+    TimingWheel<int, 8> w;
+    w.schedule(1, 1);
+    w.schedule(30, 3);  // overflow too
+    w.clear();
+    EXPECT_TRUE(w.empty());
+    EXPECT_TRUE(drained(w, 50).empty());
+}
+
+TEST(TimingWheel, SchedulingBehindTheCursorPanics)
+{
+    TimingWheel<int, 8> w;
+    w.drainUpTo(10, [](Cycle, int) {});
+    EXPECT_DEATH(w.schedule(5, 1), "behind drain cursor");
+}
+
 TEST(StatRecord, GetAndPrefix)
 {
     StatRecord a;

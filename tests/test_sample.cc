@@ -63,13 +63,13 @@ recordOf(const DynInst &di)
 {
     CommitRecord r{};
     r.seq = di.seq;
-    r.pc = di.uop.pc;
-    r.opc = di.uop.opc;
-    r.result = di.uop.hasDst() ? di.computedValue
-                               : (di.uop.isStore() ? di.uop.result : 0);
+    r.pc = di.uop().pc;
+    r.opc = di.uop().opc;
+    r.result = di.hasDst() ? di.computedValue
+                               : (di.uop().isStore() ? di.uop().result : 0);
     r.effAddr =
-        (di.uop.isLoad() || di.uop.isStore()) ? di.uop.effAddr : 0;
-    r.taken = di.uop.isBranch() ? di.uop.taken : false;
+        (di.uop().isLoad() || di.uop().isStore()) ? di.uop().effAddr : 0;
+    r.taken = di.uop().isBranch() ? di.uop().taken : false;
     return r;
 }
 

@@ -105,7 +105,6 @@ TEST(Slab, WheelHeldHandleOutlivesEveryOtherOwner)
 
     PooledPtr<DynInst> di = pool.allocate();
     di->seq = 7;
-    di->uop.pc = 0x40;
     wheel[12].push_back(di);
 
     di->squashed = true;

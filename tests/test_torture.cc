@@ -117,12 +117,12 @@ runAndCompare(const SimConfig &cfg, const Workload &w,
     Core core(cfg, w);
     EXPECT_EQ(core.pipelineState().ts.replaying(), w.frozen != nullptr);
     core.setCommitHook([&](const DynInst &di) {
-        got.push_back(recordOf(di.uop));
+        got.push_back(recordOf(di.uop()));
         // The pipeline recomputes every result through its renamed
         // dataflow; hold it to the oracle value here as well (the
         // commit stage's internal lockstep check panics first in
         // practice).
-        if (di.uop.hasDst())
+        if (di.hasDst())
             got.back().result = di.computedValue;
     });
     const std::uint64_t cap = ref.size() * 300 + 200000;
