@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace eole {
@@ -103,6 +104,28 @@ sampleSpecString(const SampleSpec &spec)
         + std::to_string(spec.intervalUops) + ":"
         + std::to_string(spec.detailUops) + ":"
         + std::to_string(spec.warmBound);
+}
+
+std::uint64_t
+ExperimentPlan::runlenFor(const std::string &config) const
+{
+    for (const auto &[name, uops] : runlens) {
+        if (name == config)
+            return uops;
+    }
+    return 0;
+}
+
+std::uint64_t
+resolveMeasureFor(std::uint64_t option_measure, const ExperimentPlan &plan,
+                  const std::string &config)
+{
+    if (option_measure)
+        return option_measure;
+    if (const std::uint64_t runlen = plan.runlenFor(config))
+        return runlen;
+    return resolveRunLength(0, plan.measure, "EOLE_INSTS",
+                            defaultMeasureUops);
 }
 
 std::uint64_t

@@ -104,10 +104,32 @@ struct ExperimentPlan
      *  disabled = full run. CLI --sample overrides it through
      *  resolveSampleSpec. */
     SampleSpec sample;
+    /** Per-config measured-length overrides (plan-file
+     *  `runlen <config> = N` directive): cells of that config run N
+     *  measured µ-ops instead of the plan-level `measure`. Resolved
+     *  through resolveMeasureFor; CLI --insts still beats them. */
+    std::vector<std::pair<std::string, std::uint64_t>> runlens;
     std::vector<TableSpec> tables;
 
     std::size_t gridSize() const { return configs.size() * workloads.size(); }
+
+    /** The `runlen` override declared for @p config (0 = none). */
+    std::uint64_t runlenFor(const std::string &config) const;
 };
+
+/**
+ * Effective measured length for one config's cells, extending the
+ * common/env.hh precedence chain with the per-config plan override:
+ *
+ *   explicit option (CLI --insts)
+ *     > plan `runlen <config> = N`
+ *       > plan `measure`
+ *         > EOLE_INSTS
+ *           > built-in default
+ */
+std::uint64_t resolveMeasureFor(std::uint64_t option_measure,
+                                const ExperimentPlan &plan,
+                                const std::string &config);
 
 /**
  * Deterministic per-job seed: a function of the plan seed, the

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
 #include "common/env.hh"
 #include "common/fuzzy.hh"
@@ -59,6 +60,10 @@ struct PlanDraft
     std::vector<int> axisLines;  //!< declaration line of each axis
     std::vector<std::pair<std::string, std::string>> sets;
     std::vector<std::pair<int, TableSpec>> tables;  //!< line, spec
+    /** `runlen <config> = N` directives: line, config, µ-ops. The
+     *  config names are validated against the expanded grid at end of
+     *  file (an axis-derived name is a legal target). */
+    std::vector<std::tuple<int, std::string, std::uint64_t>> runlens;
 };
 
 const std::vector<std::string> &
@@ -66,7 +71,7 @@ directiveNames()
 {
     static const std::vector<std::string> names = {
         "plan", "description", "base", "configs", "workloads", "seed",
-        "warmup", "measure", "sample", "set", "axis", "table",
+        "warmup", "measure", "runlen", "sample", "set", "axis", "table",
     };
     return names;
 }
@@ -207,6 +212,37 @@ parsePlanText(const std::string &text, const std::string &origin,
                 draft.plan.warmup = v;
             else
                 draft.plan.measure = v;
+        } else if (directive == "runlen") {
+            // Per-config measured length: "runlen <config> = N".
+            // Beats the plan-level `measure` for that config's cells;
+            // CLI --insts still beats both (resolveMeasureFor). Split
+            // on the LAST '=' — axis-derived config names embed '='
+            // (e.g. "EOLE_4_64+prfBanks=2") and are legal targets.
+            const std::size_t last_eq = line.rfind('=');
+            const std::string cfg_name =
+                trim(line.substr(word_end, last_eq - word_end));
+            const std::string uops_text = trim(line.substr(last_eq + 1));
+            if (cfg_name.empty()) {
+                return fail(lineno, "runlen needs a config name: "
+                            "\"runlen <config> = <uops>\"");
+            }
+            std::uint64_t v = 0;
+            if (!parseU64Strict(uops_text, &v) || v == 0) {
+                return fail(lineno, "runlen " + cfg_name + " = \""
+                            + uops_text
+                            + "\" is not a positive µ-op count");
+            }
+            for (const auto &[prev_line, prev_cfg, prev_uops] :
+                 draft.runlens) {
+                (void)prev_line;
+                (void)prev_uops;
+                if (prev_cfg == cfg_name) {
+                    return fail(lineno, "runlen " + cfg_name
+                                + " declared twice (the earlier value "
+                                "would be silently overwritten)");
+                }
+            }
+            draft.runlens.emplace_back(lineno, cfg_name, v);
         } else if (directive == "sample") {
             // The plan's default sampling spec; `eole run --sample`
             // overrides it (option > plan file, the resolveSampleSpec
@@ -321,6 +357,23 @@ parsePlanText(const std::string &text, const std::string &origin,
                             + "\" (cells would be indistinguishable)");
             }
         }
+    }
+
+    // runlen targets must name configs of this plan (checked after
+    // grid expansion so axis-derived names are addressable).
+    for (const auto &[line, cfg_name, uops] : draft.runlens) {
+        bool known = false;
+        for (const SimConfig &c : draft.plan.configs)
+            known = known || c.name == cfg_name;
+        if (!known) {
+            std::vector<std::string> names;
+            for (const SimConfig &c : draft.plan.configs)
+                names.push_back(c.name);
+            return fail(line, "runlen target \"" + cfg_name
+                        + "\" is not a config of this plan"
+                        + didYouMean(closestMatches(cfg_name, names)));
+        }
+        draft.plan.runlens.emplace_back(cfg_name, uops);
     }
 
     draft.plan.workloads =

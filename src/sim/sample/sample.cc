@@ -232,8 +232,11 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         rr.seed = jobSeed(plan.seed, plan.configs[cells[i].cfg].seed,
                           rr.config, rr.workload);
         rr.params = configKeyValues(plan.configs[cells[i].cfg]);
-        cells[i].starts =
-            placeIntervals(out.warmup, out.measure, spec, rr.seed);
+        // Per-config `runlen` overrides move that config's sampled
+        // region; placement stays a pure function of (lengths, seed).
+        cells[i].starts = placeIntervals(
+            out.warmup, resolveMeasureFor(options.measure, plan, rr.config),
+            spec, rr.seed);
         cells[i].intervals.resize(cells[i].starts.size());
         cells[i].ckpts.resize(cells[i].starts.size());
     }
@@ -275,8 +278,13 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         for (const std::uint64_t s : cell.starts)
             maxStart = std::max(maxStart, s);
     }
+    std::uint64_t longestMeasure = out.measure;
+    for (const SimConfig &c : plan.configs) {
+        longestMeasure = std::max(
+            longestMeasure, resolveMeasureFor(options.measure, plan, c.name));
+    }
     const std::uint64_t traceUopsNeeded = sampleTraceUopsNeeded(
-        plan, spec, out.warmup, out.measure, maxStart);
+        plan, spec, out.warmup, longestMeasure, maxStart);
 
     TraceCache cache;
     std::vector<std::atomic<std::size_t>> remaining(plan.workloads.size());

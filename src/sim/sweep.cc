@@ -132,10 +132,15 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
 
     // Trace-cache sizing: the stream a job consumes is bounded by the
     // committed target of both run() calls plus the in-flight window.
+    // Per-config `runlen` overrides can lengthen individual jobs, so
+    // recordings are sized for the longest config in the plan.
+    std::uint64_t longestMeasure = out.measure;
+    for (const SimConfig &c : plan.configs) {
+        longestMeasure = std::max(
+            longestMeasure, resolveMeasureFor(options.measure, plan, c.name));
+    }
     const std::uint64_t traceUopsNeeded =
-        out.warmup + out.measure + maxInflightUops(plan);
-    const std::uint64_t maxCycles =
-        (out.warmup + out.measure) * 60 + 1000000;
+        out.warmup + longestMeasure + maxInflightUops(plan);
 
     TraceCache cache;
     std::vector<std::atomic<std::size_t>> remaining(plan.workloads.size());
@@ -156,10 +161,14 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
             w.frozen = cache.get(w, traceUopsNeeded);
 
         {
+            const std::uint64_t measure =
+                resolveMeasureFor(options.measure, plan, cfg.name);
+            const std::uint64_t maxCycles =
+                (out.warmup + measure) * 60 + 1000000;
             Core core(cfg, w);
             core.run(out.warmup, maxCycles);
             core.resetStats();
-            core.run(out.measure, maxCycles);
+            core.run(measure, maxCycles);
             cell.stats = core.record();
         }
         w.frozen.reset();

@@ -652,8 +652,11 @@ cmdCkptSave(int argc, char **argv)
             cell.workload = plan.workloads[w];
             cell.seed = jobSeed(plan.seed, c.seed, c.name,
                                 plan.workloads[w]);
-            cell.starts = placeIntervals(warmup, measure, sample,
-                                         cell.seed);
+            // Mirror runSampledPlan's per-config `runlen` handling so
+            // the saved checkpoints land where a sampled run looks.
+            cell.starts = placeIntervals(
+                warmup, resolveMeasureFor(opt.measure, plan, c.name),
+                sample, cell.seed);
             cell.files.resize(cell.starts.size());
             cells.push_back(std::move(cell));
         }
@@ -669,8 +672,13 @@ cmdCkptSave(int argc, char **argv)
         for (const std::uint64_t s : cell.starts)
             maxStart = std::max(maxStart, s);
     }
+    std::uint64_t longestMeasure = measure;
+    for (const SimConfig &c : plan.configs) {
+        longestMeasure = std::max(longestMeasure,
+                                  resolveMeasureFor(opt.measure, plan, c.name));
+    }
     const std::uint64_t traceUopsNeeded =
-        sampleTraceUopsNeeded(plan, sample, warmup, measure, maxStart);
+        sampleTraceUopsNeeded(plan, sample, warmup, longestMeasure, maxStart);
 
     TraceCache cache;
     std::vector<std::atomic<std::size_t>> remaining(plan.workloads.size());

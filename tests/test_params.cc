@@ -13,8 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/fuzzy.hh"
 #include "sim/artifact.hh"
 #include "sim/configs.hh"
@@ -488,6 +490,105 @@ TEST(PlanFile, SampleDirectiveParsesResolvesAndRejects)
         "plan = s\nconfigs = EOLE_4_64\nsample = 0:100:10\n", "s.plan",
         &plan, &err));
     EXPECT_NE(err.find("positive"), std::string::npos) << err;
+}
+
+TEST(PlanFile, RunlenDirectiveParsesValidatesAndResolves)
+{
+    // `runlen <config> = N` pins one config's measured length; other
+    // configs keep the plan-level `measure`.
+    ExperimentPlan plan;
+    std::string err;
+    ASSERT_TRUE(parsePlanText(
+        "plan = rl\nconfigs = Baseline_6_64, EOLE_4_64\n"
+        "measure = 5000\nrunlen EOLE_4_64 = 9000\n",
+        "rl.plan", &plan, &err)) << err;
+    EXPECT_EQ(plan.runlenFor("EOLE_4_64"), 9000u);
+    EXPECT_EQ(plan.runlenFor("Baseline_6_64"), 0u);
+
+    // The precedence chain, top to bottom: CLI --insts beats the
+    // directive, the directive beats the plan-level `measure`, and a
+    // config without one falls back to `measure`.
+    EXPECT_EQ(resolveMeasureFor(777, plan, "EOLE_4_64"), 777u);
+    EXPECT_EQ(resolveMeasureFor(0, plan, "EOLE_4_64"), 9000u);
+    EXPECT_EQ(resolveMeasureFor(0, plan, "Baseline_6_64"), 5000u);
+
+    // Below the plan level the chain continues into the environment.
+    ExperimentPlan bare;
+    ASSERT_TRUE(parsePlanText("plan = b\nconfigs = EOLE_4_64\n",
+                              "b.plan", &bare, &err)) << err;
+    ASSERT_EQ(setenv("EOLE_INSTS", "4242", 1), 0);
+    EXPECT_EQ(resolveMeasureFor(0, bare, "EOLE_4_64"), 4242u);
+    ASSERT_EQ(unsetenv("EOLE_INSTS"), 0);
+    EXPECT_EQ(resolveMeasureFor(0, bare, "EOLE_4_64"),
+              defaultMeasureUops);
+
+    // Axis-derived names embed '='; the directive splits on the last
+    // '=' so they are addressable.
+    ExperimentPlan grid;
+    ASSERT_TRUE(parsePlanText(
+        "plan = rlg\nbase = EOLE_4_64\naxis prfBanks = 1, 2\n"
+        "runlen EOLE_4_64+prfBanks=2 = 1234\n",
+        "rlg.plan", &grid, &err)) << err;
+    EXPECT_EQ(grid.runlenFor("EOLE_4_64+prfBanks=2"), 1234u);
+    EXPECT_EQ(grid.runlenFor("EOLE_4_64+prfBanks=1"), 0u);
+}
+
+TEST(PlanFile, RunlenDirectiveErrors)
+{
+    ExperimentPlan plan;
+    std::string err;
+
+    // Unknown target: line-numbered, with a suggestion.
+    EXPECT_FALSE(parsePlanText(
+        "plan = x\nconfigs = EOLE_4_64\nrunlen EOLE_44 = 100\n",
+        "f.plan", &plan, &err));
+    EXPECT_NE(err.find("f.plan line 3"), std::string::npos) << err;
+    EXPECT_NE(err.find("EOLE_4_64"), std::string::npos) << err;
+
+    // Zero (the "unset" sentinel) and non-numeric counts.
+    EXPECT_FALSE(parsePlanText(
+        "plan = x\nconfigs = EOLE_4_64\nrunlen EOLE_4_64 = 0\n",
+        "f.plan", &plan, &err));
+    EXPECT_NE(err.find("positive"), std::string::npos) << err;
+    EXPECT_FALSE(parsePlanText(
+        "plan = x\nconfigs = EOLE_4_64\nrunlen EOLE_4_64 = ten\n",
+        "f.plan", &plan, &err));
+    EXPECT_NE(err.find("positive"), std::string::npos) << err;
+
+    // Missing config name.
+    EXPECT_FALSE(parsePlanText(
+        "plan = x\nconfigs = EOLE_4_64\nrunlen = 100\n", "f.plan",
+        &plan, &err));
+    EXPECT_NE(err.find("needs a config name"), std::string::npos) << err;
+
+    // Duplicates would silently shadow the earlier value.
+    EXPECT_FALSE(parsePlanText(
+        "plan = x\nconfigs = EOLE_4_64\nrunlen EOLE_4_64 = 100\n"
+        "runlen EOLE_4_64 = 200\n", "f.plan", &plan, &err));
+    EXPECT_NE(err.find("declared twice"), std::string::npos) << err;
+}
+
+TEST(PlanFile, RunlenDirectiveDrivesTheSweep)
+{
+    // End to end: the overridden config's cell really runs N measured
+    // µ-ops while its sibling keeps the plan-level length.
+    ExperimentPlan plan;
+    std::string err;
+    ASSERT_TRUE(parsePlanText(
+        "plan = rl\nconfigs = Baseline_6_64, EOLE_4_64\n"
+        "workloads = 164.gzip\nwarmup = 1000\nmeasure = 2000\n"
+        "runlen EOLE_4_64 = 4000\n",
+        "rl.plan", &plan, &err)) << err;
+    const PlanResult res = runPlan(plan);
+    const RunResult *base = res.find("Baseline_6_64", "164.gzip");
+    const RunResult *eole = res.find("EOLE_4_64", "164.gzip");
+    ASSERT_NE(base, nullptr);
+    ASSERT_NE(eole, nullptr);
+    // run() overshoots by at most one commit group.
+    EXPECT_GE(base->stats.get("committed_uops"), 2000.0);
+    EXPECT_LT(base->stats.get("committed_uops"), 2100.0);
+    EXPECT_GE(eole->stats.get("committed_uops"), 4000.0);
+    EXPECT_LT(eole->stats.get("committed_uops"), 4100.0);
 }
 
 TEST(PlanFile, CellNamesNeverContradictTheConfig)
