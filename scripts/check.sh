@@ -7,10 +7,20 @@
 # tests that pin golden values use their own explicit run lengths and
 # are unaffected.
 #
-# Usage: scripts/check.sh [--with-bench] [--tsan] [--sample]
+# Usage: scripts/check.sh [--with-bench] [--bench] [--tsan] [--sample]
 #   --with-bench   also run the fig13 modularity bench (stage-swap
 #                  self-check + the EOLE/OLE/EOE grid) on the short
 #                  run lengths.
+#   --bench        simulator-speed regression gate: run `eole bench`
+#                  on a reduced budget and `--compare` against the
+#                  committed BENCH_pr6.json trajectory file,
+#                  `--fail-below 0.8` (fail on a >20% geomean
+#                  regression). The committed baseline was measured
+#                  on the reference CI host; on other machines, or
+#                  when the build is a Debug build, the gate demotes
+#                  to a warning (set EOLE_BENCH_BASELINE to a
+#                  locally-recorded artifact for a hard gate
+#                  anywhere).
 #   --tsan         additionally build with ThreadSanitizer
 #                  (-DEOLE_TSAN=ON, build-tsan/) and run the sweep
 #                  engine + torture + sampling suites under it, plus
@@ -49,11 +59,13 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 TEST_TIMEOUT="${EOLE_TEST_TIMEOUT:-600}"
 
 WITH_BENCH=0
+WITH_SPEED_GATE=0
 WITH_TSAN=0
 WITH_SAMPLE=0
 for arg in "$@"; do
     case "$arg" in
       --with-bench) WITH_BENCH=1 ;;
+      --bench) WITH_SPEED_GATE=1 ;;
       --tsan) WITH_TSAN=1 ;;
       --sample) WITH_SAMPLE=1 ;;
       *)
@@ -111,6 +123,34 @@ echo "check.sh: plan-file artifact byte-identical to compiled plan"
 
 if [[ "$WITH_BENCH" == 1 ]]; then
     ./build/fig13_modularity
+fi
+
+if [[ "$WITH_SPEED_GATE" == 1 ]]; then
+    echo "check.sh: simulator-speed regression gate"
+    BENCH_BASELINE="${EOLE_BENCH_BASELINE:-BENCH_pr6.json}"
+    # Reduced budget: µops/sec is a rate, so a 200k-µop measurement is
+    # comparable to the committed 1M-µop baseline, just noisier — which
+    # is why the threshold is a full 20%.
+    if ! ./build/eole bench --budget 200000 --warmup 20000 --reps 2 \
+         --label ci --quiet --out build/bench_ci.json; then
+        echo "check.sh: eole bench FAILED" >&2
+        exit 1
+    fi
+    BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+                      build/CMakeCache.txt)"
+    if [[ "$BUILD_TYPE" == "Debug" || -n "${EOLE_BENCH_SOFT:-}" ]]; then
+        # Debug builds (or an explicitly soft run) report but never
+        # fail: absolute µops/sec is meaningless without optimization.
+        ./build/eole bench --compare "$BENCH_BASELINE" \
+            build/bench_ci.json \
+          || echo "check.sh: WARNING: bench below baseline" \
+                  "(soft: build type '$BUILD_TYPE')" >&2
+    elif ! ./build/eole bench --compare "$BENCH_BASELINE" \
+           build/bench_ci.json --fail-below 0.8; then
+        echo "check.sh: simulator speed regressed >20% vs" \
+             "$BENCH_BASELINE" >&2
+        exit 1
+    fi
 fi
 
 if [[ "$WITH_SAMPLE" == 1 ]]; then
