@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fpc.dir/bench/abl_fpc.cc.o"
+  "CMakeFiles/abl_fpc.dir/bench/abl_fpc.cc.o.d"
+  "abl_fpc"
+  "abl_fpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_predictors.dir/bench/abl_predictors.cc.o"
+  "CMakeFiles/abl_predictors.dir/bench/abl_predictors.cc.o.d"
+  "abl_predictors"
+  "abl_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

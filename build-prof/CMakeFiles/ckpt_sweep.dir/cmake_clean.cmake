@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_sweep.dir/examples/ckpt_sweep.cpp.o"
+  "CMakeFiles/ckpt_sweep.dir/examples/ckpt_sweep.cpp.o.d"
+  "ckpt_sweep"
+  "ckpt_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/branch_unit.cc" "CMakeFiles/eole.dir/src/bpred/branch_unit.cc.o" "gcc" "CMakeFiles/eole.dir/src/bpred/branch_unit.cc.o.d"
+  "/root/repo/src/bpred/tage.cc" "CMakeFiles/eole.dir/src/bpred/tage.cc.o" "gcc" "CMakeFiles/eole.dir/src/bpred/tage.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/eole.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/eole.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/isa/checkpoint.cc" "CMakeFiles/eole.dir/src/isa/checkpoint.cc.o" "gcc" "CMakeFiles/eole.dir/src/isa/checkpoint.cc.o.d"
+  "/root/repo/src/isa/frozen_trace.cc" "CMakeFiles/eole.dir/src/isa/frozen_trace.cc.o" "gcc" "CMakeFiles/eole.dir/src/isa/frozen_trace.cc.o.d"
+  "/root/repo/src/isa/functional.cc" "CMakeFiles/eole.dir/src/isa/functional.cc.o" "gcc" "CMakeFiles/eole.dir/src/isa/functional.cc.o.d"
+  "/root/repo/src/isa/kernel_vm.cc" "CMakeFiles/eole.dir/src/isa/kernel_vm.cc.o" "gcc" "CMakeFiles/eole.dir/src/isa/kernel_vm.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "CMakeFiles/eole.dir/src/mem/cache.cc.o" "gcc" "CMakeFiles/eole.dir/src/mem/cache.cc.o.d"
+  "/root/repo/src/pipeline/core.cc" "CMakeFiles/eole.dir/src/pipeline/core.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/core.cc.o.d"
+  "/root/repo/src/pipeline/core_stats.cc" "CMakeFiles/eole.dir/src/pipeline/core_stats.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/core_stats.cc.o.d"
+  "/root/repo/src/pipeline/pipeline_state.cc" "CMakeFiles/eole.dir/src/pipeline/pipeline_state.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/pipeline_state.cc.o.d"
+  "/root/repo/src/pipeline/stages/commit.cc" "CMakeFiles/eole.dir/src/pipeline/stages/commit.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/stages/commit.cc.o.d"
+  "/root/repo/src/pipeline/stages/completion.cc" "CMakeFiles/eole.dir/src/pipeline/stages/completion.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/stages/completion.cc.o.d"
+  "/root/repo/src/pipeline/stages/dispatch.cc" "CMakeFiles/eole.dir/src/pipeline/stages/dispatch.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/stages/dispatch.cc.o.d"
+  "/root/repo/src/pipeline/stages/fetch.cc" "CMakeFiles/eole.dir/src/pipeline/stages/fetch.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/stages/fetch.cc.o.d"
+  "/root/repo/src/pipeline/stages/issue.cc" "CMakeFiles/eole.dir/src/pipeline/stages/issue.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/stages/issue.cc.o.d"
+  "/root/repo/src/pipeline/stages/levt.cc" "CMakeFiles/eole.dir/src/pipeline/stages/levt.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/stages/levt.cc.o.d"
+  "/root/repo/src/pipeline/stages/pipeline_builder.cc" "CMakeFiles/eole.dir/src/pipeline/stages/pipeline_builder.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/stages/pipeline_builder.cc.o.d"
+  "/root/repo/src/pipeline/stages/rename.cc" "CMakeFiles/eole.dir/src/pipeline/stages/rename.cc.o" "gcc" "CMakeFiles/eole.dir/src/pipeline/stages/rename.cc.o.d"
+  "/root/repo/src/sim/artifact.cc" "CMakeFiles/eole.dir/src/sim/artifact.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/artifact.cc.o.d"
+  "/root/repo/src/sim/bench.cc" "CMakeFiles/eole.dir/src/sim/bench.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/bench.cc.o.d"
+  "/root/repo/src/sim/configs.cc" "CMakeFiles/eole.dir/src/sim/configs.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/configs.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "CMakeFiles/eole.dir/src/sim/experiment.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/params.cc" "CMakeFiles/eole.dir/src/sim/params.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/params.cc.o.d"
+  "/root/repo/src/sim/plan.cc" "CMakeFiles/eole.dir/src/sim/plan.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/plan.cc.o.d"
+  "/root/repo/src/sim/planfile.cc" "CMakeFiles/eole.dir/src/sim/planfile.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/planfile.cc.o.d"
+  "/root/repo/src/sim/plans.cc" "CMakeFiles/eole.dir/src/sim/plans.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/plans.cc.o.d"
+  "/root/repo/src/sim/sample/sample.cc" "CMakeFiles/eole.dir/src/sim/sample/sample.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/sample/sample.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "CMakeFiles/eole.dir/src/sim/sweep.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/sweep.cc.o.d"
+  "/root/repo/src/sim/trace_cache.cc" "CMakeFiles/eole.dir/src/sim/trace_cache.cc.o" "gcc" "CMakeFiles/eole.dir/src/sim/trace_cache.cc.o.d"
+  "/root/repo/src/vpred/fcm.cc" "CMakeFiles/eole.dir/src/vpred/fcm.cc.o" "gcc" "CMakeFiles/eole.dir/src/vpred/fcm.cc.o.d"
+  "/root/repo/src/vpred/hybrid.cc" "CMakeFiles/eole.dir/src/vpred/hybrid.cc.o" "gcc" "CMakeFiles/eole.dir/src/vpred/hybrid.cc.o.d"
+  "/root/repo/src/vpred/stride.cc" "CMakeFiles/eole.dir/src/vpred/stride.cc.o" "gcc" "CMakeFiles/eole.dir/src/vpred/stride.cc.o.d"
+  "/root/repo/src/vpred/value_predictor.cc" "CMakeFiles/eole.dir/src/vpred/value_predictor.cc.o" "gcc" "CMakeFiles/eole.dir/src/vpred/value_predictor.cc.o.d"
+  "/root/repo/src/vpred/vtage.cc" "CMakeFiles/eole.dir/src/vpred/vtage.cc.o" "gcc" "CMakeFiles/eole.dir/src/vpred/vtage.cc.o.d"
+  "/root/repo/src/workloads/torture_gen.cc" "CMakeFiles/eole.dir/src/workloads/torture_gen.cc.o" "gcc" "CMakeFiles/eole.dir/src/workloads/torture_gen.cc.o.d"
+  "/root/repo/src/workloads/workload_util.cc" "CMakeFiles/eole.dir/src/workloads/workload_util.cc.o" "gcc" "CMakeFiles/eole.dir/src/workloads/workload_util.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "CMakeFiles/eole.dir/src/workloads/workloads.cc.o" "gcc" "CMakeFiles/eole.dir/src/workloads/workloads.cc.o.d"
+  "/root/repo/src/workloads/workloads_fp.cc" "CMakeFiles/eole.dir/src/workloads/workloads_fp.cc.o" "gcc" "CMakeFiles/eole.dir/src/workloads/workloads_fp.cc.o.d"
+  "/root/repo/src/workloads/workloads_int.cc" "CMakeFiles/eole.dir/src/workloads/workloads_int.cc.o" "gcc" "CMakeFiles/eole.dir/src/workloads/workloads_int.cc.o.d"
+  "/root/repo/src/workloads/workloads_int2.cc" "CMakeFiles/eole.dir/src/workloads/workloads_int2.cc.o" "gcc" "CMakeFiles/eole.dir/src/workloads/workloads_int2.cc.o.d"
+  "/root/repo/src/workloads/workloads_micro.cc" "CMakeFiles/eole.dir/src/workloads/workloads_micro.cc.o" "gcc" "CMakeFiles/eole.dir/src/workloads/workloads_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

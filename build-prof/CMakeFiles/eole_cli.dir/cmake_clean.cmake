@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eole_cli.dir/src/tools/eole_main.cc.o"
+  "CMakeFiles/eole_cli.dir/src/tools/eole_main.cc.o.d"
+  "eole"
+  "eole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eole_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_early_exec.dir/bench/fig02_early_exec.cc.o"
+  "CMakeFiles/fig02_early_exec.dir/bench/fig02_early_exec.cc.o.d"
+  "fig02_early_exec"
+  "fig02_early_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_early_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_late_exec.dir/bench/fig04_late_exec.cc.o"
+  "CMakeFiles/fig04_late_exec.dir/bench/fig04_late_exec.cc.o.d"
+  "fig04_late_exec"
+  "fig04_late_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_late_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_vp_speedup.dir/bench/fig06_vp_speedup.cc.o"
+  "CMakeFiles/fig06_vp_speedup.dir/bench/fig06_vp_speedup.cc.o.d"
+  "fig06_vp_speedup"
+  "fig06_vp_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_vp_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

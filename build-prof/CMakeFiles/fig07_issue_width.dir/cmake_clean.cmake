@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_issue_width.dir/bench/fig07_issue_width.cc.o"
+  "CMakeFiles/fig07_issue_width.dir/bench/fig07_issue_width.cc.o.d"
+  "fig07_issue_width"
+  "fig07_issue_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_issue_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_iq_size.dir/bench/fig08_iq_size.cc.o"
+  "CMakeFiles/fig08_iq_size.dir/bench/fig08_iq_size.cc.o.d"
+  "fig08_iq_size"
+  "fig08_iq_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_iq_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

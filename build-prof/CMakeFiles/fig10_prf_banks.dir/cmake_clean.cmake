@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_prf_banks.dir/bench/fig10_prf_banks.cc.o"
+  "CMakeFiles/fig10_prf_banks.dir/bench/fig10_prf_banks.cc.o.d"
+  "fig10_prf_banks"
+  "fig10_prf_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_prf_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

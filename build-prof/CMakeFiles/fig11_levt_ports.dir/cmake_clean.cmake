@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_levt_ports.dir/bench/fig11_levt_ports.cc.o"
+  "CMakeFiles/fig11_levt_ports.dir/bench/fig11_levt_ports.cc.o.d"
+  "fig11_levt_ports"
+  "fig11_levt_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_levt_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_modularity.dir/bench/fig13_modularity.cc.o"
+  "CMakeFiles/fig13_modularity.dir/bench/fig13_modularity.cc.o.d"
+  "fig13_modularity"
+  "fig13_modularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

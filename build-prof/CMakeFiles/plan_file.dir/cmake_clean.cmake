@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_file.dir/examples/plan_file.cpp.o"
+  "CMakeFiles/plan_file.dir/examples/plan_file.cpp.o.d"
+  "plan_file"
+  "plan_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

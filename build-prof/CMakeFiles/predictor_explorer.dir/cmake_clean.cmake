@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_explorer.dir/examples/predictor_explorer.cpp.o"
+  "CMakeFiles/predictor_explorer.dir/examples/predictor_explorer.cpp.o.d"
+  "predictor_explorer"
+  "predictor_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_validation.dir/bench/sample_validation.cc.o"
+  "CMakeFiles/sample_validation.dir/bench/sample_validation.cc.o.d"
+  "sample_validation"
+  "sample_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

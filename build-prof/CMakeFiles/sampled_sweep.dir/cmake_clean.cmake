@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampled_sweep.dir/examples/sampled_sweep.cpp.o"
+  "CMakeFiles/sampled_sweep.dir/examples/sampled_sweep.cpp.o.d"
+  "sampled_sweep"
+  "sampled_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampled_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

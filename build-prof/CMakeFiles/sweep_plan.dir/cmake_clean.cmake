@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_plan.dir/examples/sweep_plan.cpp.o"
+  "CMakeFiles/sweep_plan.dir/examples/sweep_plan.cpp.o.d"
+  "sweep_plan"
+  "sweep_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

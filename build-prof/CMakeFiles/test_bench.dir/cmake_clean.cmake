@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench.dir/tests/test_bench.cc.o"
+  "CMakeFiles/test_bench.dir/tests/test_bench.cc.o.d"
+  "test_bench"
+  "test_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

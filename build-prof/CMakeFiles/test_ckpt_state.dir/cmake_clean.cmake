@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt_state.dir/tests/test_ckpt_state.cc.o"
+  "CMakeFiles/test_ckpt_state.dir/tests/test_ckpt_state.cc.o.d"
+  "test_ckpt_state"
+  "test_ckpt_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eole.dir/tests/test_eole.cc.o"
+  "CMakeFiles/test_eole.dir/tests/test_eole.cc.o.d"
+  "test_eole"
+  "test_eole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

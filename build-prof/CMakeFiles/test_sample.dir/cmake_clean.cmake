@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample.dir/tests/test_sample.cc.o"
+  "CMakeFiles/test_sample.dir/tests/test_sample.cc.o.d"
+  "test_sample"
+  "test_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

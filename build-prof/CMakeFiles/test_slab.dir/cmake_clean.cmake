@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slab.dir/tests/test_slab.cc.o"
+  "CMakeFiles/test_slab.dir/tests/test_slab.cc.o.d"
+  "test_slab"
+  "test_slab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_torture.dir/tests/test_torture.cc.o"
+  "CMakeFiles/test_torture.dir/tests/test_torture.cc.o.d"
+  "test_torture"
+  "test_torture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

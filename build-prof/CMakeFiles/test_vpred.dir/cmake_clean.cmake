@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpred.dir/tests/test_vpred.cc.o"
+  "CMakeFiles/test_vpred.dir/tests/test_vpred.cc.o.d"
+  "test_vpred"
+  "test_vpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

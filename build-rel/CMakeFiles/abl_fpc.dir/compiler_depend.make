@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_fpc.
+# This may be replaced when dependencies are built.
