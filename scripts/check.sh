@@ -8,12 +8,15 @@
 # are unaffected.
 #
 # Usage: scripts/check.sh [--with-bench] [--bench] [--tsan] [--sample]
+#                         [--shard]
 #   --with-bench   also run the fig13 modularity bench (stage-swap
 #                  self-check + the EOLE/OLE/EOE grid) on the short
 #                  run lengths.
 #   --bench        simulator-speed regression gate: run `eole bench`
 #                  on a reduced budget and `--compare` against the
-#                  committed BENCH_pr6.json trajectory file,
+#                  newest committed BENCH_*.json trajectory file
+#                  (by commit date, so the gate tracks the latest
+#                  trajectory point instead of a hardcoded name),
 #                  `--fail-below 0.8` (fail on a >20% geomean
 #                  regression). The committed baseline was measured
 #                  on the reference CI host; on other machines, or
@@ -21,6 +24,13 @@
 #                  to a warning (set EOLE_BENCH_BASELINE to a
 #                  locally-recorded artifact for a hard gate
 #                  anywhere).
+#   --shard        sharded-sweep lane: run the smoke plan as 3
+#                  `eole shard` slices, `eole merge` them and require
+#                  the merged artifact byte-identical to the
+#                  single-host run; then run it twice against a fresh
+#                  `--store` and require the warm re-run to report
+#                  every cell cached (0 computed) with an artifact
+#                  byte-identical to the cold one.
 #   --tsan         additionally build with ThreadSanitizer
 #                  (-DEOLE_TSAN=ON, build-tsan/) and run the sweep
 #                  engine + torture + sampling suites under it, plus
@@ -62,12 +72,14 @@ WITH_BENCH=0
 WITH_SPEED_GATE=0
 WITH_TSAN=0
 WITH_SAMPLE=0
+WITH_SHARD=0
 for arg in "$@"; do
     case "$arg" in
       --with-bench) WITH_BENCH=1 ;;
       --bench) WITH_SPEED_GATE=1 ;;
       --tsan) WITH_TSAN=1 ;;
       --sample) WITH_SAMPLE=1 ;;
+      --shard) WITH_SHARD=1 ;;
       *)
         echo "check.sh: unknown option '$arg'" >&2
         exit 2
@@ -127,7 +139,36 @@ fi
 
 if [[ "$WITH_SPEED_GATE" == 1 ]]; then
     echo "check.sh: simulator-speed regression gate"
-    BENCH_BASELINE="${EOLE_BENCH_BASELINE:-BENCH_pr6.json}"
+    # Baseline: EOLE_BENCH_BASELINE when set, else the newest committed
+    # BENCH_*.json by commit date — the latest point of the trajectory,
+    # so the gate never pins a stale (or deleted) artifact by name.
+    BENCH_BASELINE="${EOLE_BENCH_BASELINE:-}"
+    if [[ -n "$BENCH_BASELINE" && ! -f "$BENCH_BASELINE" ]]; then
+        echo "check.sh: EOLE_BENCH_BASELINE=$BENCH_BASELINE does not" \
+             "exist" >&2
+        exit 2
+    fi
+    if [[ -z "$BENCH_BASELINE" ]]; then
+        newest_ts=0
+        # ls-files is sorted, so >= makes same-commit ties resolve to
+        # the lexicographically last name — the newest snapshot when a
+        # trajectory lands in one commit (baseline, pr6, ...).
+        while IFS= read -r f; do
+            ts="$(git log -1 --format=%ct -- "$f" 2>/dev/null || echo 0)"
+            if [[ "${ts:-0}" -ge "$newest_ts" ]]; then
+                newest_ts="$ts"
+                BENCH_BASELINE="$f"
+            fi
+        done < <(git ls-files 'BENCH_*.json')
+        if [[ -z "$BENCH_BASELINE" ]]; then
+            echo "check.sh: no committed BENCH_*.json baseline found;" \
+                 "record one with \`eole bench --out BENCH_<label>.json\`" \
+                 "and commit it, or set EOLE_BENCH_BASELINE" >&2
+            exit 2
+        fi
+        echo "check.sh: bench baseline $BENCH_BASELINE" \
+             "(newest committed BENCH_*.json)"
+    fi
     # Reduced budget: µops/sec is a rate, so a 200k-µop measurement is
     # comparable to the committed 1M-µop baseline, just noisier — which
     # is why the threshold is a full 20%.
@@ -207,6 +248,80 @@ if [[ "$WITH_SAMPLE" == 1 ]]; then
           --target test_sample test_ckpt_state test_torture test_slab
     run_ctest build-asan \
         -R '^(test_sample|test_ckpt_state|test_torture|test_slab)$'
+fi
+
+if [[ "$WITH_SHARD" == 1 ]]; then
+    echo "check.sh: sharded-sweep lane (3 shards + merge + store)"
+    rm -rf build/shardlane
+    mkdir -p build/shardlane
+    if ! ./build/eole run smoke --quiet --no-tables \
+         --out build/shardlane/single.json; then
+        echo "check.sh: single-host smoke run FAILED" >&2
+        exit 1
+    fi
+    for i in 0 1 2; do
+        if ! ./build/eole shard smoke --hosts 3 --host "$i" --quiet \
+             --out build/shardlane; then
+            echo "check.sh: eole shard --host $i FAILED" >&2
+            exit 1
+        fi
+    done
+    if ! ./build/eole merge build/shardlane/smoke.shard*.eoleshard \
+         --out build/shardlane/merged.json --quiet; then
+        echo "check.sh: eole merge FAILED" >&2
+        exit 1
+    fi
+    if ! cmp build/shardlane/single.json build/shardlane/merged.json;
+    then
+        echo "check.sh: merged shard artifact differs from the" \
+             "single-host artifact" >&2
+        exit 1
+    fi
+    echo "check.sh: merge of 3 shards byte-identical to single host"
+
+    # Content-addressed store: a cold run computes every cell, a warm
+    # re-run must compute none and still produce the same bytes.
+    rm -rf build/shardlane/store
+    if ! ./build/eole run smoke --quiet --no-tables \
+         --store build/shardlane/store \
+         --out build/shardlane/cold.json \
+         2> build/shardlane/cold.err; then
+        cat build/shardlane/cold.err >&2
+        echo "check.sh: cold --store run FAILED" >&2
+        exit 1
+    fi
+    if ! grep -q 'store .*: 0 cached, 4 computed' \
+         build/shardlane/cold.err; then
+        cat build/shardlane/cold.err >&2
+        echo "check.sh: cold --store run did not compute all 4 cells" >&2
+        exit 1
+    fi
+    if ! ./build/eole run smoke --quiet --no-tables \
+         --store build/shardlane/store \
+         --out build/shardlane/warm.json \
+         2> build/shardlane/warm.err; then
+        cat build/shardlane/warm.err >&2
+        echo "check.sh: warm --store run FAILED" >&2
+        exit 1
+    fi
+    if ! grep -q 'store .*: 4 cached, 0 computed' \
+         build/shardlane/warm.err; then
+        cat build/shardlane/warm.err >&2
+        echo "check.sh: warm --store re-run recomputed cells (want" \
+             "all 4 cached, 0 computed)" >&2
+        exit 1
+    fi
+    if ! cmp build/shardlane/cold.json build/shardlane/warm.json; then
+        echo "check.sh: warm-store artifact differs from cold" >&2
+        exit 1
+    fi
+    if ! ./build/eole store ls build/shardlane/store \
+         | grep -q '^4 object(s)'; then
+        echo "check.sh: eole store ls does not show 4 objects" >&2
+        exit 1
+    fi
+    echo "check.sh: warm store re-run served all 4 cells from cache," \
+         "byte-identical"
 fi
 
 if [[ "$WITH_TSAN" == 1 ]]; then

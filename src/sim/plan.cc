@@ -140,6 +140,30 @@ jobSeed(std::uint64_t plan_seed, std::uint64_t config_seed,
 }
 
 std::uint64_t
+shardOfCell(std::uint64_t plan_seed, std::uint64_t config_seed,
+            const std::string &config, const std::string &workload,
+            std::uint64_t hosts)
+{
+    fatal_if(hosts == 0, "shardOfCell: hosts must be positive");
+    // Remix the cell seed once more so the shard assignment shares no
+    // low-bit structure with the seed streams the cell actually runs
+    // with (a cell's shard must not correlate with its measurements).
+    return mix64(jobSeed(plan_seed, config_seed, config, workload))
+        % hosts;
+}
+
+bool
+ShardSlice::owns(std::uint64_t plan_seed, std::uint64_t config_seed,
+                 const std::string &config,
+                 const std::string &workload) const
+{
+    if (!enabled())
+        return true;
+    return shardOfCell(plan_seed, config_seed, config, workload, hosts)
+        == host;
+}
+
+std::uint64_t
 maxInflightUops(const ExperimentPlan &plan)
 {
     std::uint64_t worst = 0;

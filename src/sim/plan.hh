@@ -81,6 +81,41 @@ std::string sampleSpecString(const SampleSpec &spec);
 SampleSpec resolveSampleSpec(const SampleSpec &option_spec,
                              const SampleSpec &plan_spec);
 
+/**
+ * One host's slice of a sharded sweep (sim/shard.hh, `eole shard`):
+ * cells whose shardOfCell lands on @c host run here, every other cell
+ * is skipped. The default (hosts == 0) disables sharding. Ownership is
+ * a pure function of the plan seed and the cell identity, so N hosts
+ * can each compute their own slice with no coordinator and no two
+ * hosts ever run (or miss) the same cell.
+ */
+struct ShardSlice
+{
+    std::uint64_t hosts = 0;  //!< total hosts (0 = sharding disabled)
+    std::uint64_t host = 0;   //!< this host's index in [0, hosts)
+
+    bool enabled() const { return hosts > 0; }
+
+    /** Does this slice own the cell? True for every cell when
+     *  disabled. */
+    bool owns(std::uint64_t plan_seed, std::uint64_t config_seed,
+              const std::string &config,
+              const std::string &workload) const;
+};
+
+/**
+ * Deterministic shard assignment of one cell: a pure function of the
+ * plan seed and the cell identity (the jobSeed inputs), remixed so the
+ * partition is decorrelated from the random streams the cell runs
+ * with, reduced mod @p hosts. Stable across platforms, filters and
+ * enumeration order — the foundation of coordinator-free sharding.
+ */
+std::uint64_t shardOfCell(std::uint64_t plan_seed,
+                          std::uint64_t config_seed,
+                          const std::string &config,
+                          const std::string &workload,
+                          std::uint64_t hosts);
+
 /** One paper-style table over the grid (see printPlanTables). */
 struct TableSpec
 {

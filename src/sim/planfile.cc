@@ -283,6 +283,10 @@ parsePlanText(const std::string &text, const std::string &origin,
             }
         } else if (directive == "table") {
             // table <stat> "<title>" [normalize=<config>]
+            //       [columns=<config>,<config>,...]
+            // Clauses cover every TableSpec field; columns= controls
+            // column selection and order (default: every config minus
+            // the normalizer, in plan order).
             TableSpec spec;
             std::istringstream rest(line.substr(word_end));
             rest >> spec.stat;
@@ -296,10 +300,48 @@ parsePlanText(const std::string &text, const std::string &origin,
                 spec.title = tail.substr(1, close - 1);
                 tail = trim(tail.substr(close + 1));
             }
-            if (tail.rfind("normalize=", 0) == 0)
-                spec.normalizeTo = trim(tail.substr(10));
-            else if (!tail.empty())
-                return fail(lineno, "bad table clause \"" + tail + "\"");
+            std::istringstream clauses(tail);
+            std::string clause;
+            while (clauses >> clause) {
+                // Split on the FIRST '=' — axis-derived config names
+                // embed '=' and are legal clause values.
+                const std::size_t ceq = clause.find('=');
+                if (ceq == std::string::npos || ceq == 0) {
+                    return fail(lineno, "bad table clause \"" + clause
+                                + "\" (want <key>=<value>)");
+                }
+                const std::string key = clause.substr(0, ceq);
+                const std::string cval = clause.substr(ceq + 1);
+                if (key == "normalize") {
+                    if (!spec.normalizeTo.empty()) {
+                        return fail(lineno, "table normalize= given "
+                                    "twice");
+                    }
+                    if (cval.empty()) {
+                        return fail(lineno, "table normalize= needs a "
+                                    "config name");
+                    }
+                    spec.normalizeTo = cval;
+                } else if (key == "columns") {
+                    if (!spec.columns.empty()) {
+                        return fail(lineno,
+                                    "table columns= given twice");
+                    }
+                    spec.columns = splitList(cval);
+                    if (spec.columns.empty()) {
+                        return fail(lineno, "table columns= needs at "
+                                    "least one config name (comma-"
+                                    "separated, no spaces)");
+                    }
+                } else {
+                    static const std::vector<std::string> clauseNames =
+                        {"normalize", "columns"};
+                    return fail(lineno, "unknown table clause \"" + key
+                                + "\""
+                                + didYouMean(closestMatches(
+                                      key, clauseNames)));
+                }
+            }
             if (spec.stat.empty())
                 return fail(lineno, "table needs a stat name");
             if (spec.title.empty())
@@ -395,10 +437,30 @@ parsePlanText(const std::string &text, const std::string &origin,
                                                         names)));
             }
         }
-        // Columns default to every config (minus the normalizer).
-        for (const SimConfig &c : draft.plan.configs) {
-            if (c.name != spec.normalizeTo)
-                spec.columns.push_back(c.name);
+        if (spec.columns.empty()) {
+            // Columns default to every config (minus the normalizer).
+            for (const SimConfig &c : draft.plan.configs) {
+                if (c.name != spec.normalizeTo)
+                    spec.columns.push_back(c.name);
+            }
+        } else {
+            // Explicit columns= must name configs of this plan
+            // (checked after grid expansion so axis-derived names are
+            // addressable, like runlen targets).
+            for (const std::string &col : spec.columns) {
+                bool colKnown = false;
+                for (const SimConfig &c : draft.plan.configs)
+                    colKnown = colKnown || c.name == col;
+                if (!colKnown) {
+                    std::vector<std::string> names;
+                    for (const SimConfig &c : draft.plan.configs)
+                        names.push_back(c.name);
+                    return fail(line, "table column \"" + col
+                                + "\" is not a config of this plan"
+                                + didYouMean(closestMatches(col,
+                                                            names)));
+                }
+            }
         }
         draft.plan.tables.push_back(spec);
     }

@@ -23,7 +23,13 @@
  *                                 # every config (same as --set)
  *   axis prfBanks = 1, 2, 4, 8    # grid axis over `base`
  *   axis issueWidth = 4, 6        # axes cross-multiply (here: 8 cells)
- *   table ipc "IPC" normalize=EOLE_4_64   # optional paper-style table
+ *   runlen EOLE_4_64 = 200000     # per-config measured-length override
+ *   table ipc "IPC" normalize=EOLE_4_64 columns=EOLE_4_64,Baseline_6_64
+ *                                 # optional paper-style table;
+ *                                 # columns= picks column configs and
+ *                                 # order (comma list, no spaces;
+ *                                 # default: every config minus the
+ *                                 # normalizer)
  *
  * Config names and axis/set keys resolve through configs::findNamed
  * and the parameter registry (sim/params.hh); grid cells are named

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "pipeline/core.hh"
 #include "sim/params.hh"
+#include "sim/store.hh"
 #include "sim/trace_cache.hh"
 #include "workloads/workload.hh"
 
@@ -216,7 +217,10 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
     for (std::size_t c = 0; c < plan.configs.size(); ++c) {
         for (std::size_t w = 0; w < plan.workloads.size(); ++w) {
             if (!cellMatches(options.filter, plan.configs[c].name,
-                             plan.workloads[w]))
+                             plan.workloads[w])
+                || !options.shard.owns(plan.seed, plan.configs[c].seed,
+                                       plan.configs[c].name,
+                                       plan.workloads[w]))
                 continue;
             Cell cell;
             cell.cfg = c;
@@ -241,6 +245,54 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         cells[i].ckpts.resize(cells[i].starts.size());
     }
 
+    // Content-addressed store, serial pre-pass (mirrors runPlan): a
+    // cached cell loads its reduced stats here and expands into no
+    // warming or interval jobs at all — the sample spec is part of
+    // the key, so sampled and full results never alias.
+    const auto cellStoreKey = [&](std::size_t i) {
+        StoreKey key;
+        key.kind = "cell";
+        key.config = out.cells[i].config;
+        key.params = out.cells[i].params;
+        key.workload = out.cells[i].workload;
+        key.seed = out.cells[i].seed;
+        key.warmup = out.warmup;
+        key.measure = resolveMeasureFor(options.measure, plan,
+                                        out.cells[i].config);
+        key.sample = spec;
+        return key;
+    };
+    std::vector<char> cellCached(cells.size(), 0);
+    if (options.store) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const std::string hash = storeKeyHash(cellStoreKey(i));
+            std::string payload;
+            if (!options.store->get(hash, &payload))
+                continue;
+            std::string err;
+            fatal_if(!tryParseCellPayload(payload,
+                                          &out.cells[i].stats, &err),
+                     "store %s: object %s: %s (delete the store "
+                     "directory to rebuild it)",
+                     options.store->directory().c_str(), hash.c_str(),
+                     err.c_str());
+            cellCached[i] = 1;
+            ++out.storeHits;
+        }
+    }
+    const auto storeFinish = [&] {
+        if (!options.store)
+            return;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cellCached[i])
+                continue;
+            options.store->put(cellStoreKey(i),
+                               cellPayloadText(out.cells[i].stats));
+            ++out.storeComputed;
+        }
+        options.store->flush();
+    };
+
     // Flatten (cell, interval) into the job list, workload-major like
     // the full-run engine so trace sharing clusters per workload; the
     // warm-once warming pass adds one phase-1 job per cell in the
@@ -255,7 +307,7 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
     std::vector<std::size_t> jobsPerWorkload(plan.workloads.size(), 0);
     for (std::size_t w = 0; w < plan.workloads.size(); ++w) {
         for (std::size_t i = 0; i < cells.size(); ++i) {
-            if (cells[i].wl != w)
+            if (cells[i].wl != w || cellCached[i])
                 continue;
             if (warmOnce && !cells[i].starts.empty()) {
                 warmJobs.push_back(i);
@@ -267,8 +319,10 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
             }
         }
     }
-    if (jobs.empty())
+    if (jobs.empty()) {
+        storeFinish();
         return out;
+    }
 
     // The degenerate single interval of a too-short region may run
     // past warmup+measure; size recordings for the furthest fetch any
@@ -452,7 +506,11 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
     });
 
     // Reduce each cell in slot order (deterministic float order).
+    // Cached cells carry their reduced stats already (store pre-pass)
+    // and must not be re-reduced from their empty interval slots.
     for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cellCached[i])
+            continue;
         RunResult &rr = out.cells[i];
         std::vector<double> ipcs;
         std::uint64_t cycles = 0, committed = 0, warmed = 0;
@@ -484,6 +542,7 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         rr.stats.add("sample_restored_intervals",
                      static_cast<double>(restored));
     }
+    storeFinish();
     return out;
 }
 

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "pipeline/core.hh"
 #include "sim/params.hh"
+#include "sim/store.hh"
 #include "sim/trace_cache.hh"
 #include "workloads/workload.hh"
 
@@ -92,10 +93,19 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
     };
     std::vector<Job> jobs;
     std::vector<std::size_t> jobsPerWorkload(plan.workloads.size(), 0);
+    // A shard slice behaves exactly like a filter: unowned cells never
+    // expand into jobs, slots or artifact cells (sim/shard.hh carries
+    // the global slot numbering partial artifacts merge by).
+    const auto matched = [&](std::size_t c, std::size_t w) {
+        return cellMatches(options.filter, plan.configs[c].name,
+                           plan.workloads[w])
+            && options.shard.owns(plan.seed, plan.configs[c].seed,
+                                  plan.configs[c].name,
+                                  plan.workloads[w]);
+    };
     for (std::size_t w = 0; w < plan.workloads.size(); ++w) {
         for (std::size_t c = 0; c < plan.configs.size(); ++c) {
-            if (cellMatches(options.filter, plan.configs[c].name,
-                            plan.workloads[w])) {
+            if (matched(c, w)) {
                 jobs.push_back(Job{c, w, 0});
                 ++jobsPerWorkload[w];
             }
@@ -127,8 +137,74 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
         // field above; the map records the config's own seed knob).
         cell.params = configKeyValues(plan.configs[j.cfg]);
     }
-    if (jobs.empty())
+
+    // Content-addressed store, serial pre-pass: a cell whose key (the
+    // complete canonical inputs — config map, workload, seed, resolved
+    // lengths; sim/store.hh) already resolves loads its stats and
+    // sheds its job. The payload round-trips %.17g-exactly, so hit
+    // cells and computed cells serialize byte-identically.
+    std::vector<std::string> cellKey(out.cells.size());
+    std::vector<char> cellCached(out.cells.size(), 0);
+    if (options.store) {
+        for (std::size_t i = 0; i < out.cells.size(); ++i) {
+            RunResult &cell = out.cells[i];
+            StoreKey key;
+            key.kind = "cell";
+            key.config = cell.config;
+            key.params = cell.params;
+            key.workload = cell.workload;
+            key.seed = cell.seed;
+            key.warmup = out.warmup;
+            key.measure =
+                resolveMeasureFor(options.measure, plan, cell.config);
+            cellKey[i] = storeKeyHash(key);
+            std::string payload;
+            if (!options.store->get(cellKey[i], &payload))
+                continue;
+            std::string err;
+            fatal_if(!tryParseCellPayload(payload, &cell.stats, &err),
+                     "store %s: object %s: %s (delete the store "
+                     "directory to rebuild it)",
+                     options.store->directory().c_str(),
+                     cellKey[i].c_str(), err.c_str());
+            cellCached[i] = 1;
+            ++out.storeHits;
+        }
+        std::erase_if(jobs, [&](const Job &j) {
+            if (!cellCached[j.slot])
+                return false;
+            --jobsPerWorkload[j.wl];
+            return true;
+        });
+    }
+    // Serial post-pass, shared by both exits below: freshly computed
+    // cells enter the store under the keys derived above.
+    const auto storeFinish = [&] {
+        if (!options.store)
+            return;
+        for (std::size_t i = 0; i < out.cells.size(); ++i) {
+            if (cellCached[i])
+                continue;
+            StoreKey key;
+            key.kind = "cell";
+            key.config = out.cells[i].config;
+            key.params = out.cells[i].params;
+            key.workload = out.cells[i].workload;
+            key.seed = out.cells[i].seed;
+            key.warmup = out.warmup;
+            key.measure = resolveMeasureFor(options.measure, plan,
+                                            out.cells[i].config);
+            options.store->put(key,
+                               cellPayloadText(out.cells[i].stats));
+            ++out.storeComputed;
+        }
+        options.store->flush();
+    };
+
+    if (jobs.empty()) {
+        storeFinish();
         return out;
+    }
 
     // Trace-cache sizing: the stream a job consumes is bounded by the
     // committed target of both run() calls plus the in-flight window.
@@ -181,6 +257,7 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
             options.progress(finished, jobs.size(), cell);
         }
     });
+    storeFinish();
     return out;
 }
 

@@ -30,6 +30,8 @@
 
 namespace eole {
 
+class Store;
+
 /** Knobs for one runPlan invocation (CLI flags map 1:1 onto these). */
 struct SweepOptions
 {
@@ -38,6 +40,22 @@ struct SweepOptions
     std::uint64_t warmup = 0;  //!< µ-ops; 0 = plan, then EOLE_WARMUP
     std::uint64_t measure = 0; //!< µ-ops; 0 = plan, then EOLE_INSTS
     bool useTraceCache = true;
+
+    /** Sharded execution (`eole shard`): when enabled, only cells
+     *  this slice owns (ShardSlice::owns, a pure function of plan
+     *  seed + cell identity) run; everything else behaves as if the
+     *  cell were filtered away. */
+    ShardSlice shard;
+
+    /**
+     * Content-addressed result store (`eole run --store DIR`,
+     * sim/store.hh): cells whose key already resolves load their
+     * reduced stats instead of running (byte-identical artifacts —
+     * the payload round-trips exactly), and freshly computed cells
+     * are inserted afterwards. The engines touch the store only from
+     * their serial pre/post phases, never from worker threads.
+     */
+    Store *store = nullptr;
 
     /**
      * Sampling only: force the legacy per-interval re-warming path (as
@@ -64,6 +82,12 @@ struct PlanResult
     std::string filter;
     SampleSpec sample;          //!< disabled for full (unsampled) runs
     std::vector<RunResult> cells;  //!< config-major over matched cells
+
+    /** Store accounting for the run that produced this result (never
+     *  serialized into artifacts — hit and computed cells must stay
+     *  byte-identical). Both zero when no store was attached. */
+    std::size_t storeHits = 0;
+    std::size_t storeComputed = 0;
 
     const RunResult *find(const std::string &config,
                           const std::string &workload) const;

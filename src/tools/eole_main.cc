@@ -4,6 +4,13 @@
  *
  *   eole list [--workloads]           show plans (or workloads)
  *   eole run <plan> [options]         execute a plan on a worker pool
+ *   eole shard <plan> --hosts N --host I   run one host's slice of a
+ *                                     plan (coordinator-free split)
+ *   eole merge <partial...> --out F   merge shard partials into the
+ *                                     single-host artifact, byte-
+ *                                     identical
+ *   eole store ls|gc <dir>            inspect / bound a --store
+ *                                     content-addressed result cache
  *   eole diff <a.json> <b.json>       compare two artifacts
  *   eole bench [--out BENCH_x.json]   time detailed-mode µops/sec
  *                                     (--compare diffs two artifacts)
@@ -27,6 +34,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -45,6 +54,8 @@
 #include "sim/planfile.hh"
 #include "sim/plans.hh"
 #include "sim/sample/sample.hh"
+#include "sim/shard.hh"
+#include "sim/store.hh"
 #include "sim/sweep.hh"
 #include "workloads/workload.hh"
 
@@ -101,14 +112,50 @@ usage(FILE *to, int exit_code)
         "                    interval). Overrides a plan file's\n"
         "                    `sample =` directive. Cells report mean\n"
         "                    ipc + ipc_ci95.\n"
+        "      --store DIR   content-addressed result store: cells\n"
+        "                    whose key (config map, workload, seed,\n"
+        "                    run lengths, sample spec) already\n"
+        "                    resolves in DIR load their stats instead\n"
+        "                    of running, and fresh cells are inserted\n"
+        "                    — artifacts stay byte-identical either\n"
+        "                    way\n"
         "      --no-cache    disable the shared functional-trace cache\n"
         "      --no-tables   skip the paper-style tables\n"
         "      --quiet       no per-job progress on stderr\n"
         "\n"
+        "  eole shard <plan>|--plan <file.plan> --hosts N --host I\n"
+        "            [run options] [--out FILE|DIR]\n"
+        "      Run host I's slice of the plan (I in [0, N)): cell\n"
+        "      ownership is a pure function of the plan seed and the\n"
+        "      cell identity, so N hosts each run `eole shard` with\n"
+        "      their own --host and no coordinator, then ship the\n"
+        "      partial artifacts to one place for `eole merge`. --out\n"
+        "      defaults to <plan>.shard<I>of<N>.eoleshard (a given\n"
+        "      directory keeps that name inside it). Accepts the run\n"
+        "      options above except --csv/--no-tables (partials are\n"
+        "      not meant for human eyes; tables print at merge time).\n"
+        "\n"
+        "  eole merge <partial.eoleshard>... --out <artifact.json>\n"
+        "      Validate and merge shard partials into the JSON\n"
+        "      artifact a single-host `eole run --out` of the same\n"
+        "      plan would have written — byte-identical. Exit 2 with\n"
+        "      a line-numbered diagnostic on a corrupted partial, and\n"
+        "      with a coverage diagnostic when a shard is missing,\n"
+        "      duplicated, or from a different run.\n"
+        "\n"
+        "  eole store ls <dir>\n"
+        "  eole store gc <dir> [--max-objects N] [--max-bytes N]\n"
+        "      Inspect or bound a --store directory. `ls` prints one\n"
+        "      line per object (hash prefix, kind, payload bytes,\n"
+        "      logical LRU tick, cell identity) plus totals; `gc`\n"
+        "      evicts least-recently-used objects until the given\n"
+        "      bounds hold (eviction order is the deterministic\n"
+        "      logical-tick order, not wall time).\n"
+        "\n"
         "  eole ckpt save <plan>|--plan <file.plan> --out <dir>\n"
         "            [--sample N:W:D[:B]] [--filter S] [--jobs N]\n"
         "            [--seed N] [--warmup N] [--insts N] [--set K=V]\n"
-        "            [--no-cache] [--quiet]\n"
+        "            [--store DIR] [--no-cache] [--quiet]\n"
         "      One continuous warming pass per matched (config,\n"
         "      workload) cell, writing an eole-ckpt-v2 checkpoint\n"
         "      file (architectural registers + serialized predictor/\n"
@@ -116,7 +163,10 @@ usage(FILE *to, int exit_code)
         "      same checkpoints `eole run --sample` feeds its\n"
         "      intervals from, as shippable artifacts for other\n"
         "      hosts. The spec comes from --sample or the plan file's\n"
-        "      `sample =` directive (--sample wins).\n"
+        "      `sample =` directive (--sample wins). With --store,\n"
+        "      checkpoints are also keyed into the content-addressed\n"
+        "      store; a cell whose checkpoints all resolve skips its\n"
+        "      warming pass and writes them straight from the store.\n"
         "\n"
         "  eole ckpt info <file.ckpt>...\n"
         "      Validate checkpoint files (strict, line-numbered\n"
@@ -324,8 +374,23 @@ cmdDescribe(int argc, char **argv)
     return 0;
 }
 
+/** File-system-safe spelling of a cell identity component. */
+std::string
+sanitizeForPath(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out) {
+        if (c == '/' || c == '\\' || c == ' ' || c == ':')
+            c = '_';
+    }
+    return out;
+}
+
+/** `eole run` and `eole shard` share one parser and execution path;
+ *  @p shard_mode adds --hosts/--host, forces tables off and writes an
+ *  "eole-shard-v1" partial instead of a JSON artifact. */
 int
-cmdRun(int argc, char **argv)
+cmdRun(int argc, char **argv, bool shard_mode)
 {
     if (argc < 1)
         return usage(stderr, 2);
@@ -350,10 +415,11 @@ cmdRun(int argc, char **argv)
 
     SweepOptions opt;
     SampleSpec sample;
-    std::string out_path, csv_path, value;
+    std::string out_path, csv_path, store_dir, value;
     std::vector<std::string> sets;
     std::uint64_t seed = 0;
-    bool have_seed = false;
+    std::uint64_t shard_hosts = 0, shard_host = 0;
+    bool have_seed = false, have_host = false;
     bool tables = true, quiet = false;
     for (int i = first_opt; i < argc; ++i) {
         if (takeValue(argc, argv, i, "--plan", value)) {
@@ -387,9 +453,19 @@ cmdRun(int argc, char **argv)
             have_seed = true;
         } else if (takeValue(argc, argv, i, "--sample", value)) {
             sample = parseSampleSpec(value);
+        } else if (takeValue(argc, argv, i, "--store", value)) {
+            store_dir = value;
+        } else if (shard_mode
+                   && takeValue(argc, argv, i, "--hosts", value)) {
+            shard_hosts = parseU64(value, "--hosts");
+        } else if (shard_mode
+                   && takeValue(argc, argv, i, "--host", value)) {
+            shard_host = parseU64(value, "--host");
+            have_host = true;
         } else if (std::strcmp(argv[i], "--no-cache") == 0) {
             opt.useTraceCache = false;
-        } else if (std::strcmp(argv[i], "--no-tables") == 0) {
+        } else if (!shard_mode
+                   && std::strcmp(argv[i], "--no-tables") == 0) {
             tables = false;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
@@ -399,9 +475,32 @@ cmdRun(int argc, char **argv)
         }
     }
     if (!have_plan) {
-        std::fprintf(stderr,
-                     "eole: run needs a plan name or --plan <file>\n");
+        std::fprintf(stderr, "eole: %s needs a plan name or --plan "
+                     "<file>\n", shard_mode ? "shard" : "run");
         return usage(stderr, 2);
+    }
+    if (shard_mode) {
+        if (shard_hosts == 0 || !have_host) {
+            std::fprintf(stderr,
+                         "eole: shard needs --hosts N and --host I\n");
+            return 2;
+        }
+        if (shard_host >= shard_hosts) {
+            std::fprintf(stderr,
+                         "eole: --host %llu out of range for --hosts "
+                         "%llu (hosts are numbered from 0)\n",
+                         (unsigned long long)shard_host,
+                         (unsigned long long)shard_hosts);
+            return 2;
+        }
+        if (!csv_path.empty()) {
+            std::fprintf(stderr, "eole: --csv does not apply to shard "
+                         "partials; run it on the merged artifact\n");
+            return 2;
+        }
+        opt.shard.hosts = shard_hosts;
+        opt.shard.host = shard_host;
+        tables = false;
     }
     if (have_seed)
         plan.seed = seed;
@@ -464,24 +563,72 @@ cmdRun(int argc, char **argv)
                          total, cell.config.c_str(),
                          cell.workload.c_str(), cell.ipc());
         };
+        const char *verb = shard_mode ? "shard" : "run";
         if (sample.enabled()) {
             std::fprintf(stderr,
-                         "eole run %s: %zu cells x %llu intervals "
+                         "eole %s %s: %zu cells x %llu intervals "
                          "(sample %s), %d jobs\n",
-                         plan_name.c_str(), plan.gridSize(),
+                         verb, plan_name.c_str(), plan.gridSize(),
                          (unsigned long long)sample.intervals,
                          sampleSpecString(sample).c_str(),
                          opt.jobs > 0 ? opt.jobs : runnerThreads());
         } else {
-            std::fprintf(stderr, "eole run %s: %zu cells, %d jobs\n",
-                         plan_name.c_str(), plan.gridSize(),
+            std::fprintf(stderr, "eole %s %s: %zu cells, %d jobs\n",
+                         verb, plan_name.c_str(), plan.gridSize(),
                          opt.jobs > 0 ? opt.jobs : runnerThreads());
         }
+    }
+
+    std::unique_ptr<Store> store;
+    if (!store_dir.empty()) {
+        store = std::make_unique<Store>(store_dir);
+        opt.store = store.get();
+    }
+    // The one store summary line (always on stderr, even --quiet):
+    // "0 computed" on a warm re-run is the observable contract the CI
+    // shard lane and tests/test_shard.cc pin.
+    const auto storeSummary = [&](std::size_t hits,
+                                  std::size_t computed) {
+        if (store) {
+            std::fprintf(stderr,
+                         "store %s: %zu cached, %zu computed\n",
+                         store_dir.c_str(), hits, computed);
+        }
+    };
+
+    if (shard_mode) {
+        const ShardArtifact shard = runShard(plan, sample, opt);
+        storeSummary(shard.storeHits, shard.storeComputed);
+
+        std::string path = out_path;
+        const std::string default_name = sanitizeForPath(plan_name)
+            + ".shard" + std::to_string(shard_host) + "of"
+            + std::to_string(shard_hosts) + ".eoleshard";
+        if (path.empty())
+            path = default_name;
+        else if (std::filesystem::is_directory(path))
+            path += "/" + default_name;
+        std::ofstream os(path, std::ios::binary);
+        fatal_if(!os, "cannot write %s", path.c_str());
+        writeShardArtifact(os, shard);
+        os.close();
+        fatal_if(os.fail(), "write failure on %s", path.c_str());
+        if (!quiet) {
+            std::fprintf(stderr,
+                         "wrote %s (host %llu of %llu: %zu of %llu "
+                         "cells)\n", path.c_str(),
+                         (unsigned long long)shard_host,
+                         (unsigned long long)shard_hosts,
+                         shard.cells.size(),
+                         (unsigned long long)shard.cellsTotal);
+        }
+        return 0;
     }
 
     const PlanResult result = sample.enabled()
         ? runSampledPlan(plan, sample, opt)
         : runPlan(plan, opt);
+    storeSummary(result.storeHits, result.storeComputed);
 
     if (tables)
         printPlanTables(plan, result);
@@ -504,16 +651,151 @@ cmdRun(int argc, char **argv)
     return 0;
 }
 
-/** File-system-safe spelling of a cell identity component. */
-std::string
-sanitizeForPath(const std::string &s)
+int
+cmdMerge(int argc, char **argv)
 {
-    std::string out = s;
-    for (char &c : out) {
-        if (c == '/' || c == '\\' || c == ' ' || c == ':')
-            c = '_';
+    std::vector<std::string> paths;
+    std::string out_path, value;
+    bool quiet = false;
+    for (int i = 0; i < argc; ++i) {
+        if (takeValue(argc, argv, i, "--out", value)) {
+            out_path = value;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "eole: unknown option %s\n", argv[i]);
+            return usage(stderr, 2);
+        } else {
+            paths.emplace_back(argv[i]);
+        }
     }
-    return out;
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "eole: merge needs shard partial file(s)\n");
+        return usage(stderr, 2);
+    }
+    if (out_path.empty()) {
+        std::fprintf(stderr,
+                     "eole: merge needs --out <artifact.json>\n");
+        return 2;
+    }
+
+    std::vector<ShardArtifact> shards;
+    shards.reserve(paths.size());
+    for (const std::string &p : paths) {
+        std::ifstream is(p, std::ios::binary);
+        if (!is) {
+            std::fprintf(stderr, "eole: cannot read %s\n", p.c_str());
+            return 2;
+        }
+        ShardArtifact shard;
+        std::string err;
+        if (!tryReadShardArtifact(is, &shard, &err)) {
+            std::fprintf(stderr, "eole: %s: %s\n", p.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        shards.push_back(std::move(shard));
+    }
+
+    PlanResult merged;
+    std::string err;
+    if (!tryMergeShardArtifacts(shards, &merged, &err)) {
+        std::fprintf(stderr, "eole: %s\n", err.c_str());
+        return 2;
+    }
+
+    std::ofstream os(out_path);
+    fatal_if(!os, "cannot write %s", out_path.c_str());
+    writeJsonArtifact(os, merged);
+    os.close();
+    fatal_if(os.fail(), "write failure on %s", out_path.c_str());
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "wrote %s (%zu cells from %zu of %llu shard "
+                     "partial(s))\n", out_path.c_str(),
+                     merged.cells.size(), shards.size(),
+                     (unsigned long long)shards.front().hosts);
+    }
+    return 0;
+}
+
+int
+cmdStore(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "eole: store needs ls|gc and a store "
+                     "directory\n");
+        return usage(stderr, 2);
+    }
+    const std::string sub = argv[0];
+    const std::string dir = argv[1];
+    if (sub != "ls" && sub != "gc") {
+        std::fprintf(stderr, "eole: unknown store subcommand \"%s\"\n",
+                     sub.c_str());
+        return usage(stderr, 2);
+    }
+    if (!std::filesystem::exists(dir + "/index")) {
+        std::fprintf(stderr, "eole: %s is not a store directory (no "
+                     "index file)\n", dir.c_str());
+        return 2;
+    }
+
+    if (sub == "ls") {
+        if (argc > 2) {
+            std::fprintf(stderr, "eole: unknown option %s\n", argv[2]);
+            return usage(stderr, 2);
+        }
+        Store store(dir);
+        std::printf("%-14s %-5s %10s %6s  %s\n", "hash", "kind",
+                    "bytes", "tick", "cell");
+        for (const Store::Entry &e : store.entries()) {
+            std::printf("%-14s %-5s %10llu %6llu  %s/%s\n",
+                        e.hash.substr(0, 12).c_str(), e.kind.c_str(),
+                        (unsigned long long)e.bytes,
+                        (unsigned long long)e.tick, e.config.c_str(),
+                        e.workload.c_str());
+        }
+        std::printf("%zu object(s), %llu payload byte(s) in %s\n",
+                    store.entries().size(),
+                    (unsigned long long)store.totalPayloadBytes(),
+                    dir.c_str());
+        return 0;
+    }
+
+    std::uint64_t max_objects = ~0ULL, max_bytes = ~0ULL;
+    std::string value;
+    for (int i = 2; i < argc; ++i) {
+        if (takeValue(argc, argv, i, "--max-objects", value)) {
+            max_objects = parseU64(value, "--max-objects");
+        } else if (takeValue(argc, argv, i, "--max-bytes", value)) {
+            max_bytes = parseU64(value, "--max-bytes");
+        } else {
+            std::fprintf(stderr, "eole: unknown option %s\n", argv[i]);
+            return usage(stderr, 2);
+        }
+    }
+    if (max_objects == ~0ULL && max_bytes == ~0ULL) {
+        std::fprintf(stderr, "eole: store gc needs --max-objects "
+                     "and/or --max-bytes\n");
+        return 2;
+    }
+    Store store(dir);
+    std::vector<Store::Entry> evicted;
+    store.gc(max_objects, max_bytes, &evicted);
+    for (const Store::Entry &e : evicted) {
+        std::printf("evicted %s %s %s/%s (%llu bytes, tick %llu)\n",
+                    e.hash.substr(0, 12).c_str(), e.kind.c_str(),
+                    e.config.c_str(), e.workload.c_str(),
+                    (unsigned long long)e.bytes,
+                    (unsigned long long)e.tick);
+    }
+    std::printf("evicted %zu object(s); %zu object(s), %llu payload "
+                "byte(s) remain in %s\n", evicted.size(),
+                store.entries().size(),
+                (unsigned long long)store.totalPayloadBytes(),
+                dir.c_str());
+    return 0;
 }
 
 int
@@ -539,7 +821,7 @@ cmdCkptSave(int argc, char **argv)
 
     SweepOptions opt;
     SampleSpec sample;
-    std::string out_dir, value;
+    std::string out_dir, store_dir, value;
     std::vector<std::string> sets;
     bool quiet = false;
     for (int i = first_opt; i < argc; ++i) {
@@ -571,6 +853,8 @@ cmdCkptSave(int argc, char **argv)
             opt.measure = parseU64(value, "--insts");
         } else if (takeValue(argc, argv, i, "--set", value)) {
             sets.push_back(value);
+        } else if (takeValue(argc, argv, i, "--store", value)) {
+            store_dir = value;
         } else if (std::strcmp(argv[i], "--no-cache") == 0) {
             opt.useTraceCache = false;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -640,6 +924,10 @@ cmdCkptSave(int argc, char **argv)
         std::uint64_t seed;
         std::vector<std::uint64_t> starts;
         std::vector<std::string> files;  //!< pre-assigned slots
+        /** Serialized checkpoint text per interval (pre-assigned
+         *  slots; filled only with --store, consumed by the serial
+         *  put pass after the pool). */
+        std::vector<std::string> serialized;
     };
     std::vector<CkptCell> cells;
     for (const SimConfig &c : plan.configs) {
@@ -658,6 +946,7 @@ cmdCkptSave(int argc, char **argv)
                 warmup, resolveMeasureFor(opt.measure, plan, c.name),
                 sample, cell.seed);
             cell.files.resize(cell.starts.size());
+            cell.serialized.resize(cell.starts.size());
             cells.push_back(std::move(cell));
         }
     }
@@ -665,6 +954,95 @@ cmdCkptSave(int argc, char **argv)
         std::fprintf(stderr, "eole: no cell of plan %s matches\n",
                      plan.name.c_str());
         return 2;
+    }
+
+    // Content-addressed checkpoint store: keys carry the UNCLAMPED
+    // checkpoint index (a pure function of the placement; the trace
+    // length is unknown before recording, and the clamped content is
+    // itself a deterministic function of these inputs). A cell whose
+    // checkpoints all resolve skips its warming pass entirely and
+    // writes the files straight from the stored payloads.
+    std::unique_ptr<Store> store;
+    if (!store_dir.empty())
+        store = std::make_unique<Store>(store_dir);
+    const auto ckptKey = [&](const CkptCell &cell, std::uint64_t idx) {
+        StoreKey key;
+        key.kind = "ckpt";
+        key.config = cell.cfg->name;
+        key.params = configKeyValues(*cell.cfg);
+        key.workload = cell.workload;
+        key.seed = cell.seed;
+        key.warmup = warmup;
+        key.measure = resolveMeasureFor(opt.measure, plan,
+                                        cell.cfg->name);
+        key.sample = sample;
+        key.index = idx;
+        return key;
+    };
+    // Unclamped per-interval checkpoint indices (strictly increasing,
+    // so every interval gets its own key even when trace clamping
+    // collapses the tails onto identical state).
+    std::vector<std::vector<std::uint64_t>> storeIdxs(cells.size());
+    std::vector<char> cellFromStore(cells.size(), 0);
+    std::size_t storeHits = 0;
+    if (store) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            CkptCell &cell = cells[i];
+            storeIdxs[i] = warmCheckpointIndices(cell.starts, ~0ULL,
+                                                 sample);
+            bool all = !storeIdxs[i].empty();
+            for (const std::uint64_t idx : storeIdxs[i])
+                all = all && store->contains(
+                    storeKeyHash(ckptKey(cell, idx)));
+            if (!all)
+                continue;
+            std::uint64_t prevUop = ~0ULL;
+            bool ok = true;
+            for (std::size_t k = 0; ok && k < storeIdxs[i].size();
+                 ++k) {
+                const std::string hash =
+                    storeKeyHash(ckptKey(cell, storeIdxs[i][k]));
+                std::string payload;
+                if (!store->get(hash, &payload)) {
+                    ok = false;  // object vanished: recompute the cell
+                    break;
+                }
+                // The payload IS the checkpoint file; deserialize
+                // only to recover the clamped µ-op index for the
+                // filename and the duplicate-tail skip.
+                Checkpoint ckpt;
+                std::string err;
+                std::istringstream is(payload);
+                fatal_if(!tryDeserializeCheckpoint(is, &ckpt, &err),
+                         "store %s: object %s: %s (delete the store "
+                         "directory to rebuild it)", store_dir.c_str(),
+                         hash.c_str(), err.c_str());
+                if (ckpt.uopIndex == prevUop)
+                    continue;
+                prevUop = ckpt.uopIndex;
+                const std::string file = out_dir + "/"
+                    + sanitizeForPath(cell.cfg->name) + "__"
+                    + sanitizeForPath(cell.workload) + "__u"
+                    + std::to_string(ckpt.uopIndex) + ".ckpt";
+                std::ofstream os(file, std::ios::binary);
+                bool wrote = static_cast<bool>(os);
+                if (wrote) {
+                    os << payload;
+                    os.close();
+                    wrote = !os.fail();
+                }
+                if (!wrote) {
+                    std::fprintf(stderr, "eole: ckpt save: write "
+                                 "failure under %s\n", out_dir.c_str());
+                    return 2;
+                }
+                cell.files[k] = file;
+            }
+            if (ok) {
+                cellFromStore[i] = 1;
+                storeHits += storeIdxs[i].size();
+            }
+        }
     }
 
     std::uint64_t maxStart = 0;
@@ -684,11 +1062,16 @@ cmdCkptSave(int argc, char **argv)
     std::vector<std::atomic<std::size_t>> remaining(plan.workloads.size());
     for (auto &r : remaining)
         r.store(0, std::memory_order_relaxed);
-    for (const CkptCell &cell : cells)
-        remaining[cell.wl].fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!cellFromStore[i])
+            remaining[cells[i].wl].fetch_add(1,
+                                             std::memory_order_relaxed);
+    }
 
     std::atomic<bool> write_failed{false};
     runOnWorkerPool(cells.size(), opt.jobs, [&](std::size_t i) {
+        if (cellFromStore[i])
+            return;  // files already written from the store pre-pass
         CkptCell &cell = cells[i];
         SimConfig cfg = *cell.cfg;
         cfg.seed = cell.seed;
@@ -708,6 +1091,14 @@ cmdCkptSave(int argc, char **argv)
             const auto ckpts =
                 warmOnceCheckpoints(cfg, w, trace, idxs);
             for (std::size_t k = 0; k < ckpts.size(); ++k) {
+                if (store) {
+                    // Keep every interval's serialization (distinct
+                    // unclamped keys even for duplicate tails) for
+                    // the serial put pass after the pool.
+                    std::ostringstream ss;
+                    serializeCheckpoint(ss, *ckpts[k]);
+                    cell.serialized[k] = ss.str();
+                }
                 // Intervals clamped to the end of a short workload
                 // repeat the final index with identical state; one
                 // file covers them all (no silent overwrite, no
@@ -740,6 +1131,26 @@ cmdCkptSave(int argc, char **argv)
         if (remaining[cell.wl].fetch_sub(1) == 1)
             cache.drop(cell.workload);
     });
+
+    // Serial put pass: freshly warmed cells enter the store under the
+    // keys the pre-pass derived.
+    std::size_t storeComputed = 0;
+    if (store) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cellFromStore[i])
+                continue;
+            for (std::size_t k = 0; k < storeIdxs[i].size(); ++k) {
+                if (cells[i].serialized[k].empty())
+                    continue;
+                store->put(ckptKey(cells[i], storeIdxs[i][k]),
+                           cells[i].serialized[k]);
+                ++storeComputed;
+            }
+        }
+        store->flush();
+        std::fprintf(stderr, "store %s: %zu cached, %zu computed\n",
+                     store_dir.c_str(), storeHits, storeComputed);
+    }
 
     std::size_t written = 0;
     for (const CkptCell &cell : cells) {
@@ -983,7 +1394,13 @@ main(int argc, char **argv)
     if (cmd == "describe")
         return cmdDescribe(argc - 2, argv + 2);
     if (cmd == "run")
-        return cmdRun(argc - 2, argv + 2);
+        return cmdRun(argc - 2, argv + 2, /*shard_mode=*/false);
+    if (cmd == "shard")
+        return cmdRun(argc - 2, argv + 2, /*shard_mode=*/true);
+    if (cmd == "merge")
+        return cmdMerge(argc - 2, argv + 2);
+    if (cmd == "store")
+        return cmdStore(argc - 2, argv + 2);
     if (cmd == "bench")
         return cmdBench(argc - 2, argv + 2);
     if (cmd == "diff")

@@ -383,6 +383,64 @@ TEST(PlanFile, ParsesDirectivesIntoAPlan)
     EXPECT_EQ(plan.tables[0].columns.size(), 2u);  // normalizer excluded
 }
 
+TEST(PlanFile, TableColumnsClausePicksAndOrdersColumns)
+{
+    // columns= selects the column configs and their order — including
+    // axis-derived names, which embed '=' themselves.
+    const std::string text =
+        "plan = demo\n"
+        "base = EOLE_4_64\n"
+        "configs = Baseline_6_64\n"
+        "workloads = 164.gzip\n"
+        "axis prfBanks = 1, 2\n"
+        "table ipc \"IPC\" normalize=Baseline_6_64 "
+        "columns=EOLE_4_64+prfBanks=2,EOLE_4_64+prfBanks=1\n";
+    ExperimentPlan plan;
+    std::string err;
+    ASSERT_TRUE(parsePlanText(text, "demo.plan", &plan, &err)) << err;
+    ASSERT_EQ(plan.tables.size(), 1u);
+    ASSERT_EQ(plan.tables[0].columns.size(), 2u);
+    EXPECT_EQ(plan.tables[0].columns[0], "EOLE_4_64+prfBanks=2");
+    EXPECT_EQ(plan.tables[0].columns[1], "EOLE_4_64+prfBanks=1");
+    EXPECT_EQ(plan.tables[0].normalizeTo, "Baseline_6_64");
+}
+
+TEST(PlanFile, TableClauseErrorsCarryLinesAndSuggestions)
+{
+    ExperimentPlan plan;
+    std::string err;
+    const std::string head =
+        "plan = demo\n"
+        "configs = Baseline_6_64, EOLE_4_64\n"
+        "workloads = 164.gzip\n";
+
+    // Misspelled clause key: did-you-mean over the clause names.
+    EXPECT_FALSE(parsePlanText(
+        head + "table ipc \"IPC\" colums=EOLE_4_64\n", "f.plan", &plan,
+        &err));
+    EXPECT_NE(err.find("f.plan line 4"), std::string::npos) << err;
+    EXPECT_NE(err.find("unknown table clause"), std::string::npos);
+    EXPECT_NE(err.find("columns"), std::string::npos);
+
+    // A column that is not a config of this plan: line-numbered, with
+    // the nearest real config name suggested.
+    EXPECT_FALSE(parsePlanText(
+        head + "table ipc \"IPC\" columns=EOLE_4_65\n", "f.plan", &plan,
+        &err));
+    EXPECT_NE(err.find("f.plan line 4"), std::string::npos) << err;
+    EXPECT_NE(err.find("not a config of this plan"), std::string::npos);
+    EXPECT_NE(err.find("EOLE_4_64"), std::string::npos);
+
+    // Repeated and empty clauses are rejected rather than silently
+    // last-one-wins.
+    EXPECT_FALSE(parsePlanText(
+        head + "table ipc columns=EOLE_4_64 columns=Baseline_6_64\n",
+        "f.plan", &plan, &err));
+    EXPECT_NE(err.find("given twice"), std::string::npos) << err;
+    EXPECT_FALSE(parsePlanText(head + "table ipc columns=\n", "f.plan",
+                               &plan, &err));
+}
+
 TEST(PlanFile, ErrorsCarryLineNumbersAndSuggestions)
 {
     ExperimentPlan plan;
