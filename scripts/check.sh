@@ -8,7 +8,7 @@
 # are unaffected.
 #
 # Usage: scripts/check.sh [--with-bench] [--bench] [--tsan] [--sample]
-#                         [--shard]
+#                         [--shard] [--obs]
 #   --with-bench   also run the fig13 modularity bench (stage-swap
 #                  self-check + the EOLE/OLE/EOE grid) on the short
 #                  run lengths.
@@ -31,6 +31,17 @@
 #                  `--store` and require the warm re-run to report
 #                  every cell cached (0 computed) with an artifact
 #                  byte-identical to the cold one.
+#   --obs          observability lane: pipetrace smoke (Kanata header
+#                  + retire records on a real cell), proof that
+#                  attaching --telemetry leaves the artifact
+#                  byte-identical, an exit-2 run whose telemetry
+#                  stream must terminate with run_aborted, and a
+#                  3-shard sweep whose merged telemetry must summarize
+#                  to the full cell set. The zero-cost-off speed claim
+#                  is the --bench lane's job: tracer/profiler/telemetry
+#                  hooks are compiled into the hot loop, so any
+#                  disabled-path cost shows up there as a geomean
+#                  regression.
 #   --tsan         additionally build with ThreadSanitizer
 #                  (-DEOLE_TSAN=ON, build-tsan/) and run the sweep
 #                  engine + torture + sampling suites under it, plus
@@ -73,6 +84,7 @@ WITH_SPEED_GATE=0
 WITH_TSAN=0
 WITH_SAMPLE=0
 WITH_SHARD=0
+WITH_OBS=0
 for arg in "$@"; do
     case "$arg" in
       --with-bench) WITH_BENCH=1 ;;
@@ -80,6 +92,7 @@ for arg in "$@"; do
       --tsan) WITH_TSAN=1 ;;
       --sample) WITH_SAMPLE=1 ;;
       --shard) WITH_SHARD=1 ;;
+      --obs) WITH_OBS=1 ;;
       *)
         echo "check.sh: unknown option '$arg'" >&2
         exit 2
@@ -322,6 +335,98 @@ if [[ "$WITH_SHARD" == 1 ]]; then
     fi
     echo "check.sh: warm store re-run served all 4 cells from cache," \
          "byte-identical"
+fi
+
+if [[ "$WITH_OBS" == 1 ]]; then
+    echo "check.sh: observability lane (pipetrace + telemetry)"
+    rm -rf build/obslane
+    mkdir -p build/obslane
+
+    # Pipetrace smoke: a real cell traced in Kanata form must carry the
+    # format header and at least one retired record (Konata loads
+    # exactly this shape).
+    if ! ./build/eole run smoke --filter "EOLE_4_64/164.gzip" --quiet \
+         --no-tables --pipetrace build/obslane/trace.kanata \
+         --out build/obslane/traced.json; then
+        echo "check.sh: --pipetrace run FAILED" >&2
+        exit 1
+    fi
+    if ! head -1 build/obslane/trace.kanata | grep -q $'^Kanata\t0004$' \
+       || ! grep -q $'^R\t' build/obslane/trace.kanata; then
+        echo "check.sh: Kanata trace malformed (header or retire" \
+             "records missing)" >&2
+        exit 1
+    fi
+
+    # Observers never perturb results: the same cell without any
+    # observer attached must produce a byte-identical artifact.
+    if ! ./build/eole run smoke --filter "EOLE_4_64/164.gzip" --quiet \
+         --no-tables --out build/obslane/plain.json; then
+        echo "check.sh: plain comparison run FAILED" >&2
+        exit 1
+    fi
+    if ! cmp build/obslane/traced.json build/obslane/plain.json; then
+        echo "check.sh: --pipetrace changed the artifact" >&2
+        exit 1
+    fi
+    if ! ./build/eole run smoke --quiet --no-tables \
+         --telemetry build/obslane/run.jsonl \
+         --out build/obslane/telem.json \
+       || ! ./build/eole run smoke --quiet --no-tables \
+            --out build/obslane/notelem.json \
+       || ! cmp build/obslane/telem.json build/obslane/notelem.json; then
+        echo "check.sh: --telemetry changed the artifact (or a run" \
+             "FAILED)" >&2
+        exit 1
+    fi
+    if ! tail -1 build/obslane/run.jsonl \
+         | grep -q '"ev":"run_finish"'; then
+        echo "check.sh: telemetry stream does not end with run_finish" >&2
+        exit 1
+    fi
+    echo "check.sh: observers leave artifacts byte-identical"
+
+    # Exit-2 paths must terminate the stream: a run that bails before
+    # simulating still ends its telemetry with run_aborted.
+    if ./build/eole run smoke --filter no_such_cell --quiet --no-tables \
+         --telemetry build/obslane/aborted.jsonl 2>/dev/null; then
+        echo "check.sh: filter-no-match run unexpectedly succeeded" >&2
+        exit 1
+    fi
+    if ! tail -1 build/obslane/aborted.jsonl \
+         | grep -q '"ev":"run_aborted"'; then
+        echo "check.sh: exit-2 telemetry stream does not end with" \
+             "run_aborted" >&2
+        exit 1
+    fi
+
+    # Sharded telemetry: three per-shard streams summarize to the full
+    # smoke cell set (2 configs x 2 workloads).
+    for i in 0 1 2; do
+        if ! ./build/eole shard smoke --hosts 3 --host "$i" --quiet \
+             --telemetry "build/obslane/shard$i.jsonl" \
+             --out build/obslane; then
+            echo "check.sh: telemetry shard --host $i FAILED" >&2
+            exit 1
+        fi
+    done
+    ./build/eole telemetry summarize build/obslane/shard?.jsonl \
+        > build/obslane/summary.txt
+    for cell in Baseline_6_64/164.gzip Baseline_6_64/186.crafty \
+                EOLE_4_64/164.gzip EOLE_4_64/186.crafty; do
+        if ! grep -q "$cell" build/obslane/summary.txt; then
+            cat build/obslane/summary.txt >&2
+            echo "check.sh: merged telemetry summary is missing $cell" >&2
+            exit 1
+        fi
+    done
+    if ! grep -q 'cells (4)' build/obslane/summary.txt; then
+        cat build/obslane/summary.txt >&2
+        echo "check.sh: merged telemetry summary does not show 4" \
+             "distinct cells" >&2
+        exit 1
+    fi
+    echo "check.sh: 3-shard telemetry summarizes to the full cell set"
 fi
 
 if [[ "$WITH_TSAN" == 1 ]]; then

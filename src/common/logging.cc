@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 namespace eole {
@@ -22,6 +24,42 @@ csprintf(const char *fmt, ...)
     }
     va_end(args_copy);
     return out;
+}
+
+namespace {
+
+LogLevel
+levelFromEnv()
+{
+    const char *v = std::getenv("EOLE_LOG");
+    if (!v)
+        return LogLevel::Normal;
+    if (std::strcmp(v, "quiet") == 0)
+        return LogLevel::Quiet;
+    if (std::strcmp(v, "debug") == 0)
+        return LogLevel::Debug;
+    return LogLevel::Normal;
+}
+
+std::atomic<int> &
+levelSlot()
+{
+    static std::atomic<int> slot{static_cast<int>(levelFromEnv())};
+    return slot;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(levelSlot().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelSlot().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 void
@@ -47,7 +85,21 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Normal)
+        std::fprintf(stderr, "%s\n", msg.c_str());
+}
+
+void
+noticeImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "%s\n", msg.c_str());
+}
+
+void
+verboseImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 
 } // namespace eole

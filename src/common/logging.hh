@@ -1,13 +1,24 @@
 /**
  * @file
- * gem5-style status/error reporting: panic(), fatal(), warn(), inform().
+ * gem5-style status/error reporting: panic(), fatal(), warn(), inform(),
+ * notice(), verbose().
  *
- * panic()  - a simulator bug: something that should never happen
- *            regardless of user input. Aborts (core-dumpable).
- * fatal()  - a user error (bad configuration, impossible parameters).
- *            Exits with status 1.
- * warn()   - suspicious but survivable condition.
- * inform() - plain status message.
+ * panic()   - a simulator bug: something that should never happen
+ *             regardless of user input. Aborts (core-dumpable).
+ * fatal()   - a user error (bad configuration, impossible parameters).
+ *             Exits with status 1.
+ * warn()    - suspicious but survivable condition. Always printed.
+ * notice()  - machine-consumed status line (store summaries, artifact
+ *             paths). Always printed, even under --quiet: scripted
+ *             callers grep these, so both the text and the level are a
+ *             stable contract.
+ * inform()  - human-facing progress chatter. Suppressed at quiet.
+ * verbose() - debugging detail. Printed only at debug level.
+ *
+ * All levels write to stderr so stdout stays reserved for requested
+ * output (tables, JSON). The level comes from EOLE_LOG=quiet|normal|
+ * debug and can be overridden programmatically (the CLI's --quiet maps
+ * to setLogLevel(LogLevel::Quiet)).
  */
 
 #ifndef EOLE_COMMON_LOGGING_HH
@@ -22,10 +33,18 @@ namespace eole {
 std::string csprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+enum class LogLevel { Quiet = 0, Normal = 1, Debug = 2 };
+
+/** Current level; first call reads EOLE_LOG (unknown values -> Normal). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void noticeImpl(const std::string &msg);
+void verboseImpl(const std::string &msg);
 
 } // namespace eole
 
@@ -38,6 +57,10 @@ void informImpl(const std::string &msg);
 #define warn(...) ::eole::warnImpl(::eole::csprintf(__VA_ARGS__))
 
 #define inform(...) ::eole::informImpl(::eole::csprintf(__VA_ARGS__))
+
+#define notice(...) ::eole::noticeImpl(::eole::csprintf(__VA_ARGS__))
+
+#define verbose(...) ::eole::verboseImpl(::eole::csprintf(__VA_ARGS__))
 
 /** Assert-like check that is kept in release builds. */
 #define panic_if(cond, ...)                                                 \

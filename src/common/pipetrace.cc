@@ -1,0 +1,158 @@
+#include "common/pipetrace.hh"
+
+namespace eole {
+
+const char *
+pipeEventName(PipeEvent ev)
+{
+    switch (ev) {
+      case PipeEvent::Fetch: return "fetch";
+      case PipeEvent::Rename: return "rename";
+      case PipeEvent::Dispatch: return "dispatch";
+      case PipeEvent::Issue: return "issue";
+      case PipeEvent::Exec: return "exec";
+      case PipeEvent::Complete: return "complete";
+      case PipeEvent::Commit: return "commit";
+      case PipeEvent::Squash: return "squash";
+      default: return "unknown";
+    }
+}
+
+namespace {
+
+// Kanata lane-0 stage mnemonics, one per lifecycle event.
+const char *
+kanataStage(PipeEvent ev)
+{
+    switch (ev) {
+      case PipeEvent::Fetch: return "F";
+      case PipeEvent::Rename: return "Rn";
+      case PipeEvent::Dispatch: return "Ds";
+      case PipeEvent::Issue: return "Is";
+      case PipeEvent::Exec: return "Ex";
+      case PipeEvent::Complete: return "Cp";
+      case PipeEvent::Commit: return "Cm";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+PipeTracer::PipeTracer(std::ostream &os, Format format, SeqNum lo, SeqNum hi)
+    : os_(os), format_(format), lo_(lo), hi_(hi)
+{
+    if (format_ == Format::Kanata)
+        os_ << "Kanata\t0004\n";
+}
+
+void
+PipeTracer::advanceTo(Cycle now)
+{
+    if (!started_) {
+        if (format_ == Format::Kanata)
+            os_ << "C=\t" << now << "\n";
+        cur_ = now;
+        started_ = true;
+    } else if (now > cur_) {
+        if (format_ == Format::Kanata)
+            os_ << "C\t" << (now - cur_) << "\n";
+        cur_ = now;
+    }
+}
+
+void
+PipeTracer::stage(SeqNum seq, const char *kanata_stage)
+{
+    auto it = inFlight_.find(seq);
+    if (it == inFlight_.end())
+        return;
+    os_ << "S\t" << it->second << "\t0\t" << kanata_stage << "\n";
+}
+
+void
+PipeTracer::fetch(Cycle now, SeqNum seq, Addr pc, const char *op,
+                  const char *annot)
+{
+    if (!wants(seq))
+        return;
+    advanceTo(now);
+    if (format_ == Format::Canonical) {
+        os_ << now << " " << seq << " fetch pc=0x" << std::hex << pc
+            << std::dec << " op=" << op;
+        if (annot && annot[0])
+            os_ << " " << annot;
+        os_ << "\n";
+        return;
+    }
+    const std::uint64_t id = nextId_++;
+    inFlight_[seq] = id;
+    os_ << "I\t" << id << "\t" << seq << "\t0\n";
+    os_ << "L\t" << id << "\t0\t" << "0x" << std::hex << pc << std::dec
+        << ": " << op;
+    if (annot && annot[0])
+        os_ << " [" << annot << "]";
+    os_ << "\n";
+    stage(seq, "F");
+}
+
+void
+PipeTracer::event(Cycle now, SeqNum seq, PipeEvent ev, const char *annot)
+{
+    if (!wants(seq))
+        return;
+    advanceTo(now);
+    if (format_ == Format::Canonical) {
+        os_ << now << " " << seq << " " << pipeEventName(ev);
+        if (annot && annot[0])
+            os_ << " " << annot;
+        os_ << "\n";
+        return;
+    }
+    stage(seq, kanataStage(ev));
+}
+
+void
+PipeTracer::commit(Cycle now, SeqNum seq, const char *annot)
+{
+    if (!wants(seq))
+        return;
+    advanceTo(now);
+    if (format_ == Format::Canonical) {
+        os_ << now << " " << seq << " commit";
+        if (annot && annot[0])
+            os_ << " " << annot;
+        os_ << "\n";
+        return;
+    }
+    auto it = inFlight_.find(seq);
+    if (it == inFlight_.end())
+        return;
+    os_ << "S\t" << it->second << "\t0\tCm\n";
+    os_ << "R\t" << it->second << "\t" << nextRetireId_++ << "\t0\n";
+    inFlight_.erase(it);
+}
+
+void
+PipeTracer::squash(Cycle now, SeqNum seq)
+{
+    if (!wants(seq))
+        return;
+    advanceTo(now);
+    if (format_ == Format::Canonical) {
+        os_ << now << " " << seq << " squash\n";
+        return;
+    }
+    auto it = inFlight_.find(seq);
+    if (it == inFlight_.end())
+        return;
+    os_ << "R\t" << it->second << "\t" << nextRetireId_++ << "\t1\n";
+    inFlight_.erase(it);
+}
+
+void
+PipeTracer::finish()
+{
+    os_.flush();
+}
+
+} // namespace eole

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-µop pipeline event tracing.
+ *
+ * Stages publish lifecycle events (fetch, rename, dispatch, issue,
+ * exec, complete, commit, squash) through a PipeTracer hung off
+ * PipelineState::tracer. The pointer is null by default and every hook
+ * is guarded by a null check, so tracing costs one predictable branch
+ * per event site when off — the same zero-cost-off discipline as the
+ * profiler, enforced by the bench lane.
+ *
+ * Two output formats:
+ *
+ *  - Kanata ("Kanata\t0004"): loads in the Konata pipeline viewer
+ *    (also accepts gem5 O3PipeView converts). Each fetch of a sequence
+ *    number opens a fresh Kanata instruction id — a squashed-and-
+ *    refetched µop appears twice, the first flagged as flushed
+ *    (R ... 1), exactly how Konata renders wrong-path work.
+ *  - Canonical text: one deterministic line per event,
+ *    "<cycle> <seq> <event>[ <annot>]". Byte-stable for a fixed
+ *    workload/config, so golden tests pin it.
+ *
+ * Annotations carry the VP outcome (vp=conf/vp=unconf at fetch,
+ * vp=ok/vp=wrong at commit) and the rename-time EE/LE disposition
+ * (ee, le=alu, le=br).
+ *
+ * The API takes only primitives (SeqNum, Cycle, Addr, const char *),
+ * keeping common/ independent of pipeline/ types.
+ */
+
+#ifndef EOLE_COMMON_PIPETRACE_HH
+#define EOLE_COMMON_PIPETRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace eole {
+
+enum class PipeEvent : std::uint8_t {
+    Fetch,
+    Rename,
+    Dispatch,
+    Issue,
+    Exec,
+    Complete,
+    Commit,
+    Squash,
+};
+
+const char *pipeEventName(PipeEvent ev);
+
+class PipeTracer
+{
+  public:
+    enum class Format { Canonical, Kanata };
+
+    /** Trace events for seq in [lo, hi). Does not own the stream. */
+    PipeTracer(std::ostream &os, Format format,
+               SeqNum lo = 0, SeqNum hi = ~SeqNum{0});
+
+    /** Range filter; hooks check this before building annotations. */
+    bool wants(SeqNum seq) const { return seq >= lo_ && seq < hi_; }
+
+    /**
+     * A µop entered the pipeline. Opens a new trace record (a fresh
+     * Kanata id — re-fetch after squash starts a new one). @p op is the
+     * opcode mnemonic; @p annot ("" for none) rides on the label.
+     */
+    void fetch(Cycle now, SeqNum seq, Addr pc, const char *op,
+               const char *annot);
+
+    /** A lifecycle stage event for an in-flight µop. */
+    void event(Cycle now, SeqNum seq, PipeEvent ev, const char *annot = "");
+
+    /** Retired (committed). @p annot carries e.g. the VP outcome. */
+    void commit(Cycle now, SeqNum seq, const char *annot = "");
+
+    /** Squashed on a wrong path; closes the record as flushed. */
+    void squash(Cycle now, SeqNum seq);
+
+    /** Flush the stream; called once after the run. */
+    void finish();
+
+  private:
+    void advanceTo(Cycle now);
+    void stage(SeqNum seq, const char *kanata_stage);
+
+    std::ostream &os_;
+    Format format_;
+    SeqNum lo_, hi_;
+    Cycle cur_ = 0;
+    bool started_ = false;
+    std::uint64_t nextId_ = 0;
+    std::uint64_t nextRetireId_ = 1;
+    std::unordered_map<SeqNum, std::uint64_t> inFlight_;
+};
+
+} // namespace eole
+
+#endif // EOLE_COMMON_PIPETRACE_HH

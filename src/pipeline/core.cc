@@ -1,6 +1,7 @@
 #include "pipeline/core.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -20,6 +21,9 @@ Core::Core(const SimConfig &config, const Workload &workload,
 {
     pipe.wire();
     state->setSquashOrder(pipe.squashOrder);
+    stageSections.reserve(pipe.stages.size());
+    for (const auto &stage : pipe.stages)
+        stageSections.push_back(prof::stageSection(stage->name()));
 }
 
 Core::~Core() = default;
@@ -28,8 +32,27 @@ void
 Core::tick()
 {
     state->beginCycle();
-    for (const auto &stage : pipe.stages)
-        stage->tick(*state);
+    if (!prof::enabled()) {
+        for (const auto &stage : pipe.stages)
+            stage->tick(*state);
+    } else {
+        // Chained timestamps, not one ScopedTimer per stage: each
+        // clock read both ends stage i and starts stage i+1, so the
+        // whole tick body — including the reads themselves — lands in
+        // some stage section and the per-cycle overhead is halved.
+        // Gapped per-stage timers leave the read cost unattributed,
+        // which at sub-µs stage ticks is a double-digit share of the
+        // profiled run.
+        auto t = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < pipe.stages.size(); ++i) {
+            pipe.stages[i]->tick(*state);
+            const auto t2 = std::chrono::steady_clock::now();
+            prof::add(stageSections[i], static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t2 - t).count()));
+            t = t2;
+        }
+    }
     state->endCycle();
 }
 
@@ -73,6 +96,7 @@ Core::functionalWarm(const FrozenTrace &trace, std::uint64_t begin,
              (unsigned long long)begin, (unsigned long long)end,
              trace.uops.size());
 
+    prof::ScopedTimer timer(prof::WarmFunctional);
     state->mem->syncWarmClock(state->now);
     for (std::uint64_t i = begin; i < end; ++i) {
         const TraceUop &u = trace.uops[i];
@@ -108,6 +132,8 @@ Core::restoreWarmState(const Checkpoint &ckpt)
 {
     if (!ckpt.hasWarmState())
         return;
+
+    prof::ScopedTimer timer(prof::WarmRestore);
 
     // The section set must match this core's component set exactly: a
     // checkpoint from a different configuration (e.g. with value

@@ -38,7 +38,9 @@
 #define EOLE_PIPELINE_CORE_HH
 
 #include <memory>
+#include <vector>
 
+#include "common/profiler.hh"
 #include "common/stats.hh"
 #include "pipeline/core_stats.hh"
 #include "pipeline/pipeline_state.hh"
@@ -129,6 +131,11 @@ class Core
      *  the pipeline). */
     const PipelineState &pipelineState() const { return *state; }
 
+    /** Attach a per-µop lifecycle event sink (common/pipetrace.hh).
+     *  Pass nullptr to detach; the tracer must outlive the runs it
+     *  observes. */
+    void setPipeTracer(PipeTracer *tracer) { state->tracer = tracer; }
+
     /** Observe every retiring µ-op (commit-stream capture; see
      *  tests/test_torture.cc). Pass nullptr to detach. */
     void
@@ -145,6 +152,10 @@ class Core
 
     std::unique_ptr<PipelineState> state;
     StagePipeline pipe;
+
+    /** Profiler section per stage, resolved once from Stage::name() so
+     *  the tick loop never does string lookups (common/profiler.hh). */
+    std::vector<prof::Section> stageSections;
 
     mutable CoreStats aggregated;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/pipetrace.hh"
+#include "common/profiler.hh"
 #include "pipeline/stages/stage.hh"
 
 namespace eole {
@@ -142,8 +144,12 @@ void
 PipelineState::markSquashed(const DynInstPtr &di)
 {
     di->squashed = true;
-    if (di->vpLookupValid && vp)
+    if (tracer && tracer->wants(di->seq))
+        tracer->squash(now, di->seq);
+    if (di->vpLookupValid && vp) {
+        prof::ScopedTimer vp_timer(prof::ModelVpred);
         vp->squash(di->uop().pc, di->vp);
+    }
     if (di->isStore())
         ssets.storeResolved(di->uop().pc, di->seq);
 }

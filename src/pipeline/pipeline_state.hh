@@ -40,6 +40,7 @@
 
 namespace eole {
 
+class PipeTracer;
 class Stage;
 
 struct PipelineState
@@ -93,6 +94,12 @@ struct PipelineState
      *  the oracle check (tests and tools capture the commit stream
      *  through this; unset in normal runs). */
     std::function<void(const DynInst &)> onCommit;
+
+    /** Per-µop lifecycle event sink (common/pipetrace.hh). Null in
+     *  normal runs; every stage hook is guarded by this null check, so
+     *  tracing off costs one predictable branch per event site. Set
+     *  through Core::setPipeTracer. Non-owning. */
+    PipeTracer *tracer = nullptr;
 
     // --- Cross-stage statistics ---
     Cycle cycles = 0;

@@ -1,6 +1,8 @@
 #include "pipeline/stages/commit.hh"
 
 #include "common/logging.hh"
+#include "common/pipetrace.hh"
+#include "common/profiler.hh"
 #include "isa/functional.hh"
 #include "pipeline/pipeline_state.hh"
 #include "pipeline/stages/levt.hh"
@@ -71,10 +73,14 @@ CommitStage::tick(PipelineState &st)
         // --- Training ---
         if (levt)
             levt->train(st, di);
-        if (di->isBranch())
+        if (di->isBranch()) {
+            prof::ScopedTimer bp_timer(prof::ModelBpred);
             st.bu->commitBranch(di->uop(), di->bp);
-        if (di->isStore())
+        }
+        if (di->isStore()) {
+            prof::ScopedTimer mem_timer(prof::ModelMem);
             st.mem->storeAccess(di->uop().pc, di->effAddr, st.now);
+        }
 
         // --- Statistics ---
         ++st.committedUops;
@@ -93,6 +99,12 @@ CommitStage::tick(PipelineState &st)
             ++s.loads;
         if (di->isStore())
             ++s.stores;
+
+        if (st.tracer && st.tracer->wants(di->seq)) {
+            const char *annot = !di->predictionUsed ? ""
+                : value_mispredict ? "vp=wrong" : "vp=ok";
+            st.tracer->commit(st.now, di->seq, annot);
+        }
 
         // --- Retire ---
         if (di->oldPhysDst != invalidReg)

@@ -1,5 +1,6 @@
 #include "pipeline/stages/completion.hh"
 
+#include "common/pipetrace.hh"
 #include "pipeline/pipeline_state.hh"
 
 namespace eole {
@@ -16,6 +17,8 @@ CompletionStage::tick(PipelineState &st)
             return;
         di->completed = true;
         di->completeCycle = st.now;
+        if (st.tracer && st.tracer->wants(di->seq))
+            st.tracer->event(st.now, di->seq, PipeEvent::Complete);
         if (di->isBranch() && di->bp.mispredict && !di->lateExecBranch)
             st.resolveMispredictedBranch(di);
     });

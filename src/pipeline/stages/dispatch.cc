@@ -1,5 +1,6 @@
 #include "pipeline/stages/dispatch.hh"
 
+#include "common/pipetrace.hh"
 #include "pipeline/pipeline_state.hh"
 
 namespace eole {
@@ -59,9 +60,14 @@ DispatchStage::tick(PipelineState &st)
         if (di->isStore())
             st.sq.pushBack(di);
 
+        if (st.tracer && st.tracer->wants(di->seq))
+            st.tracer->event(st.now, di->seq, PipeEvent::Dispatch);
+
         if (di->earlyExecuted || di->uop().opClass() == OpClass::NoOp) {
             di->completed = true;
             di->completeCycle = st.now;
+            if (st.tracer && st.tracer->wants(di->seq))
+                st.tracer->event(st.now, di->seq, PipeEvent::Complete);
         } else if (di->lateExecutable()) {
             di->completeCycle = st.now;  // LE gating base (see commit)
         } else {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/pipetrace.hh"
+#include "common/profiler.hh"
+#include "isa/opcodes.hh"
 #include "pipeline/pipeline_state.hh"
 
 namespace eole {
@@ -28,6 +31,7 @@ FetchStage::tick(PipelineState &st)
         const TraceUop &peek = st.ts.peek();
         const Addr line = st.mem->fetchLine(peek.pc);
         if (line != cur_line) {
+            prof::ScopedTimer mem_timer(prof::ModelMem);
             const Cycle ready = st.mem->fetchAccess(peek.pc, st.now);
             const Cycle hit_time = st.now + l1iHitLatency;
             if (ready > hit_time) {
@@ -46,6 +50,7 @@ FetchStage::tick(PipelineState &st)
         // Value prediction at fetch (§4.2). Writes to the int zero
         // register are architecturally dropped and not predicted.
         if (st.vp && di->uop().vpPredictable()) {
+            prof::ScopedTimer vp_timer(prof::ModelVpred);
             di->vp = st.vp->predict(di->uop().pc);
             di->vpLookupValid = true;
             if (di->vp.confident) {
@@ -56,6 +61,7 @@ FetchStage::tick(PipelineState &st)
 
         bool stop_after = false;
         if (di->uop().isBranch()) {
+            prof::ScopedTimer bp_timer(prof::ModelBpred);
             di->bp = st.bu->predictBranch(di->uop(), di->preSnap);
             if (di->bp.mispredict) {
                 // Fetch stalls on the wrong path until resolution.
@@ -72,6 +78,12 @@ FetchStage::tick(PipelineState &st)
             }
         }
         di->postSnap = st.bu->currentSnapshot();
+
+        if (st.tracer && st.tracer->wants(di->seq)) {
+            st.tracer->fetch(st.now, di->seq, di->uop().pc,
+                             opcodeName(di->uop().opc),
+                             di->vpLookupValid ? vpLookupAnnot(di->vp) : "");
+        }
 
         st.frontPipe.push(st.now, std::move(di));
         ++fetched;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/pipetrace.hh"
+#include "common/profiler.hh"
 #include "isa/functional.hh"
 #include "pipeline/pipeline_state.hh"
 
@@ -104,6 +106,10 @@ IssueStage::tick(PipelineState &st)
                     && executeInst(st, di)) {
                     di->issued = true;
                     di->inIQ = false;
+                    if (st.tracer && st.tracer->wants(di->seq)) {
+                        st.tracer->event(st.now, di->seq, PipeEvent::Issue);
+                        st.tracer->event(st.now, di->seq, PipeEvent::Exec);
+                    }
                     const unsigned lat = opLatency(cls);
                     st.fus.issue(cls, st.now, st.now + lat);
                     ++issued;
@@ -278,6 +284,7 @@ IssueStage::executeInst(PipelineState &st, const DynInstPtr &di)
             val = addr == di->uop().effAddr ? di->uop().result
                                           : sliceValue(garbageValue(addr),
                                                        di->uop().memSize);
+            prof::ScopedTimer mem_timer(prof::ModelMem);
             ready = st.mem->loadAccess(di->uop().pc, addr, st.now + 1);
         }
         finishExec(st, di, val, ready);

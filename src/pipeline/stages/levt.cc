@@ -1,6 +1,8 @@
 #include "pipeline/stages/levt.hh"
 
 #include "common/logging.hh"
+#include "common/pipetrace.hh"
+#include "common/profiler.hh"
 #include "isa/functional.hh"
 #include "pipeline/pipeline_state.hh"
 
@@ -59,9 +61,13 @@ LevtStage::lateExecute(PipelineState &st, const DynInstPtr &di)
         di->hasComputedValue = true;
         di->completed = true;
         ++s.lateExecutedAlu;
+        if (st.tracer && st.tracer->wants(di->seq))
+            st.tracer->event(st.now, di->seq, PipeEvent::Exec, "le=alu");
     } else if (di->lateExecBranch) {
         di->completed = true;
         ++s.lateExecutedBranches;
+        if (st.tracer && st.tracer->wants(di->seq))
+            st.tracer->event(st.now, di->seq, PipeEvent::Exec, "le=br");
         if (di->bp.mispredict)
             st.resolveMispredictedBranch(di);
     }
@@ -90,8 +96,10 @@ LevtStage::validate(PipelineState &st, const DynInstPtr &di)
 void
 LevtStage::train(PipelineState &st, const DynInstPtr &di)
 {
-    if (vpEnabled && di->vpLookupValid)
+    if (vpEnabled && di->vpLookupValid) {
+        prof::ScopedTimer vp_timer(prof::ModelVpred);
         st.vp->commit(di->uop().pc, di->uop().result, di->vp);
+    }
 }
 
 void

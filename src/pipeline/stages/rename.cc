@@ -1,5 +1,6 @@
 #include "pipeline/stages/rename.hh"
 
+#include "common/pipetrace.hh"
 #include "isa/functional.hh"
 #include "pipeline/pipeline_state.hh"
 
@@ -108,6 +109,19 @@ RenameStage::tick(PipelineState &st)
                            di->computedValue);
                 di->lateExecAlu = false;
             }
+        }
+    }
+
+    // Trace after the second-EE retry so the EE/LE disposition each
+    // µ-op will carry through the pipeline is final.
+    if (st.tracer) {
+        for (const DynInst *di : renameGroup) {
+            if (!st.tracer->wants(di->seq))
+                continue;
+            const char *annot = di->earlyExecuted ? "ee"
+                : di->lateExecAlu ? "le=alu"
+                : di->lateExecBranch ? "le=br" : "";
+            st.tracer->event(st.now, di->seq, PipeEvent::Rename, annot);
         }
     }
 }

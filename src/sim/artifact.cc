@@ -10,6 +10,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/build_info.hh"
 #include "common/logging.hh"
 #include "sim/json.hh"
 
@@ -66,6 +67,12 @@ writeJsonArtifact(std::ostream &os, const PlanResult &result)
 {
     os << "{\n";
     os << "  \"schema\": \"eole-sweep-v2\",\n";
+    // Provenance, not identity: readers skip it, diffArtifacts ignores
+    // it, and within one binary it is a constant — so all byte-identity
+    // contracts (jobs/cache/store/shard invariance) hold unchanged.
+    os << "  \"build\": ";
+    jsonWriteEscaped(os, buildInfoString());
+    os << ",\n";
     os << "  \"plan\": ";
     jsonWriteEscaped(os, result.plan);
     os << ",\n";

@@ -8,7 +8,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/build_info.hh"
 #include "common/logging.hh"
+#include "common/profiler.hh"
 #include "pipeline/core.hh"
 #include "sim/configs.hh"
 #include "sim/experiment.hh"
@@ -94,6 +96,9 @@ runBench(const BenchOptions &options)
     // slots config-major (the artifact order) — as in runPlan, except
     // strictly serial: concurrent cells would contend for cores and
     // corrupt each other's timings.
+    const bool prevProf = prof::enabled();
+    if (options.profile)
+        prof::setEnabled(true);
     std::size_t done = 0;
     for (std::size_t w = 0; w < wls.size(); ++w) {
         Workload wl = workloads::build(wls[w]);
@@ -112,6 +117,8 @@ runBench(const BenchOptions &options)
                 Core core(cfg, wl);
                 core.run(options.warmup, maxCycles);
                 core.resetStats();
+                if (options.profile)
+                    prof::reset();  // attribute the measured region only
                 const auto t0 = std::chrono::steady_clock::now();
                 const std::uint64_t committed =
                     core.run(options.budget, maxCycles);
@@ -119,6 +126,18 @@ runBench(const BenchOptions &options)
                 const double secs =
                     std::chrono::duration<double>(t1 - t0).count();
                 best = std::min(best, secs);
+                if (options.profile) {
+                    cell.profile.clear();
+                    cell.profileSeconds = secs;
+                    for (int s = 0; s < prof::NumSections; ++s) {
+                        const auto sec = static_cast<prof::Section>(s);
+                        const std::uint64_t ns = prof::sectionNanos(sec);
+                        if (ns) {
+                            cell.profile.emplace_back(
+                                prof::sectionName(sec), ns * 1e-9);
+                        }
+                    }
+                }
                 if (rep == 0) {
                     cell.uops = committed;
                     cell.ipc = core.record().get("ipc");
@@ -139,15 +158,15 @@ runBench(const BenchOptions &options)
 
             ++done;
             if (!options.quiet) {
-                std::fprintf(stderr,
-                             "[%zu/%zu] %s/%s %.0f µops/s (ipc %.3f)\n",
-                             done, out.cells.size(),
-                             cell.config.c_str(), cell.workload.c_str(),
-                             cell.uopsPerSec, cell.ipc);
+                inform("[%zu/%zu] %s/%s %.0f µops/s (ipc %.3f)",
+                       done, out.cells.size(), cell.config.c_str(),
+                       cell.workload.c_str(), cell.uopsPerSec,
+                       cell.ipc);
             }
         }
         wl.frozen.reset();
     }
+    prof::setEnabled(prevProf);
     return out;
 }
 
@@ -156,6 +175,9 @@ writeBenchJson(std::ostream &os, const BenchResult &result)
 {
     os << "{\n";
     os << "  \"schema\": \"eole-bench-v1\",\n";
+    os << "  \"build\": ";
+    jsonWriteEscaped(os, buildInfoString());
+    os << ",\n";
     os << "  \"label\": ";
     jsonWriteEscaped(os, result.label);
     os << ",\n";
@@ -173,7 +195,19 @@ writeBenchJson(std::ostream &os, const BenchResult &result)
         os << ", \"uops\": " << cell.uops;
         os << ", \"seconds_min\": " << jsonNumberText(cell.secondsMin);
         os << ", \"uops_per_sec\": " << jsonNumberText(cell.uopsPerSec);
-        os << ", \"ipc\": " << jsonNumberText(cell.ipc) << "}";
+        os << ", \"ipc\": " << jsonNumberText(cell.ipc);
+        if (!cell.profile.empty()) {
+            os << ", \"profile_seconds\": "
+               << jsonNumberText(cell.profileSeconds);
+            os << ", \"profile\": {";
+            for (std::size_t s = 0; s < cell.profile.size(); ++s) {
+                os << (s ? ", " : "");
+                jsonWriteEscaped(os, cell.profile[s].first);
+                os << ": " << jsonNumberText(cell.profile[s].second);
+            }
+            os << "}";
+        }
+        os << "}";
     }
     os << (result.cells.empty() ? "]" : "\n  ]") << ",\n";
     os << "  \"geomean_uops_per_sec\": "
@@ -187,6 +221,36 @@ benchJsonString(const BenchResult &result)
     std::ostringstream oss;
     writeBenchJson(oss, result);
     return oss.str();
+}
+
+void
+writeBenchProfileTable(std::ostream &os, const BenchResult &result)
+{
+    for (const BenchCell &cell : result.cells) {
+        if (cell.profile.empty())
+            continue;
+        os << csprintf("\n%s/%s: %.3f s measured\n", cell.config.c_str(),
+                       cell.workload.c_str(), cell.profileSeconds);
+        // model.* sections run inside a stage's scoped timer, so only
+        // stage.* and warm.* count toward attributed coverage.
+        double covered = 0.0;
+        for (const auto &[name, secs] : cell.profile) {
+            const bool top = name.rfind("stage.", 0) == 0
+                || name.rfind("warm.", 0) == 0;
+            const double pct = cell.profileSeconds > 0.0
+                ? 100.0 * secs / cell.profileSeconds
+                : 0.0;
+            os << csprintf("  %-16s %9.3f s %6.1f%%%s\n", name.c_str(),
+                           secs, pct, top ? "" : "  (within stage)");
+            if (top)
+                covered += secs;
+        }
+        const double pct = cell.profileSeconds > 0.0
+            ? 100.0 * covered / cell.profileSeconds
+            : 0.0;
+        os << csprintf("  %-16s %9.3f s %6.1f%%\n", "attributed",
+                       covered, pct);
+    }
 }
 
 BenchResult
@@ -234,7 +298,21 @@ readBenchJson(std::istream &is)
                             cell.uopsPerSec = p.parseNumber();
                         else if (ck == "ipc")
                             cell.ipc = p.parseNumber();
-                        else
+                        else if (ck == "profile_seconds")
+                            cell.profileSeconds = p.parseNumber();
+                        else if (ck == "profile") {
+                            p.expect('{');
+                            if (!p.tryConsume('}')) {
+                                do {
+                                    const std::string name =
+                                        p.parseString();
+                                    p.expect(':');
+                                    cell.profile.emplace_back(
+                                        name, p.parseNumber());
+                                } while (p.tryConsume(','));
+                                p.expect('}');
+                            }
+                        } else
                             p.skipValue();
                     } while (p.tryConsume(','));
                     p.expect('}');

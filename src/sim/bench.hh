@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace eole {
@@ -45,6 +46,13 @@ struct BenchOptions
     int reps = 3;                    //!< min-of-K repetitions
     std::string label;               //!< recorded in the artifact
     bool quiet = false;              //!< no per-cell progress on stderr
+
+    /** Attribute each cell's wall time to pipeline stages and models
+     *  (common/profiler.hh). Timing overhead lands inside the measured
+     *  region, so a profiled artifact is not comparable against an
+     *  unprofiled one — the profile explains where time goes, the
+     *  plain run is the speed claim. */
+    bool profile = false;
 };
 
 /** The default bench workloads: a small INT/INT/FP smoke set, long
@@ -60,6 +68,15 @@ struct BenchCell
     double secondsMin = 0.0;   //!< min-of-K wall seconds for the budget
     double uopsPerSec = 0.0;   //!< uops / secondsMin
     double ipc = 0.0;          //!< simulated IPC (context, not speed)
+
+    /** `--profile` only: (dotted section name, wall seconds) in
+     *  profiler enum order, snapshot of the last rep, with that rep's
+     *  own measured seconds as the attribution denominator. model.*
+     *  sections nest inside their calling stage.* section, so only
+     *  stage.* + warm.* sum toward coverage. Empty when profiling was
+     *  off. */
+    std::vector<std::pair<std::string, double>> profile;
+    double profileSeconds = 0.0;
 };
 
 /** Everything one bench run produced; the in-memory artifact form. */
@@ -87,6 +104,10 @@ void writeBenchJson(std::ostream &os, const BenchResult &result);
 
 /** The same artifact as a string (byte-comparison in tests). */
 std::string benchJsonString(const BenchResult &result);
+
+/** Human-readable per-cell stage/model breakdown tables (`eole bench
+ *  --profile`); cells without profile data are skipped. */
+void writeBenchProfileTable(std::ostream &os, const BenchResult &result);
 
 /** Parse a bench artifact (fatal on malformed input / wrong schema). */
 BenchResult readBenchJson(std::istream &is);

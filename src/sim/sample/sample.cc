@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "pipeline/core.hh"
 #include "sim/params.hh"
 #include "sim/store.hh"
+#include "sim/telemetry.hh"
 #include "sim/trace_cache.hh"
 #include "workloads/workload.hh"
 
@@ -244,6 +246,10 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         cells[i].intervals.resize(cells[i].starts.size());
         cells[i].ckpts.resize(cells[i].starts.size());
     }
+    if (options.telemetry) {
+        for (const RunResult &rr : out.cells)
+            options.telemetry->cellQueued(rr.config, rr.workload);
+    }
 
     // Content-addressed store, serial pre-pass (mirrors runPlan): a
     // cached cell loads its reduced stats here and expands into no
@@ -291,6 +297,8 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
             ++out.storeComputed;
         }
         options.store->flush();
+        if (options.telemetry)
+            options.telemetry->storeCounts(out.storeHits, out.storeComputed);
     };
 
     // Flatten (cell, interval) into the job list, workload-major like
@@ -373,9 +381,14 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
     // worker count.
     if (warmOnce) {
         runOnWorkerPool(warmJobs.size(), options.jobs,
-                        [&](std::size_t j) {
+                        [&](std::size_t j, int worker) {
             Cell &cell = cells[warmJobs[j]];
             const RunResult &rr = out.cells[warmJobs[j]];
+
+            if (options.telemetry)
+                options.telemetry->jobStart("warm", rr.config, rr.workload,
+                                            worker);
+            const auto t0 = std::chrono::steady_clock::now();
 
             SimConfig cfg = plan.configs[cell.cfg];
             cfg.seed = rr.seed;
@@ -409,6 +422,13 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
             StatRecord stats;
             stats.add("sample_ckpts",
                       static_cast<double>(cell.ckpts.size()));
+            if (options.telemetry) {
+                const double wall_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0).count();
+                options.telemetry->jobFinish("warm", rr.config, rr.workload,
+                                             worker, wall_ms, true);
+            }
             jobFinished(cell, rr, stats);
         });
     }
@@ -416,11 +436,18 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
     // ---- Phase 2: the measurement intervals. Warm-once jobs restore
     // the phase-1 checkpoint; the legacy path functionally re-warms
     // its own prefix (bounded by B when set).
-    runOnWorkerPool(jobs.size(), options.jobs, [&](std::size_t j) {
+    runOnWorkerPool(jobs.size(), options.jobs, [&](std::size_t j,
+                                                   int worker) {
         const Job &job = jobs[j];
         Cell &cell = cells[job.cell];
         const RunResult &rr = out.cells[job.cell];
         IntervalResult &iv = cell.intervals[job.interval];
+
+        if (options.telemetry)
+            options.telemetry->jobStart("interval", rr.config, rr.workload,
+                                        worker,
+                                        static_cast<long>(job.interval));
+        const auto t0 = std::chrono::steady_clock::now();
 
         SimConfig cfg = plan.configs[cell.cfg];
         cfg.seed = rr.seed;
@@ -502,8 +529,19 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
         stats.add("interval_start", static_cast<double>(iv.start));
         stats.add("ipc", ratio(static_cast<double>(iv.committed),
                                static_cast<double>(iv.cycles)));
+        if (options.telemetry) {
+            const double wall_ms = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0).count();
+            options.telemetry->jobFinish("interval", rr.config, rr.workload,
+                                         worker, wall_ms, true,
+                                         static_cast<long>(job.interval));
+        }
         jobFinished(cell, rr, stats);
     });
+
+    if (options.telemetry && options.useTraceCache)
+        options.telemetry->traceCacheCounts(cache.hitCount(),
+                                            cache.missCount());
 
     // Reduce each cell in slot order (deterministic float order).
     // Cached cells carry their reduced stats already (store pre-pass)

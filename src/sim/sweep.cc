@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "pipeline/core.hh"
 #include "sim/params.hh"
 #include "sim/store.hh"
+#include "sim/telemetry.hh"
 #include "sim/trace_cache.hh"
 #include "workloads/workload.hh"
 
@@ -40,29 +42,37 @@ validatePlanConfigs(const ExperimentPlan &plan)
 
 void
 runOnWorkerPool(std::size_t num_jobs, int jobs_option,
-                const std::function<void(std::size_t)> &body)
+                const std::function<void(std::size_t job, int worker)> &body)
 {
     std::atomic<std::size_t> next{0};
-    auto worker = [&] {
+    auto worker = [&](int me) {
         for (;;) {
             const std::size_t j = next.fetch_add(1);
             if (j >= num_jobs)
                 return;
-            body(j);
+            body(j, me);
         }
     };
     const std::size_t nthreads = std::min<std::size_t>(
         jobs_option > 0 ? jobs_option : runnerThreads(), num_jobs);
     if (nthreads <= 1) {
-        worker();
+        worker(0);
         return;
     }
     std::vector<std::thread> pool;
     pool.reserve(nthreads);
     for (std::size_t t = 0; t < nthreads; ++t)
-        pool.emplace_back(worker);
+        pool.emplace_back(worker, static_cast<int>(t));
     for (auto &t : pool)
         t.join();
+}
+
+void
+runOnWorkerPool(std::size_t num_jobs, int jobs_option,
+                const std::function<void(std::size_t)> &body)
+{
+    runOnWorkerPool(num_jobs, jobs_option,
+                    [&](std::size_t j, int) { body(j); });
 }
 
 PlanResult
@@ -137,6 +147,10 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
         // field above; the map records the config's own seed knob).
         cell.params = configKeyValues(plan.configs[j.cfg]);
     }
+    if (options.telemetry) {
+        for (const RunResult &cell : out.cells)
+            options.telemetry->cellQueued(cell.config, cell.workload);
+    }
 
     // Content-addressed store, serial pre-pass: a cell whose key (the
     // complete canonical inputs — config map, workload, seed, resolved
@@ -199,6 +213,8 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
             ++out.storeComputed;
         }
         options.store->flush();
+        if (options.telemetry)
+            options.telemetry->storeCounts(out.storeHits, out.storeComputed);
     };
 
     if (jobs.empty()) {
@@ -226,11 +242,17 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
     std::atomic<std::size_t> done{0};
     std::mutex progressMu;
 
-    runOnWorkerPool(jobs.size(), options.jobs, [&](std::size_t j) {
+    runOnWorkerPool(jobs.size(), options.jobs, [&](std::size_t j,
+                                                   int worker) {
         const Job &job = jobs[j];
         SimConfig cfg = plan.configs[job.cfg];
         RunResult &cell = out.cells[job.slot];
         cfg.seed = cell.seed;
+
+        if (options.telemetry)
+            options.telemetry->jobStart("cell", cell.config, cell.workload,
+                                        worker);
+        const auto t0 = std::chrono::steady_clock::now();
 
         Workload w = workloads::build(cell.workload);
         if (options.useTraceCache)
@@ -242,6 +264,8 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
             const std::uint64_t maxCycles =
                 (out.warmup + measure) * 60 + 1000000;
             Core core(cfg, w);
+            if (options.tracer)
+                core.setPipeTracer(options.tracer);
             core.run(out.warmup, maxCycles);
             core.resetStats();
             core.run(measure, maxCycles);
@@ -251,12 +275,21 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
         if (remaining[job.wl].fetch_sub(1) == 1)
             cache.drop(cell.workload);
 
+        if (options.telemetry) {
+            const double wall_ms = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0).count();
+            options.telemetry->jobFinish("cell", cell.config, cell.workload,
+                                         worker, wall_ms, true);
+        }
         const std::size_t finished = done.fetch_add(1) + 1;
         if (options.progress) {
             std::lock_guard<std::mutex> lock(progressMu);
             options.progress(finished, jobs.size(), cell);
         }
     });
+    if (options.telemetry && options.useTraceCache)
+        options.telemetry->traceCacheCounts(cache.hitCount(),
+                                            cache.missCount());
     storeFinish();
     return out;
 }

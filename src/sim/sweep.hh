@@ -30,7 +30,9 @@
 
 namespace eole {
 
+class PipeTracer;
 class Store;
+class TelemetrySink;
 
 /** Knobs for one runPlan invocation (CLI flags map 1:1 onto these). */
 struct SweepOptions
@@ -70,6 +72,17 @@ struct SweepOptions
     /** Progress hook, invoked (serialized) as each job finishes. */
     std::function<void(std::size_t done, std::size_t total,
                        const RunResult &cell)> progress;
+
+    /** Optional JSONL event stream (sim/telemetry.hh). Observability
+     *  only: attaching a sink never changes scheduling, results, or
+     *  artifacts. Non-owning. */
+    TelemetrySink *telemetry = nullptr;
+
+    /** Optional per-µop pipeline event sink (common/pipetrace.hh),
+     *  attached to every core the sweep constructs. The CLI restricts
+     *  `--pipetrace` to single-cell runs; the engine itself just hands
+     *  the pointer to Core. Non-owning, may be null. */
+    PipeTracer *tracer = nullptr;
 };
 
 /** Everything one sweep produced; the in-memory form of an artifact. */
@@ -112,6 +125,13 @@ void validatePlanConfigs(const ExperimentPlan &plan);
  */
 void runOnWorkerPool(std::size_t num_jobs, int jobs_option,
                      const std::function<void(std::size_t)> &body);
+
+/** As above, with the executing worker's index [0, nthreads) passed to
+ *  @p body — telemetry attributes jobs to workers through it. Worker
+ *  identity must never influence results (the determinism contract). */
+void runOnWorkerPool(std::size_t num_jobs, int jobs_option,
+                     const std::function<void(std::size_t job,
+                                              int worker)> &body);
 
 /** Print the plan's paper-style tables from a sweep's results. Tables
  *  whose cells were filtered away are skipped with a note. */

@@ -14,8 +14,10 @@ TraceCache::byteBudget()
 std::shared_ptr<const FrozenTrace>
 TraceCache::get(const Workload &workload, std::uint64_t min_uops)
 {
-    if (min_uops * sizeof(TraceUop) > byteBudget())
+    if (min_uops * sizeof(TraceUop) > byteBudget()) {
+        misses.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
+    }
 
     Entry *entry;
     {
@@ -28,8 +30,12 @@ TraceCache::get(const Workload &workload, std::uint64_t min_uops)
 
     std::lock_guard<std::mutex> lock(entry->mu);
     if (!entry->trace
-        || (!entry->trace->complete && entry->trace->uops.size() < min_uops))
+        || (!entry->trace->complete && entry->trace->uops.size() < min_uops)) {
+        misses.fetch_add(1, std::memory_order_relaxed);
         entry->trace = workload.freeze(min_uops);
+    } else {
+        hits.fetch_add(1, std::memory_order_relaxed);
+    }
     return entry->trace;
 }
 

@@ -22,6 +22,7 @@
 #ifndef EOLE_SIM_TRACE_CACHE_HH
 #define EOLE_SIM_TRACE_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -51,7 +52,15 @@ class TraceCache
     /** Per-trace byte budget (EOLE_TRACE_CACHE_MB, default 4096 MB). */
     static std::uint64_t byteBudget();
 
+    /** get() calls that found an adequate recorded trace / had to
+     *  record (or re-record) one. Over-budget fallbacks count as
+     *  misses. Telemetry-only; never consulted by the engine. */
+    std::uint64_t hitCount() const { return hits.load(); }
+    std::uint64_t missCount() const { return misses.load(); }
+
   private:
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
     struct Entry
     {
         std::mutex mu;

@@ -28,6 +28,7 @@
  * sampled artifacts by confidence-interval overlap instead.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,9 +42,11 @@
 
 #include <atomic>
 
+#include "common/build_info.hh"
 #include "common/env.hh"
 #include "common/fuzzy.hh"
 #include "common/logging.hh"
+#include "common/pipetrace.hh"
 #include "sim/artifact.hh"
 #include "sim/bench.hh"
 #include "sim/trace_cache.hh"
@@ -57,6 +60,7 @@
 #include "sim/shard.hh"
 #include "sim/store.hh"
 #include "sim/sweep.hh"
+#include "sim/telemetry.hh"
 #include "workloads/workload.hh"
 
 using namespace eole;
@@ -121,7 +125,28 @@ usage(FILE *to, int exit_code)
         "                    way\n"
         "      --no-cache    disable the shared functional-trace cache\n"
         "      --no-tables   skip the paper-style tables\n"
-        "      --quiet       no per-job progress on stderr\n"
+        "      --quiet       suppress progress chatter on stderr\n"
+        "                    (notice-level lines like store summaries\n"
+        "                    still print; EOLE_LOG=quiet|normal|debug\n"
+        "                    sets the same levels from the environment)\n"
+        "      --progress    heartbeat as cells finish: done count,\n"
+        "                    elapsed and ETA (prints even with --quiet)\n"
+        "      --telemetry F write a JSONL event stream beside the run:\n"
+        "                    a run_start manifest (plan, lengths, host,\n"
+        "                    build), cell_queued per matched cell,\n"
+        "                    job_start/job_finish with worker index and\n"
+        "                    wall time, store / trace-cache counters,\n"
+        "                    and a terminal run_finish — or run_aborted\n"
+        "                    when the command exits early. Summarize\n"
+        "                    with `eole telemetry summarize`.\n"
+        "      --pipetrace F trace every pipeline event of the run's\n"
+        "                    single cell (narrow with --filter) into F\n"
+        "                    in Kanata format — open it in the Konata\n"
+        "                    viewer. --pipetrace-format canonical\n"
+        "                    writes the byte-stable text form instead;\n"
+        "                    --pipetrace-range A:B restricts to µ-op\n"
+        "                    sequence numbers [A, B). Unsampled,\n"
+        "                    non-shard runs only.\n"
         "\n"
         "  eole shard <plan>|--plan <file.plan> --hosts N --host I\n"
         "            [run options] [--out FILE|DIR]\n"
@@ -175,7 +200,7 @@ usage(FILE *to, int exit_code)
         "\n"
         "  eole bench [--configs A,B] [--workloads X,Y] [--budget N]\n"
         "             [--warmup N] [--reps K] [--label L] [--out F]\n"
-        "             [--quiet]\n"
+        "             [--profile] [--quiet]\n"
         "      Time detailed-mode simulation speed (µops/sec), one\n"
         "      serial cell per (config, workload): discard --warmup\n"
         "      µ-ops (default 100k), time --budget measured µ-ops\n"
@@ -183,7 +208,12 @@ usage(FILE *to, int exit_code)
         "      (default 3). Configs default to the fig12 set,\n"
         "      workloads to a 3-benchmark smoke set. --out writes a\n"
         "      canonical eole-bench-v1 JSON artifact (the committed\n"
-        "      BENCH_<label>.json trajectory files).\n"
+        "      BENCH_<label>.json trajectory files). --profile\n"
+        "      attributes each cell's wall time to pipeline stages and\n"
+        "      models (per-cell breakdown tables + a profile section\n"
+        "      in the JSON); profiled timings carry the timer overhead,\n"
+        "      so compare them only against other profiled runs.\n"
+        "      EOLE_PROF=1 enables the same timers in any command.\n"
         "\n"
         "  eole bench --compare <a.json> <b.json> [--fail-below X]\n"
         "      Per-cell speedup report of b over a from two bench\n"
@@ -201,7 +231,18 @@ usage(FILE *to, int exit_code)
         "      skips sample_* bookkeeping stats (for sampled\n"
         "      artifacts; combine with --rel-tol for raw totals). A\n"
         "      stat key present on only one side is always a\n"
-        "      difference.\n");
+        "      difference.\n"
+        "\n"
+        "  eole telemetry summarize <file.jsonl>...\n"
+        "      Merge one or more --telemetry streams (e.g. the three\n"
+        "      files of a 3-shard sweep) into per-worker utilization,\n"
+        "      the critical-path cell, store/trace-cache totals and\n"
+        "      the distinct cell set.\n"
+        "\n"
+        "  eole --version\n"
+        "      Print build provenance (git describe, compiler, build\n"
+        "      type) — the same string stamped into artifacts, bench\n"
+        "      JSON and telemetry manifests.\n");
     return exit_code;
 }
 
@@ -398,42 +439,29 @@ cmdRun(int argc, char **argv, bool shard_mode)
     ExperimentPlan plan;
     bool have_plan = false;
     int first_opt = 0;
+    std::string named_plan;
     if (argv[0][0] != '-') {
-        const std::string plan_name = argv[0];
-        if (!plans::exists(plan_name)) {
-            std::fprintf(stderr,
-                         "eole: unknown plan \"%s\"%s (try `eole "
-                         "list`)\n", plan_name.c_str(),
-                         didYouMean(closestMatches(
-                             plan_name, plans::allNames())).c_str());
-            return 2;
-        }
-        plan = plans::get(plan_name);
-        have_plan = true;
+        // Resolved after the telemetry sink opens, so an unknown name
+        // still terminates the stream with run_aborted.
+        named_plan = argv[0];
         first_opt = 1;
     }
 
     SweepOptions opt;
     SampleSpec sample;
     std::string out_path, csv_path, store_dir, value;
+    std::string plan_file, telemetry_path, pipetrace_path;
+    std::string pipetrace_format = "kanata", pipetrace_range;
     std::vector<std::string> sets;
     std::uint64_t seed = 0;
     std::uint64_t shard_hosts = 0, shard_host = 0;
     bool have_seed = false, have_host = false;
-    bool tables = true, quiet = false;
+    bool tables = true, quiet = false, progress_flag = false;
     for (int i = first_opt; i < argc; ++i) {
         if (takeValue(argc, argv, i, "--plan", value)) {
-            if (have_plan) {
-                std::fprintf(stderr, "eole: give either a registered "
-                             "plan name or --plan, not both\n");
-                return 2;
-            }
-            std::string err;
-            if (!loadPlanFile(value, &plan, &err)) {
-                std::fprintf(stderr, "eole: %s\n", err.c_str());
-                return 2;
-            }
-            have_plan = true;
+            // Loaded after the telemetry sink opens, so a bad plan
+            // file still terminates the stream with run_aborted.
+            plan_file = value;
         } else if (takeValue(argc, argv, i, "--set", value)) {
             sets.push_back(value);
         } else if (takeValue(argc, argv, i, "--jobs", value)) {
@@ -455,6 +483,21 @@ cmdRun(int argc, char **argv, bool shard_mode)
             sample = parseSampleSpec(value);
         } else if (takeValue(argc, argv, i, "--store", value)) {
             store_dir = value;
+        } else if (takeValue(argc, argv, i, "--telemetry", value)) {
+            telemetry_path = value;
+        } else if (!shard_mode
+                   && takeValue(argc, argv, i, "--pipetrace", value)) {
+            pipetrace_path = value;
+        } else if (!shard_mode
+                   && takeValue(argc, argv, i, "--pipetrace-format",
+                                value)) {
+            pipetrace_format = value;
+        } else if (!shard_mode
+                   && takeValue(argc, argv, i, "--pipetrace-range",
+                                value)) {
+            pipetrace_range = value;
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            progress_flag = true;
         } else if (shard_mode
                    && takeValue(argc, argv, i, "--hosts", value)) {
             shard_hosts = parseU64(value, "--hosts");
@@ -474,29 +517,62 @@ cmdRun(int argc, char **argv, bool shard_mode)
             return usage(stderr, 2);
         }
     }
+    if (quiet)
+        setLogLevel(LogLevel::Quiet);
+
+    // The telemetry stream opens before any validation below, and
+    // every exit-2 path from here on terminates it with run_aborted —
+    // a consumer never sees a silently truncated stream.
+    std::unique_ptr<TelemetrySink> telem;
+    if (!telemetry_path.empty())
+        telem = std::make_unique<TelemetrySink>(telemetry_path);
+    const auto bail = [&](const std::string &reason) {
+        std::fprintf(stderr, "eole: %s\n", reason.c_str());
+        if (telem)
+            telem->runAborted(reason);
+        return 2;
+    };
+    if (!named_plan.empty()) {
+        if (!plans::exists(named_plan)) {
+            return bail(csprintf(
+                "unknown plan \"%s\"%s (try `eole list`)",
+                named_plan.c_str(),
+                didYouMean(closestMatches(
+                    named_plan, plans::allNames())).c_str()));
+        }
+        plan = plans::get(named_plan);
+        have_plan = true;
+    }
+    if (!plan_file.empty()) {
+        if (have_plan) {
+            return bail("give either a registered plan name or --plan, "
+                        "not both");
+        }
+        std::string err;
+        if (!loadPlanFile(plan_file, &plan, &err))
+            return bail(err);
+        have_plan = true;
+    }
     if (!have_plan) {
         std::fprintf(stderr, "eole: %s needs a plan name or --plan "
                      "<file>\n", shard_mode ? "shard" : "run");
+        if (telem)
+            telem->runAborted("no plan given");
         return usage(stderr, 2);
     }
     if (shard_mode) {
-        if (shard_hosts == 0 || !have_host) {
-            std::fprintf(stderr,
-                         "eole: shard needs --hosts N and --host I\n");
-            return 2;
-        }
+        if (shard_hosts == 0 || !have_host)
+            return bail("shard needs --hosts N and --host I");
         if (shard_host >= shard_hosts) {
-            std::fprintf(stderr,
-                         "eole: --host %llu out of range for --hosts "
-                         "%llu (hosts are numbered from 0)\n",
-                         (unsigned long long)shard_host,
-                         (unsigned long long)shard_hosts);
-            return 2;
+            return bail(csprintf(
+                "--host %llu out of range for --hosts %llu (hosts are "
+                "numbered from 0)",
+                (unsigned long long)shard_host,
+                (unsigned long long)shard_hosts));
         }
         if (!csv_path.empty()) {
-            std::fprintf(stderr, "eole: --csv does not apply to shard "
-                         "partials; run it on the merged artifact\n");
-            return 2;
+            return bail("--csv does not apply to shard partials; run "
+                        "it on the merged artifact");
         }
         opt.shard.hosts = shard_hosts;
         opt.shard.host = shard_host;
@@ -512,19 +588,15 @@ cmdRun(int argc, char **argv, bool shard_mode)
     for (const std::string &kv : sets) {
         const std::size_t eq = kv.find('=');
         if (eq == std::string::npos || eq == 0) {
-            std::fprintf(stderr,
-                         "eole: --set wants key=value, got \"%s\"\n",
-                         kv.c_str());
-            return 2;
+            return bail(csprintf("--set wants key=value, got \"%s\"",
+                                 kv.c_str()));
         }
         const std::string key = kv.substr(0, eq);
         const std::string val = kv.substr(eq + 1);
         for (SimConfig &c : plan.configs) {
             const std::string err = reg.trySet(c, key, val);
-            if (!err.empty()) {
-                std::fprintf(stderr, "eole: --set: %s\n", err.c_str());
-                return 2;
-            }
+            if (!err.empty())
+                return bail("--set: " + err);
         }
     }
     const std::string plan_name = plan.name;
@@ -548,6 +620,11 @@ cmdRun(int argc, char **argv, bool shard_mode)
             for (const std::string &w : plan.workloads)
                 std::fprintf(stderr, " %s", w.c_str());
             std::fprintf(stderr, "\n");
+            if (telem) {
+                telem->runAborted(csprintf(
+                    "--filter \"%s\" matches no cell of plan %s",
+                    opt.filter.c_str(), plan_name.c_str()));
+            }
             return 2;
         }
     }
@@ -556,26 +633,114 @@ cmdRun(int argc, char **argv, bool shard_mode)
     // own `sample =` directive (resolveRunLength-style precedence).
     sample = resolveSampleSpec(sample, plan.sample);
 
-    if (!quiet) {
+    // Matched-cell census: the telemetry manifest and the single-cell
+    // --pipetrace restriction both need it before the engines expand
+    // the plan themselves.
+    std::size_t matched_cells = 0;
+    for (const SimConfig &c : plan.configs) {
+        for (const std::string &w : plan.workloads) {
+            if (cellMatches(opt.filter, c.name, w)
+                && opt.shard.owns(plan.seed, c.seed, c.name, w))
+                ++matched_cells;
+        }
+    }
+
+    std::ofstream trace_os;
+    std::unique_ptr<PipeTracer> tracer;
+    if (!pipetrace_path.empty()) {
+        if (sample.enabled())
+            return bail("--pipetrace needs an unsampled run");
+        if (matched_cells != 1) {
+            return bail(csprintf(
+                "--pipetrace needs exactly one cell, but %zu match; "
+                "narrow with --filter", matched_cells));
+        }
+        PipeTracer::Format fmt;
+        if (pipetrace_format == "kanata") {
+            fmt = PipeTracer::Format::Kanata;
+        } else if (pipetrace_format == "canonical") {
+            fmt = PipeTracer::Format::Canonical;
+        } else {
+            return bail(csprintf(
+                "bad --pipetrace-format \"%s\" (kanata or canonical)",
+                pipetrace_format.c_str()));
+        }
+        SeqNum lo = 0, hi = ~SeqNum{0};
+        if (!pipetrace_range.empty()) {
+            const std::size_t colon = pipetrace_range.find(':');
+            bool ok = colon != std::string::npos;
+            if (ok) {
+                ok = parseU64Strict(pipetrace_range.substr(0, colon),
+                                    &lo)
+                    && parseU64Strict(pipetrace_range.substr(colon + 1),
+                                      &hi);
+            }
+            if (!ok || lo >= hi) {
+                return bail(csprintf(
+                    "bad --pipetrace-range \"%s\" (want A:B with "
+                    "A < B, µ-op sequence numbers)",
+                    pipetrace_range.c_str()));
+            }
+        }
+        trace_os.open(pipetrace_path);
+        if (!trace_os) {
+            return bail(csprintf("cannot write %s",
+                                 pipetrace_path.c_str()));
+        }
+        tracer = std::make_unique<PipeTracer>(trace_os, fmt, lo, hi);
+        opt.tracer = tracer.get();
+    }
+
+    if (telem) {
+        telem->runStart(
+            shard_mode ? "shard" : "run", plan_name, plan.seed,
+            resolveRunLength(opt.warmup, plan.warmup, "EOLE_WARMUP",
+                             defaultWarmupUops),
+            resolveRunLength(opt.measure, plan.measure, "EOLE_INSTS",
+                             defaultMeasureUops),
+            opt.filter,
+            sample.enabled() ? sampleSpecString(sample) : "",
+            opt.jobs > 0 ? opt.jobs : runnerThreads(), matched_cells,
+            shard_mode ? static_cast<int>(shard_host) : -1,
+            shard_mode ? static_cast<int>(shard_hosts) : -1);
+        opt.telemetry = telem.get();
+    }
+
+    const auto run_t0 = std::chrono::steady_clock::now();
+    if (progress_flag) {
+        // Heartbeat for long sweeps: rate-based ETA over finished
+        // jobs. notice-level, so it survives --quiet by design.
+        opt.progress = [run_t0](std::size_t done, std::size_t total,
+                                const RunResult &cell) {
+            const double secs = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - run_t0).count();
+            const double eta =
+                done > 0 ? secs * (total - done) / done : 0.0;
+            notice("[%zu/%zu] %s/%s elapsed %.0fs eta %.0fs", done,
+                   total, cell.config.c_str(), cell.workload.c_str(),
+                   secs, eta);
+        };
+    } else {
         opt.progress = [](std::size_t done, std::size_t total,
                           const RunResult &cell) {
-            std::fprintf(stderr, "[%zu/%zu] %s/%s ipc=%.3f\n", done,
-                         total, cell.config.c_str(),
-                         cell.workload.c_str(), cell.ipc());
+            inform("[%zu/%zu] %s/%s ipc=%.3f", done, total,
+                   cell.config.c_str(), cell.workload.c_str(),
+                   cell.ipc());
         };
+    }
+    {
         const char *verb = shard_mode ? "shard" : "run";
         if (sample.enabled()) {
-            std::fprintf(stderr,
-                         "eole %s %s: %zu cells x %llu intervals "
-                         "(sample %s), %d jobs\n",
-                         verb, plan_name.c_str(), plan.gridSize(),
-                         (unsigned long long)sample.intervals,
-                         sampleSpecString(sample).c_str(),
-                         opt.jobs > 0 ? opt.jobs : runnerThreads());
+            inform("eole %s %s: %zu cells x %llu intervals (sample "
+                   "%s), %d jobs",
+                   verb, plan_name.c_str(), plan.gridSize(),
+                   (unsigned long long)sample.intervals,
+                   sampleSpecString(sample).c_str(),
+                   opt.jobs > 0 ? opt.jobs : runnerThreads());
         } else {
-            std::fprintf(stderr, "eole %s %s: %zu cells, %d jobs\n",
-                         verb, plan_name.c_str(), plan.gridSize(),
-                         opt.jobs > 0 ? opt.jobs : runnerThreads());
+            inform("eole %s %s: %zu cells, %d jobs", verb,
+                   plan_name.c_str(), plan.gridSize(),
+                   opt.jobs > 0 ? opt.jobs : runnerThreads());
         }
     }
 
@@ -584,15 +749,14 @@ cmdRun(int argc, char **argv, bool shard_mode)
         store = std::make_unique<Store>(store_dir);
         opt.store = store.get();
     }
-    // The one store summary line (always on stderr, even --quiet):
-    // "0 computed" on a warm re-run is the observable contract the CI
-    // shard lane and tests/test_shard.cc pin.
+    // The one store summary line (notice level: always on stderr, even
+    // --quiet): "0 computed" on a warm re-run is the observable
+    // contract the CI shard lane and tests/test_shard.cc pin.
     const auto storeSummary = [&](std::size_t hits,
                                   std::size_t computed) {
         if (store) {
-            std::fprintf(stderr,
-                         "store %s: %zu cached, %zu computed\n",
-                         store_dir.c_str(), hits, computed);
+            notice("store %s: %zu cached, %zu computed",
+                   store_dir.c_str(), hits, computed);
         }
     };
 
@@ -613,15 +777,12 @@ cmdRun(int argc, char **argv, bool shard_mode)
         writeShardArtifact(os, shard);
         os.close();
         fatal_if(os.fail(), "write failure on %s", path.c_str());
-        if (!quiet) {
-            std::fprintf(stderr,
-                         "wrote %s (host %llu of %llu: %zu of %llu "
-                         "cells)\n", path.c_str(),
-                         (unsigned long long)shard_host,
-                         (unsigned long long)shard_hosts,
-                         shard.cells.size(),
-                         (unsigned long long)shard.cellsTotal);
-        }
+        inform("wrote %s (host %llu of %llu: %zu of %llu cells)",
+               path.c_str(), (unsigned long long)shard_host,
+               (unsigned long long)shard_hosts, shard.cells.size(),
+               (unsigned long long)shard.cellsTotal);
+        if (telem)
+            telem->runFinish(shard.cells.size());
         return 0;
     }
 
@@ -630,6 +791,15 @@ cmdRun(int argc, char **argv, bool shard_mode)
         : runPlan(plan, opt);
     storeSummary(result.storeHits, result.storeComputed);
 
+    if (tracer) {
+        tracer->finish();
+        trace_os.close();
+        fatal_if(trace_os.fail(), "write failure on %s",
+                 pipetrace_path.c_str());
+        inform("wrote %s (pipetrace, %s format)", pipetrace_path.c_str(),
+               pipetrace_format.c_str());
+    }
+
     if (tables)
         printPlanTables(plan, result);
 
@@ -637,17 +807,17 @@ cmdRun(int argc, char **argv, bool shard_mode)
         std::ofstream os(out_path);
         fatal_if(!os, "cannot write %s", out_path.c_str());
         writeJsonArtifact(os, result);
-        if (!quiet)
-            std::fprintf(stderr, "wrote %s (%zu cells)\n",
-                         out_path.c_str(), result.cells.size());
+        inform("wrote %s (%zu cells)", out_path.c_str(),
+               result.cells.size());
     }
     if (!csv_path.empty()) {
         std::ofstream os(csv_path);
         fatal_if(!os, "cannot write %s", csv_path.c_str());
         writeCsvArtifact(os, result);
-        if (!quiet)
-            std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+        inform("wrote %s", csv_path.c_str());
     }
+    if (telem)
+        telem->runFinish(result.cells.size());
     return 0;
 }
 
@@ -804,39 +974,23 @@ cmdCkptSave(int argc, char **argv)
     ExperimentPlan plan;
     bool have_plan = false;
     int first_opt = 0;
+    std::string named_plan;
     if (argc >= 1 && argv[0][0] != '-') {
-        const std::string plan_name = argv[0];
-        if (!plans::exists(plan_name)) {
-            std::fprintf(stderr,
-                         "eole: unknown plan \"%s\"%s (try `eole "
-                         "list`)\n", plan_name.c_str(),
-                         didYouMean(closestMatches(
-                             plan_name, plans::allNames())).c_str());
-            return 2;
-        }
-        plan = plans::get(plan_name);
-        have_plan = true;
+        // Resolved after the telemetry sink opens, so an unknown name
+        // still terminates the stream with run_aborted.
+        named_plan = argv[0];
         first_opt = 1;
     }
 
     SweepOptions opt;
     SampleSpec sample;
-    std::string out_dir, store_dir, value;
+    std::string out_dir, store_dir, telemetry_path, plan_file, value;
     std::vector<std::string> sets;
-    bool quiet = false;
+    std::uint64_t seed = 0;
+    bool have_seed = false, quiet = false;
     for (int i = first_opt; i < argc; ++i) {
         if (takeValue(argc, argv, i, "--plan", value)) {
-            if (have_plan) {
-                std::fprintf(stderr, "eole: give either a registered "
-                             "plan name or --plan, not both\n");
-                return 2;
-            }
-            std::string err;
-            if (!loadPlanFile(value, &plan, &err)) {
-                std::fprintf(stderr, "eole: %s\n", err.c_str());
-                return 2;
-            }
-            have_plan = true;
+            plan_file = value;
         } else if (takeValue(argc, argv, i, "--out", value)) {
             out_dir = value;
         } else if (takeValue(argc, argv, i, "--sample", value)) {
@@ -846,7 +1000,8 @@ cmdCkptSave(int argc, char **argv)
         } else if (takeValue(argc, argv, i, "--jobs", value)) {
             opt.jobs = static_cast<int>(parseU64(value, "--jobs"));
         } else if (takeValue(argc, argv, i, "--seed", value)) {
-            plan.seed = parseU64(value, "--seed");
+            seed = parseU64(value, "--seed");
+            have_seed = true;
         } else if (takeValue(argc, argv, i, "--warmup", value)) {
             opt.warmup = parseU64(value, "--warmup");
         } else if (takeValue(argc, argv, i, "--insts", value)) {
@@ -855,6 +1010,8 @@ cmdCkptSave(int argc, char **argv)
             sets.push_back(value);
         } else if (takeValue(argc, argv, i, "--store", value)) {
             store_dir = value;
+        } else if (takeValue(argc, argv, i, "--telemetry", value)) {
+            telemetry_path = value;
         } else if (std::strcmp(argv[i], "--no-cache") == 0) {
             opt.useTraceCache = false;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -864,48 +1021,74 @@ cmdCkptSave(int argc, char **argv)
             return usage(stderr, 2);
         }
     }
+    if (quiet)
+        setLogLevel(LogLevel::Quiet);
+    std::unique_ptr<TelemetrySink> telem;
+    if (!telemetry_path.empty())
+        telem = std::make_unique<TelemetrySink>(telemetry_path);
+    const auto bail = [&](const std::string &reason) {
+        std::fprintf(stderr, "eole: %s\n", reason.c_str());
+        if (telem)
+            telem->runAborted(reason);
+        return 2;
+    };
+    if (!named_plan.empty()) {
+        if (!plans::exists(named_plan)) {
+            return bail(csprintf(
+                "unknown plan \"%s\"%s (try `eole list`)",
+                named_plan.c_str(),
+                didYouMean(closestMatches(
+                    named_plan, plans::allNames())).c_str()));
+        }
+        plan = plans::get(named_plan);
+        have_plan = true;
+    }
+    if (!plan_file.empty()) {
+        if (have_plan) {
+            return bail("give either a registered plan name or --plan, "
+                        "not both");
+        }
+        std::string err;
+        if (!loadPlanFile(plan_file, &plan, &err))
+            return bail(err);
+        have_plan = true;
+    }
     if (!have_plan) {
         std::fprintf(stderr,
                      "eole: ckpt save needs a plan name or --plan\n");
+        if (telem)
+            telem->runAborted("no plan given");
         return usage(stderr, 2);
     }
-    if (out_dir.empty()) {
-        std::fprintf(stderr,
-                     "eole: ckpt save needs --out <directory>\n");
-        return 2;
-    }
+    if (have_seed)
+        plan.seed = seed;
+    if (out_dir.empty())
+        return bail("ckpt save needs --out <directory>");
     const ParamRegistry &reg = ParamRegistry::instance();
     for (const std::string &kv : sets) {
         const std::size_t eq = kv.find('=');
         if (eq == std::string::npos || eq == 0) {
-            std::fprintf(stderr,
-                         "eole: --set wants key=value, got \"%s\"\n",
-                         kv.c_str());
-            return 2;
+            return bail(csprintf("--set wants key=value, got \"%s\"",
+                                 kv.c_str()));
         }
         for (SimConfig &c : plan.configs) {
             const std::string err = reg.trySet(c, kv.substr(0, eq),
                                                kv.substr(eq + 1));
-            if (!err.empty()) {
-                std::fprintf(stderr, "eole: --set: %s\n", err.c_str());
-                return 2;
-            }
+            if (!err.empty())
+                return bail("--set: " + err);
         }
     }
     sample = resolveSampleSpec(sample, plan.sample);
     if (!sample.enabled()) {
-        std::fprintf(stderr,
-                     "eole: ckpt save needs a sampling spec: --sample "
-                     "N:W:D[:B] or a plan-file `sample =` directive\n");
-        return 2;
+        return bail("ckpt save needs a sampling spec: --sample "
+                    "N:W:D[:B] or a plan-file `sample =` directive");
     }
 
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
     if (ec) {
-        std::fprintf(stderr, "eole: cannot create %s: %s\n",
-                     out_dir.c_str(), ec.message().c_str());
-        return 2;
+        return bail(csprintf("cannot create %s: %s", out_dir.c_str(),
+                             ec.message().c_str()));
     }
 
     const std::uint64_t warmup = resolveRunLength(
@@ -951,9 +1134,16 @@ cmdCkptSave(int argc, char **argv)
         }
     }
     if (cells.empty()) {
-        std::fprintf(stderr, "eole: no cell of plan %s matches\n",
-                     plan.name.c_str());
-        return 2;
+        return bail(csprintf("no cell of plan %s matches",
+                             plan.name.c_str()));
+    }
+    if (telem) {
+        telem->runStart("ckpt-save", plan.name, plan.seed, warmup,
+                        measure, opt.filter, sampleSpecString(sample),
+                        opt.jobs > 0 ? opt.jobs : runnerThreads(),
+                        cells.size(), -1, -1);
+        for (const CkptCell &cell : cells)
+            telem->cellQueued(cell.cfg->name, cell.workload);
     }
 
     // Content-addressed checkpoint store: keys carry the UNCLAMPED
@@ -1069,12 +1259,18 @@ cmdCkptSave(int argc, char **argv)
     }
 
     std::atomic<bool> write_failed{false};
-    runOnWorkerPool(cells.size(), opt.jobs, [&](std::size_t i) {
+    runOnWorkerPool(cells.size(), opt.jobs, [&](std::size_t i,
+                                                int worker) {
         if (cellFromStore[i])
             return;  // files already written from the store pre-pass
         CkptCell &cell = cells[i];
         SimConfig cfg = *cell.cfg;
         cfg.seed = cell.seed;
+
+        if (telem)
+            telem->jobStart("warm", cfg.name, cell.workload, worker);
+        const auto job_t0 = std::chrono::steady_clock::now();
+        bool cell_ok = true;
 
         Workload w = workloads::build(cell.workload);
         std::shared_ptr<const FrozenTrace> trace;
@@ -1122,6 +1318,7 @@ cmdCkptSave(int argc, char **argv)
                 }
                 if (!ok) {
                     write_failed.store(true);
+                    cell_ok = false;
                 } else {
                     cell.files[k] = file;
                 }
@@ -1130,7 +1327,16 @@ cmdCkptSave(int argc, char **argv)
         trace.reset();
         if (remaining[cell.wl].fetch_sub(1) == 1)
             cache.drop(cell.workload);
+        if (telem) {
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - job_t0).count();
+            telem->jobFinish("warm", cfg.name, cell.workload, worker,
+                             wall_ms, cell_ok);
+        }
     });
+    if (telem && opt.useTraceCache)
+        telem->traceCacheCounts(cache.hitCount(), cache.missCount());
 
     // Serial put pass: freshly warmed cells enter the store under the
     // keys the pre-pass derived.
@@ -1148,8 +1354,10 @@ cmdCkptSave(int argc, char **argv)
             }
         }
         store->flush();
-        std::fprintf(stderr, "store %s: %zu cached, %zu computed\n",
-                     store_dir.c_str(), storeHits, storeComputed);
+        notice("store %s: %zu cached, %zu computed", store_dir.c_str(),
+               storeHits, storeComputed);
+        if (telem)
+            telem->storeCounts(storeHits, storeComputed);
     }
 
     std::size_t written = 0;
@@ -1163,20 +1371,16 @@ cmdCkptSave(int argc, char **argv)
         }
     }
     if (write_failed.load()) {
-        std::fprintf(stderr, "eole: ckpt save: write failure under "
-                     "%s\n", out_dir.c_str());
-        return 2;
+        return bail(csprintf("ckpt save: write failure under %s",
+                             out_dir.c_str()));
     }
-    if (!quiet) {
-        std::fprintf(stderr,
-                     "wrote %zu checkpoint file(s) for %zu cell(s) "
-                     "(plan %s, sample %s, warmup %llu, measure "
-                     "%llu)\n",
-                     written, cells.size(), plan.name.c_str(),
-                     sampleSpecString(sample).c_str(),
-                     (unsigned long long)warmup,
-                     (unsigned long long)measure);
-    }
+    inform("wrote %zu checkpoint file(s) for %zu cell(s) (plan %s, "
+           "sample %s, warmup %llu, measure %llu)",
+           written, cells.size(), plan.name.c_str(),
+           sampleSpecString(sample).c_str(), (unsigned long long)warmup,
+           (unsigned long long)measure);
+    if (telem)
+        telem->runFinish(cells.size());
     return 0;
 }
 
@@ -1299,6 +1503,8 @@ cmdBench(int argc, char **argv)
                 return 2;
             }
             have_fail_below = true;
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            opt.profile = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             opt.quiet = true;
         } else {
@@ -1306,6 +1512,8 @@ cmdBench(int argc, char **argv)
             return usage(stderr, 2);
         }
     }
+    if (opt.quiet)
+        setLogLevel(LogLevel::Quiet);
 
     if (!compare_paths.empty()) {
         const BenchResult a = readBenchJsonFile(compare_paths[0]);
@@ -1329,6 +1537,8 @@ cmdBench(int argc, char **argv)
     }
 
     const BenchResult result = runBench(opt);
+    if (opt.profile)
+        writeBenchProfileTable(std::cout, result);
     std::printf("geomean: %.0f µops/s over %zu cell(s) (budget %llu, "
                 "warmup %llu, min of %d rep(s))\n",
                 result.geomeanUopsPerSec(), result.cells.size(),
@@ -1338,10 +1548,35 @@ cmdBench(int argc, char **argv)
         std::ofstream os(out_path);
         fatal_if(!os, "cannot write %s", out_path.c_str());
         writeBenchJson(os, result);
-        if (!opt.quiet)
-            std::fprintf(stderr, "wrote %s (%zu cells)\n",
-                         out_path.c_str(), result.cells.size());
+        inform("wrote %s (%zu cells)", out_path.c_str(),
+               result.cells.size());
     }
+    return 0;
+}
+
+int
+cmdTelemetry(int argc, char **argv)
+{
+    if (argc < 1 || std::strcmp(argv[0], "summarize") != 0) {
+        std::fprintf(stderr,
+                     "eole: telemetry needs: summarize <file.jsonl>"
+                     "...\n");
+        return usage(stderr, 2);
+    }
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i][0] == '-') {
+            std::fprintf(stderr, "eole: unknown option %s\n", argv[i]);
+            return usage(stderr, 2);
+        }
+        paths.emplace_back(argv[i]);
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "eole: telemetry summarize needs file(s)\n");
+        return 2;
+    }
+    summarizeTelemetry(paths, std::cout);
     return 0;
 }
 
@@ -1407,6 +1642,12 @@ main(int argc, char **argv)
         return cmdDiff(argc - 2, argv + 2);
     if (cmd == "ckpt")
         return cmdCkpt(argc - 2, argv + 2);
+    if (cmd == "telemetry")
+        return cmdTelemetry(argc - 2, argv + 2);
+    if (cmd == "--version" || cmd == "version") {
+        std::printf("eole %s\n", buildInfoString().c_str());
+        return 0;
+    }
     if (cmd == "help" || cmd == "--help" || cmd == "-h")
         return usage(stdout, 0);
     std::fprintf(stderr, "eole: unknown command \"%s\"\n", cmd.c_str());

@@ -23,6 +23,12 @@ vpKindName(VpKind kind)
     }
 }
 
+const char *
+vpLookupAnnot(const VpLookup &lookup)
+{
+    return lookup.confident ? "vp=conf" : "vp=unconf";
+}
+
 std::unique_ptr<ValuePredictor>
 createValuePredictor(const VpConfig &config, std::uint64_t seed)
 {

@@ -66,6 +66,11 @@ enum class VpKind
 
 const char *vpKindName(VpKind kind);
 
+/** Pipetrace annotation for a fetch-time lookup: "vp=conf" when the
+ *  pipeline will use the prediction, "vp=unconf" for a lookup below the
+ *  confidence bar (common/pipetrace.hh event taxonomy). */
+const char *vpLookupAnnot(const VpLookup &lookup);
+
 /** Abstract value predictor. */
 class ValuePredictor : public WarmableComponent
 {
