@@ -8,7 +8,7 @@
 # are unaffected.
 #
 # Usage: scripts/check.sh [--with-bench] [--bench] [--tsan] [--sample]
-#                         [--shard] [--obs]
+#                         [--shard] [--obs] [--trace]
 #   --with-bench   also run the fig13 modularity bench (stage-swap
 #                  self-check + the EOLE/OLE/EOE grid) on the short
 #                  run lengths.
@@ -42,6 +42,14 @@
 #                  hooks are compiled into the hot loop, so any
 #                  disabled-path cost shows up there as a geomean
 #                  regression.
+#   --trace        on-disk trace lane: record a workload to an
+#                  eole-trace-v1 file, validate it with `trace info`,
+#                  run the same smoke cell from `file:` and from the
+#                  live generator and require byte-identical
+#                  artifacts; ingest a checked-in RV64I log and run a
+#                  sweep over the resulting trace; and require the
+#                  missing-`file:` path to exit 2 with a did-you-mean
+#                  suggestion.
 #   --tsan         additionally build with ThreadSanitizer
 #                  (-DEOLE_TSAN=ON, build-tsan/) and run the sweep
 #                  engine + torture + sampling suites under it, plus
@@ -85,6 +93,7 @@ WITH_TSAN=0
 WITH_SAMPLE=0
 WITH_SHARD=0
 WITH_OBS=0
+WITH_TRACE=0
 for arg in "$@"; do
     case "$arg" in
       --with-bench) WITH_BENCH=1 ;;
@@ -93,6 +102,7 @@ for arg in "$@"; do
       --sample) WITH_SAMPLE=1 ;;
       --shard) WITH_SHARD=1 ;;
       --obs) WITH_OBS=1 ;;
+      --trace) WITH_TRACE=1 ;;
       *)
         echo "check.sh: unknown option '$arg'" >&2
         exit 2
@@ -427,6 +437,90 @@ if [[ "$WITH_OBS" == 1 ]]; then
         exit 1
     fi
     echo "check.sh: 3-shard telemetry summarizes to the full cell set"
+fi
+
+if [[ "$WITH_TRACE" == 1 ]]; then
+    echo "check.sh: on-disk trace lane (record / info / replay / ingest)"
+    rm -rf build/tracelane
+    mkdir -p build/tracelane
+
+    # Record -> validate: the writer and the reader must agree on the
+    # whole file (layout hash + SHA-256 footer), surfaced as the
+    # info command's "checksum ok".
+    if ! ./build/eole trace record torture:7 \
+         --out build/tracelane/t7.trace --quiet; then
+        echo "check.sh: eole trace record FAILED" >&2
+        exit 1
+    fi
+    if ! ./build/eole trace info build/tracelane/t7.trace \
+         | grep -Eq 'checksum +ok'; then
+        echo "check.sh: eole trace info did not validate the recording" >&2
+        exit 1
+    fi
+
+    # Replay guarantee: the same smoke grid over the file-backed
+    # workload must produce the byte-identical artifact the live
+    # generator does.
+    if ! ./build/eole run smoke \
+         --workloads file:build/tracelane/t7.trace --quiet --no-tables \
+         --out build/tracelane/replayed.json; then
+        echo "check.sh: file-backed smoke run FAILED" >&2
+        exit 1
+    fi
+    if ! ./build/eole run smoke --workloads torture:7 --quiet \
+         --no-tables --out build/tracelane/generated.json; then
+        echo "check.sh: generated smoke run FAILED" >&2
+        exit 1
+    fi
+    if ! cmp build/tracelane/replayed.json build/tracelane/generated.json;
+    then
+        echo "check.sh: file-backed artifact differs from the live" \
+             "generator's" >&2
+        exit 1
+    fi
+    echo "check.sh: trace replay byte-identical to the live generator"
+
+    # RV64I ingestion: a checked-in committed-instruction log converts
+    # into a runnable trace, and a sweep over it completes.
+    if ! ./build/eole trace ingest tests/data/rv64/fib.rvlog \
+         --out build/tracelane/fib.trace --quiet; then
+        echo "check.sh: eole trace ingest FAILED" >&2
+        exit 1
+    fi
+    if ! ./build/eole run smoke \
+         --workloads file:build/tracelane/fib.trace --quiet --no-tables \
+         --out build/tracelane/fib.json; then
+        echo "check.sh: sweep over the ingested RV64I trace FAILED" >&2
+        exit 1
+    fi
+    if ! grep -q '"rv64:fib"' build/tracelane/fib.json; then
+        echo "check.sh: ingested-trace artifact does not carry the" \
+             "embedded workload name" >&2
+        exit 1
+    fi
+    echo "check.sh: RV64I log ingested and swept (rv64:fib)"
+
+    # Missing-file diagnostics: a bad `file:` spec exits 2 and
+    # suggests the sibling .trace files that do exist.
+    set +e
+    ./build/eole run smoke \
+        --workloads file:build/tracelane/t8.trace --quiet --no-tables \
+        2> build/tracelane/missing.err
+    missing_rc=$?
+    set -e
+    if [[ "$missing_rc" != 2 ]]; then
+        cat build/tracelane/missing.err >&2
+        echo "check.sh: missing file: workload exited $missing_rc" \
+             "(want 2)" >&2
+        exit 1
+    fi
+    if ! grep -q 'did you mean' build/tracelane/missing.err; then
+        cat build/tracelane/missing.err >&2
+        echo "check.sh: missing file: diagnostic lacks a did-you-mean" \
+             "suggestion" >&2
+        exit 1
+    fi
+    echo "check.sh: missing file: workload exits 2 with a suggestion"
 fi
 
 if [[ "$WITH_TSAN" == 1 ]]; then

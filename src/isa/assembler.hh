@@ -96,6 +96,7 @@ class Assembler
     void shri(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Shri, d, a, i); }
     void sari(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Sari, d, a, i); }
     void slti(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Slti, d, a, i); }
+    void sltiu(IntReg d, IntReg a, std::int64_t i) { rri(Opcode::Sltiu, d, a, i); }
 
     void
     movi(IntReg d, std::int64_t i)

@@ -10,25 +10,50 @@ namespace eole {
 std::shared_ptr<const FrozenTrace>
 recordTrace(const Program &program, std::size_t mem_bytes,
             const std::function<void(KernelVM &)> &init,
-            std::uint64_t max_uops)
+            std::uint64_t max_uops, const std::string &name)
 {
     KernelVM vm(program, mem_bytes);
     if (init)
         init(vm);
 
     auto trace = std::make_shared<FrozenTrace>();
+    trace->name = name;
     for (int r = 0; r < numArchIntRegs; ++r)
         trace->initIntRegs[r] = vm.readIntReg(static_cast<RegIndex>(r));
     for (int r = 0; r < numArchFpRegs; ++r)
         trace->initFpRegs[r] = vm.readFpReg(static_cast<RegIndex>(r));
 
-    trace->uops.reserve(
+    trace->storage.reserve(
         static_cast<std::size_t>(std::min<std::uint64_t>(max_uops, 1u << 22)));
     TraceUop u;
-    while (trace->uops.size() < max_uops && vm.step(u))
-        trace->uops.push_back(u);
+    while (trace->storage.size() < max_uops && vm.step(u))
+        trace->storage.push_back(u);
     trace->complete = vm.halted();
+    trace->seal();
     return trace;
+}
+
+std::shared_ptr<const FrozenTrace>
+clampTrace(std::shared_ptr<const FrozenTrace> trace, std::uint64_t max_uops)
+{
+    if (!trace || trace->uops.size() <= max_uops)
+        return trace;
+
+    auto view = std::make_shared<FrozenTrace>();
+    view->uops = FrozenTrace::UopView{trace->uops.begin(),
+                                      static_cast<std::size_t>(max_uops)};
+    // µ-ops were cut off, so the clamped stream does not reach the
+    // program's halt — never complete.
+    view->complete = false;
+    for (int r = 0; r < numArchIntRegs; ++r)
+        view->initIntRegs[r] = trace->initIntRegs[r];
+    for (int r = 0; r < numArchFpRegs; ++r)
+        view->initFpRegs[r] = trace->initFpRegs[r];
+    view->name = trace->name;
+    view->isFp = trace->isFp;
+    view->mmapBacked = trace->mmapBacked;
+    view->mapping = std::move(trace);  // parent owns the bytes
+    return view;
 }
 
 } // namespace eole

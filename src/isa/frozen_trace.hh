@@ -11,6 +11,15 @@
  * running cores (see sim/trace_cache.hh). Replaying a frozen trace is
  * also faster than live functional execution: fetch becomes an indexed
  * read with no VM stepping and no replay-window bookkeeping.
+ *
+ * Two storage backings exist behind one read interface (`uops` is a
+ * borrowed span, not a container):
+ *  - recorded in memory (`storage` owns the vector; seal() points the
+ *    span at it), or
+ *  - mapped from an eole-trace-v1 file (src/trace/trace_file.hh): the
+ *    span points straight into the read-only mapping and `mapping`
+ *    keeps it alive, so a billion-µ-op trace costs address space and
+ *    page cache, not resident heap (residentBytes() == 0).
  */
 
 #ifndef EOLE_ISA_FROZEN_TRACE_HH
@@ -19,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -32,11 +42,26 @@ struct Program;
 /**
  * Immutable recording of a kernel's dynamic µ-op stream. Safe to share
  * across threads once constructed (all members are const after
- * recordTrace returns).
+ * recordTrace / the trace-file loader returns).
  */
 struct FrozenTrace
 {
-    std::vector<TraceUop> uops;
+    /** Borrowed read-only view over the µ-op array. Mimics the vector
+     *  surface consumers use (size/[]/begin/end) so replay code is
+     *  backing-agnostic. */
+    struct UopView
+    {
+        const TraceUop *ptr = nullptr;
+        std::size_t count = 0;
+
+        std::size_t size() const { return count; }
+        bool empty() const { return count == 0; }
+        const TraceUop &operator[](std::size_t i) const { return ptr[i]; }
+        const TraceUop *begin() const { return ptr; }
+        const TraceUop *end() const { return ptr + count; }
+    };
+
+    UopView uops;
 
     /** The program halted within uops (the stream is the whole run).
      *  When false, uops is a prefix and a consumer reading past the
@@ -48,7 +73,34 @@ struct FrozenTrace
     RegVal initIntRegs[numArchIntRegs] = {};
     RegVal initFpRegs[numArchFpRegs] = {};
 
+    /** Canonical workload name ("torture:7", "164.gzip",
+     *  "rv64:fib"...) — the cell identity artifacts and seeding key
+     *  on, embedded in trace files so `file:` replay reproduces the
+     *  generator path byte-for-byte. Empty for anonymous recordings. */
+    std::string name;
+
+    /** SPEC-suite flag of the recorded workload (Workload::isFp). */
+    bool isFp = false;
+
+    /** The µ-op array lives in a read-only file mapping instead of
+     *  `storage`; such a trace is file-backed page cache, not heap. */
+    bool mmapBacked = false;
+
+    /** Heap backing (in-memory recordings). */
+    std::vector<TraceUop> storage;
+
+    /** Keep-alive for non-heap backings: the mmap (unmapped by the
+     *  deleter) or a parent trace a clamped view borrows from. */
+    std::shared_ptr<const void> mapping;
+
+    /** Point the view at `storage` after filling it. */
+    void seal() { uops = UopView{storage.data(), storage.size()}; }
+
     std::size_t bytes() const { return uops.size() * sizeof(TraceUop); }
+
+    /** Bytes held in RAM against the trace-cache budget: mmap-backed
+     *  pages are evictable file cache and count as zero. */
+    std::size_t residentBytes() const { return mmapBacked ? 0 : bytes(); }
 };
 
 /**
@@ -60,11 +112,23 @@ struct FrozenTrace
  * @param init one-time architectural state initializer (may be null)
  * @param max_uops recording cap; the trace is complete if the program
  *        halts within the cap
+ * @param name canonical workload name stamped into the trace
  */
 std::shared_ptr<const FrozenTrace>
 recordTrace(const Program &program, std::size_t mem_bytes,
             const std::function<void(KernelVM &)> &init,
-            std::uint64_t max_uops);
+            std::uint64_t max_uops, const std::string &name = "");
+
+/**
+ * A prefix view of @p trace bounded to @p max_uops µ-ops, sharing the
+ * parent's backing (no copy). Returns @p trace itself when it already
+ * fits. A clamped view is marked incomplete when µ-ops were cut off —
+ * exactly what recordTrace(max_uops) of the same workload would have
+ * produced, so replay through either is decision-identical.
+ */
+std::shared_ptr<const FrozenTrace>
+clampTrace(std::shared_ptr<const FrozenTrace> trace,
+           std::uint64_t max_uops);
 
 } // namespace eole
 

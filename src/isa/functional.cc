@@ -39,6 +39,9 @@ execAlu(Opcode opc, RegVal a, RegVal b, std::int64_t imm)
       case Opcode::Sari:
         return static_cast<RegVal>(asSigned(a) >> (imm & 63));
       case Opcode::Slti: return asSigned(a) < imm ? 1 : 0;
+      // Unsigned compare against the sign-extended immediate (the
+      // RISC-V sltiu convention; needed by the rv64 ingestion path).
+      case Opcode::Sltiu: return a < static_cast<RegVal>(imm) ? 1 : 0;
       case Opcode::Movi: return static_cast<RegVal>(imm);
 
       case Opcode::Mul: return a * b;
@@ -122,6 +125,7 @@ opcodeName(Opcode op)
       case Opcode::Shri: return "shri";
       case Opcode::Sari: return "sari";
       case Opcode::Slti: return "slti";
+      case Opcode::Sltiu: return "sltiu";
       case Opcode::Movi: return "movi";
       case Opcode::Mul: return "mul";
       case Opcode::Div: return "div";

@@ -35,7 +35,7 @@ enum class Opcode : std::uint8_t {
     // Single-cycle integer ALU, register-register.
     Add, Sub, And, Or, Xor, Shl, Shr, Sar, Slt, Sltu, Mov,
     // Single-cycle integer ALU, register-immediate.
-    Addi, Andi, Ori, Xori, Shli, Shri, Sari, Slti, Movi,
+    Addi, Andi, Ori, Xori, Shli, Shri, Sari, Slti, Sltiu, Movi,
     // Multi-cycle integer.
     Mul, Div, Rem,
     // Floating point (operands/results are bit-punned doubles).
@@ -77,7 +77,8 @@ opClassOf(Opcode op)
       case Opcode::Sltu: case Opcode::Mov:
       case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
       case Opcode::Xori: case Opcode::Shli: case Opcode::Shri:
-      case Opcode::Sari: case Opcode::Slti: case Opcode::Movi:
+      case Opcode::Sari: case Opcode::Slti: case Opcode::Sltiu:
+      case Opcode::Movi:
         return OpClass::IntAlu;
       case Opcode::Mul:
         return OpClass::IntMul;
@@ -160,7 +161,8 @@ hasImmOperand(Opcode op)
     switch (op) {
       case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
       case Opcode::Xori: case Opcode::Shli: case Opcode::Shri:
-      case Opcode::Sari: case Opcode::Slti: case Opcode::Movi:
+      case Opcode::Sari: case Opcode::Slti: case Opcode::Sltiu:
+      case Opcode::Movi:
       case Opcode::Ld: case Opcode::Lfd: case Opcode::St:
       case Opcode::Sfd:
         return true;

@@ -187,6 +187,22 @@ parsePlanText(const std::string &text, const std::string &origin,
                 workloads_all = true;
             } else {
                 for (const std::string &name : splitList(value)) {
+                    // "file:<path>": bind an on-disk eole-trace-v1
+                    // file and address it by the canonical workload
+                    // name embedded in its header, so every seed,
+                    // shard and store key matches a live-generated
+                    // run of the same workload byte-for-byte.
+                    if (name.rfind("file:", 0) == 0) {
+                        const std::string path = name.substr(5);
+                        std::string canonical, err;
+                        if (!workloads::bindTraceFile(path, &canonical,
+                                                      &err)) {
+                            return fail(lineno, "cannot load trace file \""
+                                        + path + "\": " + err);
+                        }
+                        workload_list.push_back(canonical);
+                        continue;
+                    }
                     bool known = false;
                     for (const std::string &w : workloads::allNames())
                         known = known || w == name;

@@ -541,7 +541,10 @@ runSampledPlan(const ExperimentPlan &plan, const SampleSpec &spec,
 
     if (options.telemetry && options.useTraceCache)
         options.telemetry->traceCacheCounts(cache.hitCount(),
-                                            cache.missCount());
+                                            cache.missCount(),
+                                            cache.fileHitCount(),
+                                            cache.fileMissCount(),
+                                            cache.evictCount());
 
     // Reduce each cell in slot order (deterministic float order).
     // Cached cells carry their reduced stats already (store pre-pass)

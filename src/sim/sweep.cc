@@ -289,7 +289,10 @@ runPlan(const ExperimentPlan &plan, const SweepOptions &options)
     });
     if (options.telemetry && options.useTraceCache)
         options.telemetry->traceCacheCounts(cache.hitCount(),
-                                            cache.missCount());
+                                            cache.missCount(),
+                                            cache.fileHitCount(),
+                                            cache.fileMissCount(),
+                                            cache.evictCount());
     storeFinish();
     return out;
 }

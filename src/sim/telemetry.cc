@@ -134,11 +134,17 @@ TelemetrySink::storeCounts(std::size_t hits, std::size_t computed)
 }
 
 void
-TelemetrySink::traceCacheCounts(std::uint64_t hits, std::uint64_t misses)
+TelemetrySink::traceCacheCounts(std::uint64_t hits, std::uint64_t misses,
+                                std::uint64_t file_hits,
+                                std::uint64_t file_misses,
+                                std::uint64_t evicts)
 {
     std::ostringstream b;
     b << "\"trace_cache\",\"t_ms\":" << jms(elapsedMs())
-      << ",\"hits\":" << hits << ",\"misses\":" << misses;
+      << ",\"hits\":" << hits << ",\"misses\":" << misses
+      << ",\"file_hits\":" << file_hits
+      << ",\"file_misses\":" << file_misses
+      << ",\"evicts\":" << evicts;
     emit(b.str());
 }
 

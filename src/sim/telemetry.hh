@@ -66,7 +66,14 @@ class TelemetrySink
                    bool ok, long interval = -1);
 
     void storeCounts(std::size_t hits, std::size_t computed);
-    void traceCacheCounts(std::uint64_t hits, std::uint64_t misses);
+    /** Trace-cache outcome counters. hits/misses are totals across
+     *  both source kinds; file_hits/file_misses break out mmap-backed
+     *  `file:` workloads and evicts counts drops that released a
+     *  trace. */
+    void traceCacheCounts(std::uint64_t hits, std::uint64_t misses,
+                          std::uint64_t file_hits = 0,
+                          std::uint64_t file_misses = 0,
+                          std::uint64_t evicts = 0);
 
     void runFinish(std::size_t cells);
 

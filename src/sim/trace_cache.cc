@@ -14,6 +14,31 @@ TraceCache::byteBudget()
 std::shared_ptr<const FrozenTrace>
 TraceCache::get(const Workload &workload, std::uint64_t min_uops)
 {
+    if (workload.fileBacked) {
+        // The µ-ops are already on disk, mmap'd read-only: no RAM
+        // budget applies (resident cost ~ 0) and there is nothing to
+        // record — clamping to min_uops is a constant-time view. The
+        // first request for a workload is the "miss" (parity with the
+        // generated path, where it pays the recording).
+        Entry *entry;
+        {
+            std::lock_guard<std::mutex> lock(mapMu);
+            auto &slot = entries[workload.name];
+            if (!slot)
+                slot = std::make_unique<Entry>();
+            entry = slot.get();
+        }
+        std::lock_guard<std::mutex> lock(entry->mu);
+        if (!entry->trace || (!entry->trace->complete
+                              && entry->trace->uops.size() < min_uops)) {
+            fileMisses.fetch_add(1, std::memory_order_relaxed);
+            entry->trace = workload.freeze(min_uops);
+        } else {
+            fileHits.fetch_add(1, std::memory_order_relaxed);
+        }
+        return entry->trace;
+    }
+
     if (min_uops * sizeof(TraceUop) > byteBudget()) {
         misses.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
@@ -48,7 +73,10 @@ TraceCache::drop(const std::string &workload_name)
         // Entry mutex may be held by a late get(); only clear the
         // trace pointer under it.
         std::lock_guard<std::mutex> elock(it->second->mu);
-        it->second->trace.reset();
+        if (it->second->trace) {
+            evicts.fetch_add(1, std::memory_order_relaxed);
+            it->second->trace.reset();
+        }
     }
 }
 

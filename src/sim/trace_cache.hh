@@ -17,6 +17,14 @@
  * the grid. A per-trace byte budget (EOLE_TRACE_CACHE_MB, default 4096)
  * turns caching off for traces that would not fit; jobs then fall back
  * to live-VM execution, which is bit-identical by construction.
+ *
+ * File-backed workloads (workloads::bindTraceFile) are different: their
+ * µ-ops live in a read-only mmap of the trace file, so they cost no
+ * resident heap (FrozenTrace::residentBytes() == 0) and are exempt from
+ * the byte budget — the kernel pages them in and out as needed. get()
+ * serves a clamped prefix view directly and the hit/miss counters
+ * record them under the file-source column so telemetry can tell the
+ * two populations apart.
  */
 
 #ifndef EOLE_SIM_TRACE_CACHE_HH
@@ -54,13 +62,25 @@ class TraceCache
 
     /** get() calls that found an adequate recorded trace / had to
      *  record (or re-record) one. Over-budget fallbacks count as
-     *  misses. Telemetry-only; never consulted by the engine. */
-    std::uint64_t hitCount() const { return hits.load(); }
-    std::uint64_t missCount() const { return misses.load(); }
+     *  misses. Telemetry-only; never consulted by the engine. Totals
+     *  span both source kinds; the file* accessors expose the
+     *  mmap-backed (bindTraceFile) share and evictCount() the number
+     *  of drop() calls that actually released a trace. */
+    std::uint64_t hitCount() const { return hits.load() + fileHits.load(); }
+    std::uint64_t missCount() const
+    {
+        return misses.load() + fileMisses.load();
+    }
+    std::uint64_t fileHitCount() const { return fileHits.load(); }
+    std::uint64_t fileMissCount() const { return fileMisses.load(); }
+    std::uint64_t evictCount() const { return evicts.load(); }
 
   private:
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> fileHits{0};
+    std::atomic<std::uint64_t> fileMisses{0};
+    std::atomic<std::uint64_t> evicts{0};
     struct Entry
     {
         std::mutex mu;

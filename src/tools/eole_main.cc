@@ -28,6 +28,7 @@
  * sampled artifacts by confidence-interval overlap instead.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +46,7 @@
 #include "common/build_info.hh"
 #include "common/env.hh"
 #include "common/fuzzy.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/pipetrace.hh"
 #include "sim/artifact.hh"
@@ -61,6 +63,8 @@
 #include "sim/store.hh"
 #include "sim/sweep.hh"
 #include "sim/telemetry.hh"
+#include "trace/rv64_ingest.hh"
+#include "trace/trace_file.hh"
 #include "workloads/workload.hh"
 
 using namespace eole;
@@ -74,11 +78,15 @@ usage(FILE *to, int exit_code)
         "eole — EOLE sweep driver\n"
         "\n"
         "usage:\n"
-        "  eole list [--workloads]\n"
+        "  eole list [--workloads [name|file:F ...]]\n"
         "      List every registered experiment plan with its grid\n"
         "      size (configs x workloads) and default run lengths, or\n"
         "      with --workloads the registered workloads and their\n"
         "      µ-op counts (up to the current run-length horizon).\n"
+        "      --workloads also accepts explicit names and\n"
+        "      file:<path.trace> specs to describe just those (a\n"
+        "      file: spec binds the trace and shows its on-disk\n"
+        "      µ-op count).\n"
         "\n"
         "  eole describe <config> | --params\n"
         "      Dump a named configuration (Baseline_6_64,\n"
@@ -105,6 +113,17 @@ usage(FILE *to, int exit_code)
         "      --warmup N    warmup µ-ops (default: EOLE_WARMUP or 1M)\n"
         "      --insts N     measured µ-ops (default: EOLE_INSTS or 5M)\n"
         "      --seed N      plan base seed (default 1)\n"
+        "      --workloads W1,W2  replace the plan's workload list.\n"
+        "                    Entries are registry names (torture:7,\n"
+        "                    fig12:gcc, ...) or file:<path.trace>\n"
+        "                    on-disk traces from `eole trace record` /\n"
+        "                    `eole trace ingest`; a file: workload runs\n"
+        "                    under its embedded name and its artifact\n"
+        "                    cells are byte-identical to a live-\n"
+        "                    generated run of the same workload. A\n"
+        "                    missing or corrupt trace file exits 2\n"
+        "                    with the resolved path (and nearby .trace\n"
+        "                    suggestions).\n"
         "      --sample N:W:D[:B]  checkpointed statistical sampling:\n"
         "                    N intervals of W measured µ-ops, each\n"
         "                    after D µ-ops of detailed warmup (D\n"
@@ -198,6 +217,31 @@ usage(FILE *to, int exit_code)
         "      diagnostics; exit 2 on a malformed file) and print\n"
         "      schema, provenance, µ-op index and section sizes.\n"
         "\n"
+        "  eole trace record <workload> --out <file.trace>\n"
+        "            [--uops N] [--store DIR] [--quiet]\n"
+        "      Record a workload's functional µ-op trace into an\n"
+        "      eole-trace-v1 file (mmap-ready packed records +\n"
+        "      SHA-256 footer). --uops bounds the recording (default:\n"
+        "      the current warmup+measure horizon plus slack, so the\n"
+        "      file covers a default-length run of any stock config).\n"
+        "      --store also inserts the file into a content-addressed\n"
+        "      store as a kind=trace object keyed by its own bytes.\n"
+        "\n"
+        "  eole trace info <file.trace>...\n"
+        "      Validate trace files (header, layout hash, checksum;\n"
+        "      exit 2 with a byte-offset diagnostic on truncation or\n"
+        "      corruption) and print workload, source, µ-op count and\n"
+        "      completeness.\n"
+        "\n"
+        "  eole trace ingest <log.rvlog> --out <file.trace>\n"
+        "            [--name N] [--quiet]\n"
+        "      Translate an RV64I committed-instruction log (spike/\n"
+        "      QEMU style `pc insn` lines, with optional reg/mem seed\n"
+        "      directives) into the internal µ-op vocabulary and write\n"
+        "      it as eole-trace-v1. The workload name defaults to\n"
+        "      rv64:<log stem>. See DESIGN.md §13 for the cracking\n"
+        "      table and the unsupported-instruction list.\n"
+        "\n"
         "  eole bench [--configs A,B] [--workloads X,Y] [--budget N]\n"
         "             [--warmup N] [--reps K] [--label L] [--out F]\n"
         "             [--profile] [--quiet]\n"
@@ -206,7 +250,8 @@ usage(FILE *to, int exit_code)
         "      µ-ops (default 100k), time --budget measured µ-ops\n"
         "      (default 1M), keep the fastest of --reps repetitions\n"
         "      (default 3). Configs default to the fig12 set,\n"
-        "      workloads to a 3-benchmark smoke set. --out writes a\n"
+        "      workloads to a 3-benchmark smoke set (file:<path.trace>\n"
+        "      specs accepted). --out writes a\n"
         "      canonical eole-bench-v1 JSON artifact (the committed\n"
         "      BENCH_<label>.json trajectory files). --profile\n"
         "      attributes each cell's wall time to pipeline stages and\n"
@@ -270,17 +315,44 @@ parseU64(const std::string &s, const char *what)
     return v;
 }
 
+bool resolveWorkloadSpec(const std::string &spec, std::string *resolved,
+                         std::string *err);
+
 int
-cmdListWorkloads()
+cmdListWorkloads(const std::vector<std::string> &specs)
 {
+    // Default listing: the whole registry. Explicit specs may add
+    // torture:<seed> or file:<path> workloads (the latter resolve to
+    // their embedded canonical names).
+    std::vector<std::string> names;
+    if (specs.empty()) {
+        names = workloads::allNames();
+    } else {
+        for (const std::string &spec : specs) {
+            std::string resolved, err;
+            if (!resolveWorkloadSpec(spec, &resolved, &err)) {
+                std::fprintf(stderr, "eole: %s\n", err.c_str());
+                return 2;
+            }
+            names.push_back(resolved);
+        }
+    }
+
     // µ-op counts are only meaningful up to the horizon a run would
     // consume; count up to warmup + measure + slack and report longer
     // workloads as lower bounds. Step a VM and discard the µ-ops —
-    // counting needs O(1) memory, not a materialized trace.
+    // counting needs O(1) memory, not a materialized trace. File-backed
+    // workloads already know their exact length.
     const std::uint64_t horizon = warmupUops() + measureUops() + 1024;
     std::printf("%-14s %5s %12s\n", "workload", "suite", "µ-ops");
-    for (const std::string &name : workloads::allNames()) {
+    for (const std::string &name : names) {
         const Workload w = workloads::build(name);
+        if (w.fileBacked) {
+            std::printf("%-14s %5s %11zu%s\n", name.c_str(),
+                        w.isFp ? "FP" : "INT", w.frozen->uops.size(),
+                        w.frozen->complete ? " " : "+");
+            continue;
+        }
         KernelVM vm(w.program, w.memBytes);
         if (w.init)
             w.init(vm);
@@ -299,7 +371,8 @@ cmdListWorkloads()
     }
     std::printf("\ncounts capped at the current run-length horizon "
                 "(%llu µ-ops = EOLE_WARMUP + EOLE_INSTS + slack); "
-                "\"+\" marks workloads still running at the cap\n",
+                "\"+\" marks workloads still running at the cap (or an "
+                "incomplete trace file)\n",
                 (unsigned long long)horizon);
     return 0;
 }
@@ -307,15 +380,22 @@ cmdListWorkloads()
 int
 cmdList(int argc, char **argv)
 {
-    if (argc > 1 || (argc == 1 && std::strcmp(argv[0], "--workloads"))) {
-        // Name the first argument that is not the one accepted flag.
-        const char *bad =
-            std::strcmp(argv[0], "--workloads") ? argv[0] : argv[1];
-        std::fprintf(stderr, "eole: unknown option %s\n", bad);
+    if (argc >= 1 && std::strcmp(argv[0], "--workloads") == 0) {
+        std::vector<std::string> specs;
+        for (int i = 1; i < argc; ++i) {
+            if (argv[i][0] == '-') {
+                std::fprintf(stderr, "eole: unknown option %s\n",
+                             argv[i]);
+                return usage(stderr, 2);
+            }
+            specs.emplace_back(argv[i]);
+        }
+        return cmdListWorkloads(specs);
+    }
+    if (argc > 0) {
+        std::fprintf(stderr, "eole: unknown option %s\n", argv[0]);
         return usage(stderr, 2);
     }
-    if (argc == 1)
-        return cmdListWorkloads();
     std::printf("%-16s %10s %9s %9s  %s\n", "plan", "grid", "warmup",
                 "measure", "description");
     for (const std::string &name : plans::allNames()) {
@@ -427,6 +507,69 @@ sanitizeForPath(const std::string &s)
     return out;
 }
 
+/** "a,b,c" -> {"a", "b", "c"}; empty segments rejected upstream by the
+ *  registries' own unknown-name diagnostics. */
+std::vector<std::string>
+splitCommaList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * Resolve one CLI workload spec: plain names pass through untouched
+ * (the registries validate them), "file:<path>" binds the trace file
+ * (workloads::bindTraceFile) and resolves to the canonical name
+ * embedded in it. A file that cannot be loaded produces a diagnostic
+ * naming the resolved absolute path plus a did-you-mean over the
+ * sibling .trace files — the usual typo is the filename, not the
+ * directory.
+ */
+bool
+resolveWorkloadSpec(const std::string &spec, std::string *resolved,
+                    std::string *err)
+{
+    if (spec.rfind("file:", 0) != 0) {
+        *resolved = spec;
+        return true;
+    }
+    const std::string path = spec.substr(5);
+    std::string name, lerr;
+    if (workloads::bindTraceFile(path, &name, &lerr)) {
+        *resolved = name;
+        return true;
+    }
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path abs = fs::absolute(path, ec);
+    if (ec)
+        abs = path;
+    std::vector<std::string> siblings;
+    if (fs::is_directory(abs.parent_path(), ec)) {
+        for (const auto &e : fs::directory_iterator(abs.parent_path(),
+                                                    ec)) {
+            if (e.path().extension() == ".trace")
+                siblings.push_back(e.path().filename().string());
+        }
+        std::sort(siblings.begin(), siblings.end());
+    }
+    *err = csprintf("cannot load trace file %s: %s",
+                    abs.string().c_str(), lerr.c_str())
+        + didYouMean(closestMatches(abs.filename().string(), siblings));
+    return false;
+}
+
 /** `eole run` and `eole shard` share one parser and execution path;
  *  @p shard_mode adds --hosts/--host, forces tables off and writes an
  *  "eole-shard-v1" partial instead of a JSON artifact. */
@@ -452,6 +595,7 @@ cmdRun(int argc, char **argv, bool shard_mode)
     std::string out_path, csv_path, store_dir, value;
     std::string plan_file, telemetry_path, pipetrace_path;
     std::string pipetrace_format = "kanata", pipetrace_range;
+    std::string workloads_override;
     std::vector<std::string> sets;
     std::uint64_t seed = 0;
     std::uint64_t shard_hosts = 0, shard_host = 0;
@@ -468,6 +612,8 @@ cmdRun(int argc, char **argv, bool shard_mode)
             opt.jobs = static_cast<int>(parseU64(value, "--jobs"));
         } else if (takeValue(argc, argv, i, "--filter", value)) {
             opt.filter = value;
+        } else if (takeValue(argc, argv, i, "--workloads", value)) {
+            workloads_override = value;
         } else if (takeValue(argc, argv, i, "--out", value)) {
             out_path = value;
         } else if (takeValue(argc, argv, i, "--csv", value)) {
@@ -580,6 +726,23 @@ cmdRun(int argc, char **argv, bool shard_mode)
     }
     if (have_seed)
         plan.seed = seed;
+
+    // Workload override: replace the plan's workload axis. Plain
+    // registry/torture names pass through; file:<path> specs bind
+    // their trace file and resolve to the embedded canonical name, so
+    // cell identity (and thus artifacts) cannot depend on the path.
+    if (!workloads_override.empty()) {
+        std::vector<std::string> resolved_names;
+        for (const std::string &spec : splitCommaList(workloads_override)) {
+            std::string resolved, werr;
+            if (!resolveWorkloadSpec(spec, &resolved, &werr))
+                return bail(werr);
+            resolved_names.push_back(std::move(resolved));
+        }
+        if (resolved_names.empty())
+            return bail("--workloads needs at least one name");
+        plan.workloads = std::move(resolved_names);
+    }
 
     // Ad-hoc overrides: apply each --set key=value to every config of
     // the plan through the registry. A typo'd key or bad value is an
@@ -1336,7 +1499,10 @@ cmdCkptSave(int argc, char **argv)
         }
     });
     if (telem && opt.useTraceCache)
-        telem->traceCacheCounts(cache.hitCount(), cache.missCount());
+        telem->traceCacheCounts(cache.hitCount(), cache.missCount(),
+                                cache.fileHitCount(),
+                                cache.fileMissCount(),
+                                cache.evictCount());
 
     // Serial put pass: freshly warmed cells enter the store under the
     // keys the pre-pass derived.
@@ -1440,26 +1606,6 @@ cmdCkpt(int argc, char **argv)
     return usage(stderr, 2);
 }
 
-/** "a,b,c" -> {"a", "b", "c"}; empty segments rejected upstream by the
- *  registries' own unknown-name diagnostics. */
-std::vector<std::string>
-splitCommaList(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= s.size()) {
-        const std::size_t comma = s.find(',', start);
-        const std::size_t end =
-            comma == std::string::npos ? s.size() : comma;
-        if (end > start)
-            out.push_back(s.substr(start, end - start));
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
-    }
-    return out;
-}
-
 int
 cmdBench(int argc, char **argv)
 {
@@ -1536,6 +1682,17 @@ cmdBench(int argc, char **argv)
         return 2;
     }
 
+    // file:<path> workload specs: bind the trace and bench under its
+    // canonical name, timing replay-from-mmap instead of a generator.
+    for (std::string &spec : opt.workloads) {
+        std::string resolved, err;
+        if (!resolveWorkloadSpec(spec, &resolved, &err)) {
+            std::fprintf(stderr, "eole: %s\n", err.c_str());
+            return 2;
+        }
+        spec = std::move(resolved);
+    }
+
     const BenchResult result = runBench(opt);
     if (opt.profile)
         writeBenchProfileTable(std::cout, result);
@@ -1552,6 +1709,208 @@ cmdBench(int argc, char **argv)
                result.cells.size());
     }
     return 0;
+}
+
+/**
+ * `eole trace` — the on-disk trace subsystem's CLI:
+ *   record <workload> --out F [--uops N] [--store DIR]
+ *   info <file.trace>...
+ *   ingest <log.rvlog> --out F [--name N]
+ */
+int
+cmdTrace(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fprintf(stderr, "eole: trace needs: record | info | "
+                     "ingest\n");
+        return usage(stderr, 2);
+    }
+    const std::string sub = argv[0];
+    --argc;
+    ++argv;
+
+    if (sub == "record") {
+        std::string workload_spec, out_path, store_dir, value;
+        std::uint64_t uops = 0;
+        for (int i = 0; i < argc; ++i) {
+            if (takeValue(argc, argv, i, "--out", value)) {
+                out_path = value;
+            } else if (takeValue(argc, argv, i, "--uops", value)) {
+                uops = parseU64(value, "--uops");
+            } else if (takeValue(argc, argv, i, "--store", value)) {
+                store_dir = value;
+            } else if (std::strcmp(argv[i], "--quiet") == 0) {
+                setLogLevel(LogLevel::Quiet);
+            } else if (argv[i][0] == '-') {
+                std::fprintf(stderr, "eole: unknown option %s\n",
+                             argv[i]);
+                return usage(stderr, 2);
+            } else if (workload_spec.empty()) {
+                workload_spec = argv[i];
+            } else {
+                std::fprintf(stderr,
+                             "eole: trace record takes one workload\n");
+                return 2;
+            }
+        }
+        if (workload_spec.empty() || out_path.empty()) {
+            std::fprintf(stderr, "eole: trace record needs a workload "
+                         "and --out <file>\n");
+            return 2;
+        }
+        if (uops == 0) {
+            // Cover a default-length run of any stock config with
+            // generous in-flight slack; replaying a too-short
+            // incomplete trace is a loud error, not silent drift.
+            uops = warmupUops() + measureUops() + 65536;
+        }
+        std::string resolved, err;
+        if (!resolveWorkloadSpec(workload_spec, &resolved, &err)) {
+            std::fprintf(stderr, "eole: %s\n", err.c_str());
+            return 2;
+        }
+        const Workload w = workloads::build(resolved);
+        if (w.name.size() >= traceFileNameBytes) {
+            std::fprintf(stderr, "eole: workload name \"%s\" is too "
+                         "long for the trace header (max %zu bytes)\n",
+                         w.name.c_str(), traceFileNameBytes - 1);
+            return 2;
+        }
+        const auto trace = w.freeze(uops);
+        if (!writeTraceFile(*trace, out_path, "generated", &err)) {
+            std::fprintf(stderr, "eole: %s\n", err.c_str());
+            return 2;
+        }
+        std::uint64_t file_bytes = 0;
+        {
+            std::error_code ec;
+            file_bytes = std::filesystem::file_size(out_path, ec);
+        }
+        std::printf("wrote %s: workload %s, %zu µ-ops (%s), %llu "
+                    "bytes\n", out_path.c_str(), trace->name.c_str(),
+                    trace->uops.size(),
+                    trace->complete ? "complete" : "prefix",
+                    (unsigned long long)file_bytes);
+        if (!store_dir.empty()) {
+            // A trace is a content-addressed store object: the key is
+            // its own bytes' hash, so identical recordings dedupe and
+            // a changed recording is a new object, never a mutation.
+            std::ifstream is(out_path, std::ios::binary);
+            std::ostringstream buf;
+            buf << is.rdbuf();
+            const std::string payload = buf.str();
+            fatal_if(!is || payload.size() != file_bytes,
+                     "cannot re-read %s for --store", out_path.c_str());
+            StoreKey key;
+            key.kind = "trace";
+            key.workload = trace->name;
+            key.content = sha256Hex(payload);
+            Store store(store_dir);
+            store.put(key, payload);
+            store.flush();
+            std::printf("stored as %s (kind=trace) in %s\n",
+                        storeKeyHash(key).substr(0, 12).c_str(),
+                        store_dir.c_str());
+        }
+        return 0;
+    }
+
+    if (sub == "info") {
+        std::vector<std::string> paths;
+        for (int i = 0; i < argc; ++i) {
+            if (argv[i][0] == '-') {
+                std::fprintf(stderr, "eole: unknown option %s\n",
+                             argv[i]);
+                return usage(stderr, 2);
+            }
+            paths.emplace_back(argv[i]);
+        }
+        if (paths.empty()) {
+            std::fprintf(stderr,
+                         "eole: trace info needs file(s)\n");
+            return 2;
+        }
+        for (const std::string &path : paths) {
+            TraceFileInfo info;
+            std::string err;
+            if (!readTraceFileInfo(path, &info, &err)) {
+                std::fprintf(stderr, "eole: %s: %s\n", path.c_str(),
+                             err.c_str());
+                return 2;
+            }
+            std::printf("%s:\n", path.c_str());
+            std::printf("  workload  %s\n", info.name.c_str());
+            std::printf("  source    %s\n", info.source.c_str());
+            std::printf("  µ-ops     %llu (%s)\n",
+                        (unsigned long long)info.uopCount,
+                        info.complete ? "complete" : "prefix");
+            std::printf("  suite     %s\n", info.isFp ? "FP" : "INT");
+            std::printf("  bytes     %llu\n",
+                        (unsigned long long)info.fileBytes);
+            std::printf("  checksum  ok\n");
+        }
+        return 0;
+    }
+
+    if (sub == "ingest") {
+        std::string log_path, out_path, name, value;
+        for (int i = 0; i < argc; ++i) {
+            if (takeValue(argc, argv, i, "--out", value)) {
+                out_path = value;
+            } else if (takeValue(argc, argv, i, "--name", value)) {
+                name = value;
+            } else if (std::strcmp(argv[i], "--quiet") == 0) {
+                setLogLevel(LogLevel::Quiet);
+            } else if (argv[i][0] == '-') {
+                std::fprintf(stderr, "eole: unknown option %s\n",
+                             argv[i]);
+                return usage(stderr, 2);
+            } else if (log_path.empty()) {
+                log_path = argv[i];
+            } else {
+                std::fprintf(stderr,
+                             "eole: trace ingest takes one log file\n");
+                return 2;
+            }
+        }
+        if (log_path.empty() || out_path.empty()) {
+            std::fprintf(stderr, "eole: trace ingest needs a log file "
+                         "and --out <file>\n");
+            return 2;
+        }
+        if (name.empty()) {
+            // Canonical name defaults to the log's stem under an rv64:
+            // prefix — addressable like torture:<seed>, and it cannot
+            // shadow a registry benchmark by accident.
+            name = "rv64:"
+                + std::filesystem::path(log_path).stem().string();
+        }
+        if (name.size() >= traceFileNameBytes) {
+            std::fprintf(stderr, "eole: --name \"%s\" is too long for "
+                         "the trace header (max %zu bytes)\n",
+                         name.c_str(), traceFileNameBytes - 1);
+            return 2;
+        }
+        std::string err;
+        const auto trace = ingestRv64LogFile(log_path, name, &err);
+        if (!trace) {
+            std::fprintf(stderr, "eole: %s: %s\n", log_path.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        if (!writeTraceFile(*trace, out_path, "rv64i", &err)) {
+            std::fprintf(stderr, "eole: %s\n", err.c_str());
+            return 2;
+        }
+        std::printf("wrote %s: workload %s, %zu µ-ops ingested from "
+                    "%s\n", out_path.c_str(), name.c_str(),
+                    trace->uops.size(), log_path.c_str());
+        return 0;
+    }
+
+    std::fprintf(stderr, "eole: unknown trace subcommand \"%s\" "
+                 "(record | info | ingest)\n", sub.c_str());
+    return usage(stderr, 2);
 }
 
 int
@@ -1642,6 +2001,8 @@ main(int argc, char **argv)
         return cmdDiff(argc - 2, argv + 2);
     if (cmd == "ckpt")
         return cmdCkpt(argc - 2, argv + 2);
+    if (cmd == "trace")
+        return cmdTrace(argc - 2, argv + 2);
     if (cmd == "telemetry")
         return cmdTelemetry(argc - 2, argv + 2);
     if (cmd == "--version" || cmd == "version") {

@@ -44,6 +44,12 @@ struct Workload
      *  mid-workload. */
     std::shared_ptr<const Checkpoint> start;
 
+    /** The workload IS its frozen trace (loaded from an eole-trace-v1
+     *  file; see workloads::bindTraceFile): there is no program to
+     *  re-record from, so freeze() serves clamped views of `frozen`
+     *  instead of running a VM. */
+    bool fileBacked = false;
+
     /** Construct a fresh trace source for one simulation run. */
     TraceSource
     makeTrace() const
@@ -58,11 +64,23 @@ struct Workload
         return TraceSource(program, memBytes, init);
     }
 
-    /** Record this workload's first @p max_uops µ-ops for replay. */
+    /** Record this workload's first @p max_uops µ-ops for replay. A
+     *  file-backed workload cannot re-record; it returns a clamped
+     *  prefix view of the loaded trace — decision-identical to what a
+     *  recording of the same length would hold, and a hard error when
+     *  the file holds fewer µ-ops than an incomplete replay needs. */
     std::shared_ptr<const FrozenTrace>
     freeze(std::uint64_t max_uops) const
     {
-        return recordTrace(program, memBytes, init, max_uops);
+        if (fileBacked) {
+            fatal_if(!frozen->complete && frozen->uops.size() < max_uops,
+                     "trace file for workload %s holds %zu µ-ops but "
+                     "this run needs %llu; re-record with a larger "
+                     "--uops", name.c_str(), frozen->uops.size(),
+                     (unsigned long long)max_uops);
+            return clampTrace(frozen, max_uops);
+        }
+        return recordTrace(program, memBytes, init, max_uops, name);
     }
 };
 
@@ -75,8 +93,28 @@ const std::vector<std::string> &allNames();
  *  registry names, "torture:<seed>" builds a seeded random program
  *  from the differential torture generator — usable anywhere a
  *  workload name is accepted (plans, sampling) but not listed in
- *  allNames(). */
+ *  allNames(). Names bound by bindTraceFile() resolve to their
+ *  file-backed trace and shadow a same-named generator. */
 Workload build(const std::string &name);
+
+/**
+ * Load the eole-trace-v1 file at @p path (mmap-backed, see
+ * src/trace/trace_file.hh) and register its embedded workload name:
+ * from then on build() of that name returns the file-backed workload.
+ * This is how `file:<path>` specs become plan-addressable — the
+ * canonical name is the one recorded in the file, so cells, seeds,
+ * shard ownership and store keys are byte-identical to the generator
+ * path.
+ *
+ * @param name_out the embedded canonical name
+ * @param err offset diagnostic on a missing/corrupt file
+ * @return false (with @p err) on failure; nothing is registered.
+ */
+bool bindTraceFile(const std::string &path, std::string *name_out,
+                   std::string *err);
+
+/** Drop every bindTraceFile() registration (test isolation). */
+void clearBoundTraces();
 
 /** Build every workload. */
 std::vector<Workload> buildAll();

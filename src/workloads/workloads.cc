@@ -6,8 +6,11 @@
 #include "workloads/workload.hh"
 
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "trace/trace_file.hh"
 #include "workloads/torture_gen.hh"
 
 namespace eole {
@@ -20,6 +23,20 @@ struct Entry
     const char *name;
     Workload (*build)();
 };
+
+// Traces bound from disk (bindTraceFile), keyed by the canonical name
+// embedded in the file. Process-wide so that sweep/sample workers
+// resolving workload names on any thread see the same binding.
+std::mutex boundMutex;
+std::map<std::string, std::shared_ptr<const FrozenTrace>> boundTraces;
+
+std::shared_ptr<const FrozenTrace>
+findBoundTrace(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(boundMutex);
+    auto it = boundTraces.find(name);
+    return it == boundTraces.end() ? nullptr : it->second;
+}
 
 // Table 3 order (CPU2000 first, then CPU2006).
 const Entry registry[] = {
@@ -61,6 +78,17 @@ allNames()
 Workload
 build(const std::string &name)
 {
+    // File-bound traces shadow same-named generators: a plan that says
+    // file:foo.trace must replay those exact bytes even if a generator
+    // also answers to the embedded name.
+    if (auto frozen = findBoundTrace(name)) {
+        Workload w;
+        w.name = name;
+        w.isFp = frozen->isFp;
+        w.frozen = std::move(frozen);
+        w.fileBacked = true;
+        return w;
+    }
     for (const auto &e : registry) {
         if (name == e.name)
             return e.build();
@@ -94,6 +122,29 @@ build(const std::string &name)
         return w;
     }
     fatal("unknown workload '%s'", name.c_str());
+}
+
+bool
+bindTraceFile(const std::string &path, std::string *name_out,
+              std::string *err)
+{
+    auto frozen = loadTraceFile(path, err);
+    if (!frozen)
+        return false;
+    if (name_out)
+        *name_out = frozen->name;
+    std::lock_guard<std::mutex> lock(boundMutex);
+    // Re-binding the same name is fine (idempotent across plan + CLI
+    // resolution of the same file); last binding wins.
+    boundTraces[frozen->name] = std::move(frozen);
+    return true;
+}
+
+void
+clearBoundTraces()
+{
+    std::lock_guard<std::mutex> lock(boundMutex);
+    boundTraces.clear();
 }
 
 std::vector<Workload>
